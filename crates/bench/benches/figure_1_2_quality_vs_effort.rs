@@ -1,0 +1,28 @@
+//! Figure 1.2 — the effort axis of the quality/effort trade-off:
+//! per-technique optimization time on the reference Star-Chain-15.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdp_bench::{optimize, paper_query};
+use sdp_catalog::Catalog;
+use sdp_core::{Algorithm, SdpConfig};
+use sdp_query::Topology;
+
+fn bench(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let query = paper_query(&catalog, Topology::star_chain(15), 0x5d9_2007, 0);
+    let mut g = c.benchmark_group("figure_1_2_effort");
+    g.sample_size(10);
+    for (alg, label) in [
+        (Algorithm::Dp, "DP"),
+        (Algorithm::Idp { k: 4 }, "IDP4"),
+        (Algorithm::Idp { k: 7 }, "IDP7"),
+        (Algorithm::Sdp(SdpConfig::paper()), "SDP"),
+        (Algorithm::Goo, "GOO"),
+    ] {
+        g.bench_function(label, |b| b.iter(|| optimize(&catalog, &query, alg).cost));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

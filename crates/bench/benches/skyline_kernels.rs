@@ -1,0 +1,44 @@
+//! Substrate micro-benchmarks: the skyline kernels SDP's pruning is
+//! built on, at SDP-partition-like sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdp_skyline::{
+    k_dominant_skyline, pairwise_union_skyline, skyline_bnl, skyline_dnc, skyline_sfs,
+};
+
+fn random_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..3).map(|_| rng.gen_range(0.0..1e6)).collect())
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skyline_kernels");
+    for n in [64usize, 512, 4096] {
+        let pts = random_points(n, 42);
+        g.bench_with_input(BenchmarkId::new("bnl", n), &pts, |b, p| {
+            b.iter(|| skyline_bnl(p).len())
+        });
+        g.bench_with_input(BenchmarkId::new("sfs", n), &pts, |b, p| {
+            b.iter(|| skyline_sfs(p).len())
+        });
+        g.bench_with_input(BenchmarkId::new("pairwise_union", n), &pts, |b, p| {
+            b.iter(|| pairwise_union_skyline(p).len())
+        });
+        g.bench_with_input(BenchmarkId::new("dnc", n), &pts, |b, p| {
+            b.iter(|| skyline_dnc(p).len())
+        });
+        if n <= 512 {
+            g.bench_with_input(BenchmarkId::new("k_dominant_2", n), &pts, |b, p| {
+                b.iter(|| k_dominant_skyline(p, 2).len())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 1.2 / Table 1.4 — optimization time per technique on
+//! Star-Chain graphs (DP only where feasible).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdp_bench::{optimize, paper_query};
+use sdp_catalog::Catalog;
+use sdp_core::{Algorithm, SdpConfig};
+use sdp_query::Topology;
+
+fn bench(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let mut g = c.benchmark_group("table_1_2_star_chain");
+    g.sample_size(10);
+    for n in [15usize, 23] {
+        let query = paper_query(&catalog, Topology::star_chain(n), 0x5d9_2007, 0);
+        let mut algs = vec![
+            (Algorithm::Idp { k: 7 }, "IDP7"),
+            (Algorithm::Sdp(SdpConfig::paper()), "SDP"),
+        ];
+        if n <= 15 {
+            algs.insert(0, (Algorithm::Dp, "DP"));
+        }
+        for (alg, label) in algs {
+            g.bench_with_input(BenchmarkId::new(label, n), &query, |b, q| {
+                b.iter(|| optimize(&catalog, q, alg).cost)
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

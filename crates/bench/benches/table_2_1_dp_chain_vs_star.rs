@@ -1,0 +1,30 @@
+//! Table 2.1 — exhaustive DP's cost growth on chains versus stars,
+//! the observation motivating localized pruning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdp_bench::{optimize, paper_query};
+use sdp_catalog::Catalog;
+use sdp_core::Algorithm;
+use sdp_query::Topology;
+
+fn bench(c: &mut Criterion) {
+    let catalog = Catalog::extended(32);
+    let mut g = c.benchmark_group("table_2_1_dp");
+    g.sample_size(10);
+    for n in [8usize, 12, 16, 20, 24, 28] {
+        let query = paper_query(&catalog, Topology::Chain(n), 1, 0);
+        g.bench_with_input(BenchmarkId::new("chain", n), &query, |b, q| {
+            b.iter(|| optimize(&catalog, q, Algorithm::Dp).cost)
+        });
+    }
+    for n in [8usize, 12, 14] {
+        let query = paper_query(&catalog, Topology::Star(n), 1, 0);
+        g.bench_with_input(BenchmarkId::new("star", n), &query, |b, q| {
+            b.iter(|| optimize(&catalog, q, Algorithm::Dp).cost)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

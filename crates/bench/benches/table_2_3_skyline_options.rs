@@ -1,0 +1,30 @@
+//! Table 2.3 — skyline Option 1 (full vector) vs Option 2 (pairwise
+//! union) vs the future-work strong skyline, as SDP pruning functions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdp_bench::{optimize, paper_query};
+use sdp_catalog::Catalog;
+use sdp_core::{Algorithm, Partitioning, SdpConfig, SkylineOption};
+use sdp_query::Topology;
+
+fn bench(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let query = paper_query(&catalog, Topology::star_chain(15), 0x5d9_2007, 0);
+    let mut g = c.benchmark_group("table_2_3_skyline_options");
+    g.sample_size(10);
+    for (label, skyline) in [
+        ("option1_full_vector", SkylineOption::FullVector),
+        ("option2_pairwise_union", SkylineOption::PairwiseUnion),
+        ("strong_2_dominant", SkylineOption::KDominant(2)),
+    ] {
+        let alg = Algorithm::Sdp(SdpConfig {
+            partitioning: Partitioning::RootHub,
+            skyline,
+        });
+        g.bench_function(label, |b| b.iter(|| optimize(&catalog, &query, alg).cost));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 3.3 — optimization time on very large stars (the maximum
+//! scale-up experiment's time column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdp_bench::{optimize, paper_query};
+use sdp_catalog::Catalog;
+use sdp_core::{Algorithm, SdpConfig};
+use sdp_query::Topology;
+
+fn bench(c: &mut Criterion) {
+    let catalog = Catalog::extended(64);
+    let mut g = c.benchmark_group("table_3_3_scaleup");
+    g.sample_size(10);
+    for n in [24usize, 32, 48] {
+        let query = paper_query(&catalog, Topology::Star(n), 7, 0);
+        g.bench_with_input(BenchmarkId::new("SDP", n), &query, |b, q| {
+            b.iter(|| optimize(&catalog, q, Algorithm::Sdp(SdpConfig::paper())).cost)
+        });
+        if n <= 32 {
+            g.bench_with_input(BenchmarkId::new("IDP4", n), &query, |b, q| {
+                b.iter(|| optimize(&catalog, q, Algorithm::Idp { k: 4 }).cost)
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 3.6 — localized (hub-partitioned) versus global skyline
+//! pruning: the effort side of the ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdp_bench::{optimize, paper_query};
+use sdp_catalog::Catalog;
+use sdp_core::{Algorithm, Partitioning, SdpConfig, SkylineOption};
+use sdp_query::Topology;
+
+fn bench(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let query = paper_query(&catalog, Topology::star_chain(20), 0x5d9_2007, 0);
+    let mut g = c.benchmark_group("table_3_6_local_vs_global");
+    g.sample_size(10);
+    for (label, partitioning) in [
+        ("local_root_hub", Partitioning::RootHub),
+        ("global", Partitioning::Global),
+        ("parent_hub", Partitioning::ParentHub),
+    ] {
+        let alg = Algorithm::Sdp(SdpConfig {
+            partitioning,
+            skyline: SkylineOption::PairwiseUnion,
+        });
+        g.bench_function(label, |b| b.iter(|| optimize(&catalog, &query, alg).cost));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

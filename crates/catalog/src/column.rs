@@ -1,0 +1,207 @@
+//! Column metadata: identifiers, domains and value distributions.
+
+use std::fmt;
+
+/// Index of a column within its relation (0-based).
+///
+/// The paper's schema gives every relation twenty-four columns; a
+/// `ColId` is always interpreted relative to a specific
+/// [`crate::Relation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColId(pub u16);
+
+impl fmt::Display for ColId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Shape of the data-value distribution within a column.
+///
+/// The paper experiments with "both uniform and skewed (exponential)
+/// distributions". The distribution influences the statistics derived
+/// by [`crate::ColumnStats::derive`] (skew concentrates values on few
+/// domain members, raising join selectivities) and drives the value
+/// generator in `sdp-engine`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Values drawn uniformly from the column domain.
+    Uniform,
+    /// Values drawn from a (truncated, discretized) exponential
+    /// distribution over the domain, with the given rate parameter
+    /// normalized to the domain size. Larger `rate` means stronger
+    /// skew toward the low end of the domain.
+    Exponential {
+        /// Normalized rate λ; the probability of domain value `i`
+        /// (0-based) is proportional to `exp(-λ · i / domain)`.
+        rate: f64,
+    },
+}
+
+impl Distribution {
+    /// Fraction of the domain that effectively carries values, used to
+    /// shrink the distinct-count estimate for skewed columns.
+    ///
+    /// For a uniform distribution all of the domain is reachable. For
+    /// an exponential distribution, mass beyond a few multiples of
+    /// `1/λ` is negligible; we use the 99th percentile of the
+    /// exponential, `ln(100)/λ`, capped at 1.
+    pub fn effective_domain_fraction(&self) -> f64 {
+        match *self {
+            Distribution::Uniform => 1.0,
+            Distribution::Exponential { rate } => {
+                debug_assert!(rate > 0.0, "exponential rate must be positive");
+                (100f64.ln() / rate).min(1.0)
+            }
+        }
+    }
+
+    /// A multiplicative correction (≥ 1) applied to equi-join
+    /// selectivities when one side of the join is skewed: matching on
+    /// a skewed column finds more partners than the uniform
+    /// independence estimate predicts, because value mass concentrates
+    /// on few domain members.
+    ///
+    /// Derived from the ratio of the second frequency moment of the
+    /// distribution to that of a uniform distribution with the same
+    /// effective domain, clamped to `[1, 10]` to keep estimates sane
+    /// (PostgreSQL similarly clamps its most-common-value corrections).
+    pub fn skew_factor(&self) -> f64 {
+        match *self {
+            Distribution::Uniform => 1.0,
+            Distribution::Exponential { rate } => {
+                // For a discretized exponential over a large domain the
+                // collision probability is ~ λ/2 per unit domain versus
+                // 1/d for uniform; the ratio grows with the rate.
+                (1.0 + rate / 2.0).clamp(1.0, 10.0)
+            }
+        }
+    }
+
+    /// True when this distribution is skewed (non-uniform).
+    pub fn is_skewed(&self) -> bool {
+        !matches!(self, Distribution::Uniform)
+    }
+
+    /// Cumulative distribution function at a fraction `x ∈ [0, 1]` of
+    /// the domain: the probability that a value falls below
+    /// `x · domain_size`. Used to estimate range-predicate
+    /// selectivities.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        match *self {
+            Distribution::Uniform => x,
+            Distribution::Exponential { rate } => {
+                debug_assert!(rate > 0.0);
+                // Truncated exponential over [0, 1].
+                (1.0 - (-rate * x).exp()) / (1.0 - (-rate).exp())
+            }
+        }
+    }
+}
+
+/// Metadata for one column of a relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Position of the column within its relation.
+    pub id: ColId,
+    /// Human-readable name, e.g. `"c7"`.
+    pub name: String,
+    /// Number of distinct values in the column's domain (the paper's
+    /// domain sizes are geometrically distributed between 100 and
+    /// 2.5 million).
+    pub domain_size: u64,
+    /// Distribution of values over the domain.
+    pub distribution: Distribution,
+    /// Width of the column in bytes (used for tuple-width and page
+    /// count estimation).
+    pub width_bytes: u32,
+}
+
+impl Column {
+    /// Create a column with the default 8-byte integer width.
+    pub fn new(id: ColId, domain_size: u64, distribution: Distribution) -> Self {
+        Column {
+            id,
+            name: format!("c{}", id.0),
+            domain_size,
+            distribution,
+            width_bytes: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_distribution_has_no_skew() {
+        let d = Distribution::Uniform;
+        assert_eq!(d.effective_domain_fraction(), 1.0);
+        assert_eq!(d.skew_factor(), 1.0);
+        assert!(!d.is_skewed());
+    }
+
+    #[test]
+    fn exponential_distribution_shrinks_domain_and_raises_skew() {
+        let d = Distribution::Exponential { rate: 20.0 };
+        assert!(d.effective_domain_fraction() < 1.0);
+        assert!(d.skew_factor() > 1.0);
+        assert!(d.is_skewed());
+    }
+
+    #[test]
+    fn skew_factor_is_clamped() {
+        let d = Distribution::Exponential { rate: 1e6 };
+        assert_eq!(d.skew_factor(), 10.0);
+        let d = Distribution::Exponential { rate: 1e-9 };
+        assert!((d.skew_factor() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mild_skew_keeps_most_of_domain() {
+        let d = Distribution::Exponential { rate: 2.0 };
+        assert!(d.effective_domain_fraction() > 0.9);
+    }
+
+    #[test]
+    fn cdf_endpoints_and_monotonicity() {
+        for d in [
+            Distribution::Uniform,
+            Distribution::Exponential { rate: 20.0 },
+        ] {
+            assert!(d.cdf(0.0).abs() < 1e-12);
+            assert!((d.cdf(1.0) - 1.0).abs() < 1e-12);
+            let mut prev = 0.0;
+            for i in 1..=10 {
+                let v = d.cdf(i as f64 / 10.0);
+                assert!(v >= prev);
+                prev = v;
+            }
+        }
+        // Clamped outside [0, 1].
+        assert_eq!(Distribution::Uniform.cdf(-3.0), 0.0);
+        assert_eq!(Distribution::Uniform.cdf(7.0), 1.0);
+    }
+
+    #[test]
+    fn exponential_cdf_is_front_loaded() {
+        let d = Distribution::Exponential { rate: 20.0 };
+        // Most of the mass sits in the first tenth of the domain.
+        assert!(d.cdf(0.1) > 0.8);
+    }
+
+    #[test]
+    fn column_new_sets_defaults() {
+        let c = Column::new(ColId(3), 1000, Distribution::Uniform);
+        assert_eq!(c.name, "c3");
+        assert_eq!(c.width_bytes, 8);
+        assert_eq!(c.domain_size, 1000);
+    }
+
+    #[test]
+    fn col_id_displays_with_prefix() {
+        assert_eq!(ColId(11).to_string(), "c11");
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for catalog construction and lookup.
+
+use std::fmt;
+
+/// Errors raised while building or querying a [`crate::Catalog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A relation id referred to a relation that does not exist.
+    UnknownRelation(usize),
+    /// A column id referred to a column that does not exist on the
+    /// named relation.
+    UnknownColumn {
+        /// Relation the lookup was performed on.
+        relation: usize,
+        /// Offending column index.
+        column: usize,
+    },
+    /// A schema specification was internally inconsistent (for example
+    /// zero relations or zero columns per relation).
+    InvalidSpec(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::UnknownRelation(id) => write!(f, "unknown relation id {id}"),
+            CatalogError::UnknownColumn { relation, column } => {
+                write!(f, "unknown column {column} on relation {relation}")
+            }
+            CatalogError::InvalidSpec(msg) => write!(f, "invalid schema specification: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CatalogError::UnknownRelation(7);
+        assert!(e.to_string().contains('7'));
+        let e = CatalogError::UnknownColumn {
+            relation: 3,
+            column: 9,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('9'));
+        let e = CatalogError::InvalidSpec("no relations".into());
+        assert!(e.to_string().contains("no relations"));
+    }
+}

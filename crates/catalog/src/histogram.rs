@@ -1,0 +1,188 @@
+//! Equi-depth histograms — the `pg_statistic` companion to the
+//! distinct counts.
+//!
+//! PostgreSQL's `ANALYZE` stores equi-depth (equal-frequency) bucket
+//! boundaries per column; range-predicate selectivities interpolate
+//! within the bucket containing the constant. We support both
+//! construction paths:
+//!
+//! * [`Histogram::from_cdf`] — analytic boundaries from the known
+//!   synthetic distribution (exact quantiles, what the schema builder
+//!   uses);
+//! * [`Histogram::from_values`] — boundaries from actual data (what
+//!   `sdp-engine`'s sampled re-analysis uses), drifting from the
+//!   analytic version only by sampling noise.
+
+/// An equi-depth histogram over an integer domain `[0, domain)`.
+///
+/// `bounds` has `buckets + 1` monotone entries; bucket `i` covers
+/// `[bounds[i], bounds[i+1])` and holds `1/buckets` of the value mass
+/// (the final bucket is closed at the top).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<i64>,
+}
+
+impl Histogram {
+    /// Number of buckets used throughout the catalog (PostgreSQL's
+    /// default statistics target era value).
+    pub const DEFAULT_BUCKETS: usize = 32;
+
+    /// Build from a cumulative distribution function over the unit
+    /// interval (monotone, `cdf(0) = 0`, `cdf(1) = 1`): boundary `i`
+    /// is the `i/buckets` quantile of the domain.
+    ///
+    /// # Panics
+    /// Panics if `buckets` is 0 or `domain` is 0.
+    pub fn from_cdf(domain: u64, buckets: usize, cdf: impl Fn(f64) -> f64) -> Self {
+        assert!(buckets > 0 && domain > 0);
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        bounds.push(0);
+        for b in 1..buckets {
+            let target = b as f64 / buckets as f64;
+            // Bisection on the quantile (cdf is monotone).
+            let (mut lo, mut hi) = (0.0f64, 1.0f64);
+            for _ in 0..40 {
+                let mid = (lo + hi) / 2.0;
+                if cdf(mid) < target {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            bounds.push((lo * domain as f64) as i64);
+        }
+        bounds.push(domain as i64);
+        // Enforce monotonicity after integer truncation.
+        for i in 1..bounds.len() {
+            if bounds[i] < bounds[i - 1] {
+                bounds[i] = bounds[i - 1];
+            }
+        }
+        Histogram { bounds }
+    }
+
+    /// Build from observed values (sorted internally).
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or `buckets` is 0.
+    pub fn from_values(values: &[i64], buckets: usize) -> Self {
+        assert!(!values.is_empty() && buckets > 0);
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        bounds.push(sorted[0]);
+        for b in 1..buckets {
+            bounds.push(sorted[(b * n / buckets).min(n - 1)]);
+        }
+        bounds.push(sorted[n - 1] + 1); // exclusive top
+        for i in 1..bounds.len() {
+            if bounds[i] < bounds[i - 1] {
+                bounds[i] = bounds[i - 1];
+            }
+        }
+        Histogram { bounds }
+    }
+
+    /// The bucket boundaries.
+    pub fn bounds(&self) -> &[i64] {
+        &self.bounds
+    }
+
+    /// Estimated fraction of values strictly below `v`, interpolating
+    /// linearly within the containing bucket.
+    pub fn fraction_below(&self, v: i64) -> f64 {
+        let b = &self.bounds;
+        let buckets = b.len() - 1;
+        if v <= b[0] {
+            return 0.0;
+        }
+        if v >= b[buckets] {
+            return 1.0;
+        }
+        // Binary search for the containing bucket.
+        let i = match b.binary_search(&v) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let lo = b[i] as f64;
+        let hi = b[i + 1] as f64;
+        let within = if hi > lo {
+            (v as f64 - lo) / (hi - lo)
+        } else {
+            0.0
+        };
+        (i as f64 + within) / buckets as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Distribution;
+
+    #[test]
+    fn uniform_cdf_gives_uniform_buckets() {
+        let h = Histogram::from_cdf(1000, 10, |x| x);
+        assert_eq!(h.bounds().len(), 11);
+        // Each bucket ~100 wide.
+        for w in h.bounds().windows(2) {
+            assert!((w[1] - w[0] - 100).abs() <= 2, "bounds {:?}", h.bounds());
+        }
+        assert!((h.fraction_below(500) - 0.5).abs() < 0.01);
+        assert_eq!(h.fraction_below(0), 0.0);
+        assert_eq!(h.fraction_below(1000), 1.0);
+    }
+
+    #[test]
+    fn exponential_cdf_gives_front_loaded_buckets() {
+        let d = Distribution::Exponential { rate: 20.0 };
+        let h = Histogram::from_cdf(10_000, 16, |x| d.cdf(x));
+        // The first bucket must be much narrower than the last.
+        let first = h.bounds()[1] - h.bounds()[0];
+        let last = h.bounds()[16] - h.bounds()[15];
+        assert!(last > first * 10, "first {first}, last {last}");
+        // fraction_below tracks the true CDF.
+        for v in [100i64, 500, 2000, 9000] {
+            let est = h.fraction_below(v);
+            let truth = d.cdf(v as f64 / 10_000.0);
+            assert!((est - truth).abs() < 0.05, "v={v}: {est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn from_values_matches_from_cdf_on_uniform_data() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let values: Vec<i64> = (0..20_000).map(|_| rng.gen_range(0..1000)).collect();
+        let sampled = Histogram::from_values(&values, 10);
+        let analytic = Histogram::from_cdf(1000, 10, |x| x);
+        for v in [100i64, 300, 700, 950] {
+            let a = sampled.fraction_below(v);
+            let b = analytic.fraction_below(v);
+            assert!((a - b).abs() < 0.05, "v={v}: sampled {a} vs analytic {b}");
+        }
+    }
+
+    #[test]
+    fn degenerate_single_value_data() {
+        let h = Histogram::from_values(&[7, 7, 7, 7], 4);
+        assert_eq!(h.fraction_below(7), 0.0);
+        assert_eq!(h.fraction_below(8), 1.0);
+        assert_eq!(h.fraction_below(6), 0.0);
+    }
+
+    #[test]
+    fn fraction_below_is_monotone() {
+        let d = Distribution::Exponential { rate: 5.0 };
+        let h = Histogram::from_cdf(500, 8, |x| d.cdf(x));
+        let mut prev = -1.0;
+        for v in (0..=500).step_by(25) {
+            let f = h.fraction_below(v);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # sdp-catalog — schema and statistics substrate
+//!
+//! The SDP paper evaluates its optimizer heuristics on a synthetic
+//! 25-relation schema implemented on PostgreSQL 8.1.2:
+//!
+//! * relational cardinalities follow a geometric distribution with
+//!   parameter 1.5, ranging from 100 to 2.5 million rows;
+//! * every relation has twenty-four columns, one of which (randomly
+//!   chosen) carries an index;
+//! * column domain sizes also follow a geometric distribution from 100
+//!   to 2.5 million;
+//! * column values are either uniformly or exponentially (skewed)
+//!   distributed.
+//!
+//! This crate reproduces that schema *as metadata*: the optimizer under
+//! study consumes only catalog statistics (cardinalities, distinct
+//! counts, index availability, distribution shape), never the tuples
+//! themselves, so generating the statistics analytically exercises the
+//! identical optimizer code path that PostgreSQL's `ANALYZE`-produced
+//! statistics would. Synthetic tuples matching these statistics can be
+//! materialized by the `sdp-engine` crate when actual execution is
+//! desired.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod column;
+mod error;
+mod histogram;
+mod relation;
+mod schema;
+mod statistics;
+
+pub use column::{ColId, Column, Distribution};
+pub use error::CatalogError;
+pub use histogram::Histogram;
+pub use relation::{RelId, Relation};
+pub use schema::{Catalog, SchemaBuilder, SchemaSpec};
+pub use statistics::{
+    AnalyzedRelation, ColumnStats, RelationStats, PAGE_SIZE_BYTES, TUPLE_HEADER_BYTES,
+};

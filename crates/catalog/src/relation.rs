@@ -1,0 +1,97 @@
+//! Relation (base table) metadata.
+
+use std::fmt;
+
+use crate::column::{ColId, Column};
+
+/// Identifier of a base relation within a [`crate::Catalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Metadata for one base relation.
+///
+/// Matches the paper's schema: a cardinality drawn from a geometric
+/// progression, twenty-four columns, and an index on one randomly
+/// chosen column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    /// Catalog-wide identifier.
+    pub id: RelId,
+    /// Human-readable name, e.g. `"R7"`.
+    pub name: String,
+    /// Number of tuples in the relation.
+    pub cardinality: u64,
+    /// Column metadata, indexed by [`ColId`].
+    pub columns: Vec<Column>,
+    /// The single indexed column ("a random column has an index built
+    /// on it").
+    pub indexed_column: ColId,
+}
+
+impl Relation {
+    /// Look up a column by id.
+    pub fn column(&self, col: ColId) -> Option<&Column> {
+        self.columns.get(col.0 as usize)
+    }
+
+    /// Whether the given column carries an index.
+    pub fn has_index_on(&self, col: ColId) -> bool {
+        self.indexed_column == col
+    }
+
+    /// Total tuple width in bytes (sum of column widths).
+    pub fn tuple_width_bytes(&self) -> u32 {
+        self.columns.iter().map(|c| c.width_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Distribution;
+
+    fn sample_relation() -> Relation {
+        let columns = (0..4)
+            .map(|i| Column::new(ColId(i), 100, Distribution::Uniform))
+            .collect();
+        Relation {
+            id: RelId(1),
+            name: "R1".into(),
+            cardinality: 1000,
+            columns,
+            indexed_column: ColId(2),
+        }
+    }
+
+    #[test]
+    fn column_lookup_in_and_out_of_range() {
+        let r = sample_relation();
+        assert!(r.column(ColId(0)).is_some());
+        assert!(r.column(ColId(3)).is_some());
+        assert!(r.column(ColId(4)).is_none());
+    }
+
+    #[test]
+    fn index_flag_matches_indexed_column() {
+        let r = sample_relation();
+        assert!(r.has_index_on(ColId(2)));
+        assert!(!r.has_index_on(ColId(0)));
+    }
+
+    #[test]
+    fn tuple_width_sums_column_widths() {
+        let r = sample_relation();
+        assert_eq!(r.tuple_width_bytes(), 4 * 8);
+    }
+
+    #[test]
+    fn rel_id_displays_with_prefix() {
+        assert_eq!(RelId(24).to_string(), "R24");
+    }
+}

@@ -1,0 +1,240 @@
+//! Analytic equivalents of PostgreSQL `ANALYZE` statistics.
+//!
+//! The paper runs `ANALYZE` to populate the statistics the PostgreSQL
+//! optimizer consumes. Because our schema is synthetic with known
+//! distribution parameters, the same statistics can be derived in
+//! closed form — the optimizer downstream cannot tell the difference.
+
+use crate::column::{ColId, Column};
+use crate::histogram::Histogram;
+use crate::relation::Relation;
+
+/// PostgreSQL default page size.
+pub const PAGE_SIZE_BYTES: u64 = 8192;
+
+/// Per-tuple header overhead (PostgreSQL's `HeapTupleHeaderData` is
+/// 23 bytes padded to 24, plus the 4-byte line pointer).
+pub const TUPLE_HEADER_BYTES: u64 = 28;
+
+/// Derived per-column statistics, the analogue of a `pg_statistic` row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnStats {
+    /// Estimated number of distinct values appearing in the column.
+    pub n_distinct: f64,
+    /// Multiplicative equi-join selectivity correction for skew (≥ 1).
+    pub skew_factor: f64,
+    /// Fraction of NULLs (always 0 in the paper's schema).
+    pub null_frac: f64,
+}
+
+impl ColumnStats {
+    /// Derive statistics for `column` on a relation with the given
+    /// cardinality.
+    ///
+    /// The distinct count is the expected number of occupied domain
+    /// values when `cardinality` draws are made from the (effective)
+    /// domain: `d · (1 − (1 − 1/d)^n)`, the classic Cardenas formula,
+    /// with `d` shrunk by the distribution's effective domain fraction
+    /// for skewed columns.
+    pub fn derive(column: &Column, cardinality: u64) -> Self {
+        let d =
+            (column.domain_size as f64 * column.distribution.effective_domain_fraction()).max(1.0);
+        let n = cardinality as f64;
+        // Cardenas: expected distinct values after n draws over d slots.
+        // Computed in log-space to stay stable for large n, d.
+        let n_distinct = if d <= 1.0 {
+            1.0
+        } else {
+            let ln_miss = n * (1.0 - 1.0 / d).ln();
+            d * (1.0 - ln_miss.exp())
+        }
+        .clamp(1.0, n.max(1.0));
+        ColumnStats {
+            n_distinct,
+            skew_factor: column.distribution.skew_factor(),
+            null_frac: 0.0,
+        }
+    }
+
+    /// Selectivity of an equality predicate `col = const` under the
+    /// uniform-frequency assumption: `1 / n_distinct`, boosted by skew.
+    pub fn eq_selectivity(&self) -> f64 {
+        (self.skew_factor / self.n_distinct).min(1.0)
+    }
+}
+
+/// Derived per-relation statistics, the analogue of `pg_class`'s
+/// `reltuples` / `relpages`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelationStats {
+    /// Number of tuples.
+    pub tuples: f64,
+    /// Number of heap pages.
+    pub pages: f64,
+    /// Tuple width in bytes including header overhead.
+    pub tuple_width: f64,
+}
+
+impl RelationStats {
+    /// Derive relation-level statistics from the relation metadata.
+    pub fn derive(relation: &Relation) -> Self {
+        let tuple_width = relation.tuple_width_bytes() as f64 + TUPLE_HEADER_BYTES as f64;
+        let tuples_per_page = (PAGE_SIZE_BYTES as f64 / tuple_width).floor().max(1.0);
+        let tuples = relation.cardinality as f64;
+        let pages = (tuples / tuples_per_page).ceil().max(1.0);
+        RelationStats {
+            tuples,
+            pages,
+            tuple_width,
+        }
+    }
+}
+
+/// Statistics for every column of a relation, plus the relation-level
+/// numbers — what `ANALYZE` would leave behind for the optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzedRelation {
+    /// Relation-level statistics.
+    pub relation: RelationStats,
+    /// Per-column statistics, indexed by [`ColId`].
+    pub columns: Vec<ColumnStats>,
+    /// Per-column equi-depth histograms, indexed by [`ColId`].
+    pub histograms: Vec<Histogram>,
+}
+
+impl AnalyzedRelation {
+    /// Run the analytic "ANALYZE" over a relation: closed-form
+    /// distinct counts plus exact-quantile histograms from the known
+    /// distributions.
+    pub fn analyze(rel: &Relation) -> Self {
+        AnalyzedRelation {
+            relation: RelationStats::derive(rel),
+            columns: rel
+                .columns
+                .iter()
+                .map(|c| ColumnStats::derive(c, rel.cardinality))
+                .collect(),
+            histograms: rel
+                .columns
+                .iter()
+                .map(|c| {
+                    Histogram::from_cdf(c.domain_size.max(1), Histogram::DEFAULT_BUCKETS, |x| {
+                        c.distribution.cdf(x)
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Histogram for one column.
+    pub fn histogram(&self, col: ColId) -> Option<&Histogram> {
+        self.histograms.get(col.0 as usize)
+    }
+
+    /// Statistics for one column.
+    pub fn column(&self, col: ColId) -> Option<&ColumnStats> {
+        self.columns.get(col.0 as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{Column, Distribution};
+    use crate::relation::RelId;
+
+    fn rel(card: u64, domain: u64, dist: Distribution) -> Relation {
+        Relation {
+            id: RelId(0),
+            name: "R0".into(),
+            cardinality: card,
+            columns: vec![Column::new(ColId(0), domain, dist)],
+            indexed_column: ColId(0),
+        }
+    }
+
+    #[test]
+    fn distinct_count_caps_at_cardinality() {
+        // Huge domain, few rows: nearly every row is distinct.
+        let c = Column::new(ColId(0), 1_000_000, Distribution::Uniform);
+        let s = ColumnStats::derive(&c, 100);
+        assert!(s.n_distinct <= 100.0);
+        assert!(s.n_distinct > 99.0, "got {}", s.n_distinct);
+    }
+
+    #[test]
+    fn distinct_count_caps_at_domain() {
+        // Tiny domain, many rows: domain saturates.
+        let c = Column::new(ColId(0), 100, Distribution::Uniform);
+        let s = ColumnStats::derive(&c, 1_000_000);
+        assert!((s.n_distinct - 100.0).abs() < 1e-6, "got {}", s.n_distinct);
+    }
+
+    #[test]
+    fn skewed_column_has_fewer_distincts_than_uniform() {
+        let u = Column::new(ColId(0), 10_000, Distribution::Uniform);
+        let e = Column::new(ColId(0), 10_000, Distribution::Exponential { rate: 50.0 });
+        let su = ColumnStats::derive(&u, 5_000);
+        let se = ColumnStats::derive(&e, 5_000);
+        assert!(se.n_distinct < su.n_distinct);
+        assert!(se.skew_factor > su.skew_factor);
+    }
+
+    #[test]
+    fn eq_selectivity_bounded_by_one() {
+        let c = Column::new(ColId(0), 2, Distribution::Exponential { rate: 100.0 });
+        let s = ColumnStats::derive(&c, 1000);
+        assert!(s.eq_selectivity() <= 1.0);
+        assert!(s.eq_selectivity() > 0.0);
+    }
+
+    #[test]
+    fn page_count_grows_with_cardinality() {
+        let small = RelationStats::derive(&rel(100, 100, Distribution::Uniform));
+        let big = RelationStats::derive(&rel(1_000_000, 100, Distribution::Uniform));
+        assert!(big.pages > small.pages);
+        assert!(small.pages >= 1.0);
+    }
+
+    #[test]
+    fn twenty_four_column_relation_has_realistic_pages() {
+        // 24 columns × 8 bytes + 28 header = 220 bytes/tuple → 37/page.
+        let columns: Vec<Column> = (0..24)
+            .map(|i| Column::new(ColId(i), 1000, Distribution::Uniform))
+            .collect();
+        let r = Relation {
+            id: RelId(0),
+            name: "R0".into(),
+            cardinality: 37_000,
+            columns,
+            indexed_column: ColId(0),
+        };
+        let s = RelationStats::derive(&r);
+        assert!((s.pages - 1000.0).abs() <= 1.0, "pages = {}", s.pages);
+    }
+
+    #[test]
+    fn analyze_covers_every_column() {
+        let r = rel(1000, 500, Distribution::Uniform);
+        let a = AnalyzedRelation::analyze(&r);
+        assert_eq!(a.columns.len(), r.columns.len());
+        assert_eq!(a.histograms.len(), r.columns.len());
+        assert!(a.column(ColId(0)).is_some());
+        assert!(a.column(ColId(1)).is_none());
+        assert!(a.histogram(ColId(0)).is_some());
+        // Uniform column: median boundary near the domain midpoint.
+        let h = a.histogram(ColId(0)).unwrap();
+        assert!((h.fraction_below(250) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn cardenas_monotone_in_cardinality() {
+        let c = Column::new(ColId(0), 10_000, Distribution::Uniform);
+        let mut prev = 0.0;
+        for n in [10u64, 100, 1000, 10_000, 100_000] {
+            let s = ColumnStats::derive(&c, n);
+            assert!(s.n_distinct >= prev);
+            prev = s.n_distinct;
+        }
+    }
+}

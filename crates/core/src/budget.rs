@@ -1,0 +1,254 @@
+//! Resource budgets and the infeasibility errors behind the paper's
+//! `*` table cells.
+//!
+//! The paper ran on "vanilla Pentium-IV PCs with 1 GB of memory"; DP
+//! on Star-20, and later IDP(7) on Star-23, simply ran out of physical
+//! memory. We model that wall with a deterministic *memory model*:
+//! each live memo group and each live plan node is charged a constant
+//! number of bytes, calibrated so that the feasibility frontier of the
+//! paper (DP feasible at Star-15/16, infeasible at Star-20; see
+//! DESIGN.md) is reproduced. The harness additionally reports real
+//! allocator bytes; the model is what decides feasibility.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Paper-equivalent bytes charged per live memo group.
+///
+/// Calibrated (together with [`NODE_MODEL_BYTES`]) so that the paper's
+/// feasibility frontier is reproduced under the 1 GB default budget:
+/// DP feasible at Star-16 (~300 MB here, 326 MB in the paper) but not
+/// at Star-20 or Star-Chain-23; IDP(7) feasible at Star-20 but not at
+/// Star-23.
+pub const GROUP_MODEL_BYTES: u64 = 6144;
+/// Paper-equivalent bytes charged per live plan node (see
+/// [`GROUP_MODEL_BYTES`] for the calibration).
+pub const NODE_MODEL_BYTES: u64 = 3072;
+
+/// Why optimization could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// The memory model exceeded the budget — the analogue of the
+    /// paper's out-of-physical-memory `*` entries.
+    MemoryExhausted {
+        /// Model bytes in use when the budget tripped.
+        used_bytes: u64,
+        /// The configured budget.
+        budget_bytes: u64,
+    },
+    /// Wall-clock limit exceeded.
+    TimedOut {
+        /// Elapsed time when the deadline tripped.
+        elapsed: Duration,
+        /// The configured limit.
+        limit: Duration,
+    },
+    /// The query's join graph is disconnected — no cartesian-product-
+    /// free plan exists.
+    DisconnectedJoinGraph,
+    /// The query has no relations.
+    EmptyQuery,
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::MemoryExhausted {
+                used_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "optimizer memory exhausted: {:.1} MB used, {:.1} MB budget",
+                *used_bytes as f64 / 1048576.0,
+                *budget_bytes as f64 / 1048576.0
+            ),
+            OptError::TimedOut { elapsed, limit } => write!(
+                f,
+                "optimization timed out after {:.1}s (limit {:.1}s)",
+                elapsed.as_secs_f64(),
+                limit.as_secs_f64()
+            ),
+            OptError::DisconnectedJoinGraph => {
+                write!(
+                    f,
+                    "join graph is disconnected (cartesian products excluded)"
+                )
+            }
+            OptError::EmptyQuery => write!(f, "query joins zero relations"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+/// Resource limits for one optimization run.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Memory-model budget in bytes (default: the paper's 1 GB).
+    pub max_model_bytes: u64,
+    /// Wall-clock limit (default: 5 minutes — the paper's slowest
+    /// feasible run, DP on Star-16, took ~2 minutes).
+    pub max_elapsed: Duration,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_model_bytes: 1 << 30,
+            max_elapsed: Duration::from_secs(300),
+        }
+    }
+}
+
+impl Budget {
+    /// A budget that never trips (for unit tests of small queries).
+    pub fn unlimited() -> Self {
+        Budget {
+            max_model_bytes: u64::MAX,
+            max_elapsed: Duration::from_secs(u32::MAX as u64),
+        }
+    }
+
+    /// Budget with a specific memory-model limit.
+    pub fn with_memory(bytes: u64) -> Self {
+        Budget {
+            max_model_bytes: bytes,
+            ..Budget::default()
+        }
+    }
+}
+
+/// Tracks live groups/nodes against a [`Budget`] and remembers peaks.
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    budget: Budget,
+    start: Instant,
+    baseline_nodes: u64,
+    live_groups: u64,
+    peak_bytes: u64,
+}
+
+impl MemoryModel {
+    /// Start tracking. `baseline_nodes` is the live-node count at
+    /// start (so concurrent plans owned by the caller are not
+    /// charged).
+    pub fn new(budget: Budget, baseline_nodes: u64) -> Self {
+        MemoryModel {
+            budget,
+            start: Instant::now(),
+            baseline_nodes,
+            live_groups: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    /// Record `n` additional live groups.
+    pub fn add_groups(&mut self, n: u64) {
+        self.live_groups += n;
+    }
+
+    /// Record `n` groups freed.
+    pub fn remove_groups(&mut self, n: u64) {
+        self.live_groups = self.live_groups.saturating_sub(n);
+    }
+
+    /// Current model bytes in use.
+    pub fn used_bytes(&self) -> u64 {
+        let nodes = crate::plan::live_plan_nodes().saturating_sub(self.baseline_nodes);
+        self.live_groups * GROUP_MODEL_BYTES + nodes * NODE_MODEL_BYTES
+    }
+
+    /// Peak model bytes observed so far.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Elapsed wall-clock time since tracking began.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Check the budget; updates the peak. Call once per enumeration
+    /// batch (checking per-plan would be wasteful).
+    pub fn check(&mut self) -> Result<(), OptError> {
+        let used = self.used_bytes();
+        self.peak_bytes = self.peak_bytes.max(used);
+        if used > self.budget.max_model_bytes {
+            return Err(OptError::MemoryExhausted {
+                used_bytes: used,
+                budget_bytes: self.budget.max_model_bytes,
+            });
+        }
+        let elapsed = self.start.elapsed();
+        if elapsed > self.budget.max_elapsed {
+            return Err(OptError::TimedOut {
+                elapsed,
+                limit: self.budget.max_elapsed,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_one_gigabyte() {
+        let b = Budget::default();
+        assert_eq!(b.max_model_bytes, 1 << 30);
+    }
+
+    #[test]
+    fn memory_model_counts_groups() {
+        let mut m = MemoryModel::new(Budget::unlimited(), crate::plan::live_plan_nodes());
+        assert_eq!(m.used_bytes(), 0);
+        m.add_groups(10);
+        assert_eq!(m.used_bytes(), 10 * GROUP_MODEL_BYTES);
+        m.remove_groups(4);
+        assert_eq!(m.used_bytes(), 6 * GROUP_MODEL_BYTES);
+        assert!(m.check().is_ok());
+        assert_eq!(m.peak_bytes(), 6 * GROUP_MODEL_BYTES);
+    }
+
+    #[test]
+    fn budget_trips_on_memory() {
+        let mut m = MemoryModel::new(
+            Budget::with_memory(GROUP_MODEL_BYTES),
+            crate::plan::live_plan_nodes(),
+        );
+        m.add_groups(2);
+        match m.check() {
+            Err(OptError::MemoryExhausted { used_bytes, .. }) => {
+                assert_eq!(used_bytes, 2 * GROUP_MODEL_BYTES)
+            }
+            other => panic!("expected memory exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_trips_on_time() {
+        let mut m = MemoryModel::new(
+            Budget {
+                max_model_bytes: u64::MAX,
+                max_elapsed: Duration::from_nanos(1),
+            },
+            0,
+        );
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(matches!(m.check(), Err(OptError::TimedOut { .. })));
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        let e = OptError::MemoryExhausted {
+            used_bytes: 2 << 30,
+            budget_bytes: 1 << 30,
+        };
+        assert!(e.to_string().contains("MB"));
+        assert!(OptError::DisconnectedJoinGraph
+            .to_string()
+            .contains("disconnected"));
+    }
+}

@@ -1,0 +1,532 @@
+//! Shared enumeration state: memo, counters, budget, cached
+//! estimates — everything the DP/IDP/SDP enumerators thread through
+//! their level loops.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use sdp_cost::{CostModel, InnerIndex, JoinInput, ScanKind};
+use sdp_query::{ClassId, EquivClasses, JoinGraph, Query, RelSet};
+
+use crate::budget::{Budget, MemoryModel, OptError};
+use crate::memo::{Group, Memo};
+use crate::plan::{live_plan_nodes, PlanNode, PlanOp};
+
+/// Ceiling on estimated rows, guarding incremental multiplication
+/// against `f64` overflow on extreme graphs.
+const MAX_ROWS: f64 = 1e299;
+
+/// Counters reported for every optimization run — the paper's three
+/// overhead metrics plus pruning diagnostics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Number of plan alternatives costed (paper: "Costing (in
+    /// plans)", Tables 1.2, 1.4, 3.2).
+    pub plans_costed: u64,
+    /// Distinct JCRs materialized (paper: "JCRs Processed",
+    /// Table 2.3).
+    pub jcrs_processed: u64,
+    /// JCRs removed by pruning.
+    pub jcrs_pruned: u64,
+    /// Peak paper-equivalent memory of the memo (paper: "Memory (in
+    /// MB)").
+    pub peak_model_bytes: u64,
+    /// Wall-clock optimization time (paper: "Time (in sec)").
+    pub elapsed: Duration,
+    /// Whether the greedy completion safety-net had to finish the
+    /// plan because pruning starved the final DP levels (never the
+    /// case for exhaustive DP).
+    pub completed_greedily: bool,
+}
+
+/// Mutable state of one optimization run.
+pub struct EnumContext<'a> {
+    query: &'a Query,
+    model: &'a CostModel<'a>,
+    classes: EquivClasses,
+    order_target: Option<ClassId>,
+    /// The memo of JCR groups.
+    pub memo: Memo,
+    /// Memory model / budget tracking.
+    pub memory: MemoryModel,
+    /// Plans costed so far.
+    pub plans_costed: u64,
+    /// JCRs pruned so far.
+    pub jcrs_pruned: u64,
+    /// Set by the greedy completion fallback.
+    pub completed_greedily: bool,
+}
+
+impl<'a> EnumContext<'a> {
+    /// Start a run over `query` (whose graph should already carry any
+    /// rewriter-inferred edges) with the given cost model and budget.
+    pub fn new(query: &'a Query, model: &'a CostModel<'a>, budget: Budget) -> Self {
+        let classes = query.equiv_classes();
+        let order_target = query.order_by.and_then(|o| classes.class_of(o.column));
+        EnumContext {
+            query,
+            model,
+            classes,
+            order_target,
+            memo: Memo::new(),
+            memory: MemoryModel::new(budget, live_plan_nodes()),
+            plans_costed: 0,
+            jcrs_pruned: 0,
+            completed_greedily: false,
+        }
+    }
+
+    /// The join graph being optimized (borrowed for the query's
+    /// lifetime, not the context's, so callers can hold it across
+    /// mutations of the context).
+    pub fn graph(&self) -> &'a JoinGraph {
+        &self.query.graph
+    }
+
+    /// The query.
+    pub fn query(&self) -> &'a Query {
+        self.query
+    }
+
+    /// The cost model.
+    pub fn model(&self) -> &'a CostModel<'a> {
+        self.model
+    }
+
+    /// Join-column equivalence classes (computed after rewriting).
+    pub fn classes(&self) -> &EquivClasses {
+        &self.classes
+    }
+
+    /// Order class the user's `ORDER BY` requires, when it is on a
+    /// join column.
+    pub fn order_target(&self) -> Option<ClassId> {
+        self.order_target
+    }
+
+    /// PostgreSQL-style pathkey usefulness: an output ordering is only
+    /// worth remembering if it can still pay off — it matches the
+    /// user's `ORDER BY`, or the order class has a member column on a
+    /// relation *outside* the JCR (so a future merge join can exploit
+    /// it). Useless orderings are stripped, which keeps the number of
+    /// Pareto entries per group bounded by the genuinely open orders
+    /// instead of growing with the join size.
+    pub fn useful_ordering(&self, ordering: Option<ClassId>, set: RelSet) -> Option<ClassId> {
+        let c = ordering?;
+        if self.order_target == Some(c) {
+            return Some(c);
+        }
+        self.classes
+            .members(c)
+            .iter()
+            .any(|m| !set.contains(m.node))
+            .then_some(c)
+    }
+
+    /// Snapshot the run counters.
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            plans_costed: self.plans_costed,
+            jcrs_processed: self.memo.jcrs_created(),
+            jcrs_pruned: self.jcrs_pruned,
+            peak_model_bytes: self.memory.peak_bytes(),
+            elapsed: self.memory.elapsed(),
+            completed_greedily: self.completed_greedily,
+        }
+    }
+
+    /// Create (if absent) the memo group for base relation `node`,
+    /// populated with its access paths.
+    pub fn ensure_base_group(&mut self, node: usize) {
+        let set = RelSet::single(node);
+        if self.memo.get(set).is_some() {
+            return;
+        }
+        let graph = self.graph();
+        let rel = graph.relation(node);
+        let est = self.model.estimator();
+        let rows = est.rows_for_set(graph, set);
+        let width = est.width_for_set(graph, set);
+        let neighbors = graph.adjacent(node);
+        let selectivity = est.selectivity_for_set(graph, set);
+        let mut group = Group::new(set, rows, selectivity, width, neighbors);
+
+        for path in self.model.scan_paths_for_node(graph, node) {
+            self.plans_costed += 1;
+            match path.kind {
+                ScanKind::Seq => {
+                    group.add_plan(PlanNode::new(
+                        PlanOp::SeqScan { rel, node },
+                        set,
+                        rows,
+                        path.cost,
+                        None,
+                        vec![],
+                    ));
+                }
+                ScanKind::IndexFull | ScanKind::IndexRange => {
+                    // Index order is only worth carrying when the
+                    // indexed column participates in a join or the
+                    // ORDER BY; a selective IndexRange path can also
+                    // win on raw cost, so it is offered either way and
+                    // the group's dominance rule decides.
+                    let col = path.ordering_col.expect("index scans carry a column");
+                    let class = self
+                        .classes
+                        .class_of(sdp_query::ColRef::new(node, col))
+                        .and_then(|c| self.useful_ordering(Some(c), set));
+                    if class.is_some() || path.kind == ScanKind::IndexRange {
+                        group.add_plan(PlanNode::new(
+                            PlanOp::IndexScan { rel, node, col },
+                            set,
+                            rows,
+                            path.cost,
+                            class,
+                            vec![],
+                        ));
+                    }
+                }
+            }
+        }
+        debug_assert!(!group.is_empty());
+        if self.memo.insert(group) {
+            self.memory.add_groups(1);
+        }
+    }
+
+    /// Enumerate and cost all join alternatives combining the memo
+    /// groups of `a` and `b` (both orientations, every plan pair,
+    /// every applicable method), folding survivors into the group for
+    /// `a ∪ b`. Creates that group on first use.
+    ///
+    /// Returns `true` if the union group was newly created.
+    pub fn join_pair(&mut self, a: RelSet, b: RelSet) -> bool {
+        debug_assert!(a.is_disjoint(b));
+        let union = a | b;
+        let graph = self.graph();
+        let est = self.model.estimator();
+
+        let a_width = self.memo.get(a).expect("left group exists").width;
+        let b_width = self.memo.get(b).expect("right group exists").width;
+
+        let crossing_sel = est.crossing_selectivity(graph, a, b);
+        // Rows and selectivity are computed canonically over the whole
+        // set (not incrementally from this particular decomposition):
+        // the ≥ 1-row clamp would otherwise make the estimate depend
+        // on which pair reached the set first, and plans for the same
+        // JCR must agree on its cardinality.
+        let out_rows = est.rows_for_set(graph, union).min(MAX_ROWS);
+        let out_sel = est.selectivity_for_set(graph, union);
+        let out_width = a_width + b_width;
+
+        // Distinct order classes of the crossing edges (drive merge
+        // join alternatives).
+        let mut crossing_classes: Vec<ClassId> = graph
+            .crossing_edges(a, b)
+            .filter_map(|e| self.classes.class_of(e.left))
+            .collect();
+        crossing_classes.sort_unstable();
+        crossing_classes.dedup();
+
+        let created = if self.memo.get(union).is_none() {
+            let neighbors = graph.neighbors(union);
+            self.memo
+                .insert(Group::new(union, out_rows, out_sel, out_width, neighbors));
+            self.memory.add_groups(1);
+            true
+        } else {
+            false
+        };
+
+        for (outer_set, inner_set) in [(a, b), (b, a)] {
+            self.join_oriented(
+                outer_set,
+                inner_set,
+                union,
+                crossing_sel,
+                out_rows,
+                &crossing_classes,
+            );
+        }
+        created
+    }
+
+    /// Cost all methods for a fixed (outer, inner) orientation.
+    fn join_oriented(
+        &mut self,
+        outer_set: RelSet,
+        inner_set: RelSet,
+        union: RelSet,
+        crossing_sel: f64,
+        out_rows: f64,
+        crossing_classes: &[ClassId],
+    ) {
+        let graph = self.graph();
+
+        // Index nested-loop applicability: inner is a single base
+        // relation whose indexed column is one of the crossing join
+        // columns.
+        let inner_index: Option<InnerIndex> = inner_set.min_index().and_then(|node| {
+            if inner_set.len() != 1 {
+                return None;
+            }
+            let rel = graph.relation(node);
+            let relation = self.model.catalog().relation(rel).expect("valid binding");
+            let usable = graph.crossing_edges(outer_set, inner_set).any(|e| {
+                let inner_ref = if e.left.node == node { e.left } else { e.right };
+                inner_ref.node == node && relation.has_index_on(inner_ref.col)
+            });
+            if !usable {
+                return None;
+            }
+            let stats = self.model.catalog().stats(rel).expect("valid binding");
+            Some(InnerIndex {
+                tuples: stats.relation.tuples,
+                pages: stats.relation.pages,
+            })
+        });
+
+        // Snapshot the plan entries (cheap Rc clones) so we can borrow
+        // the memo mutably while inserting results.
+        let outer_entries: Vec<Rc<PlanNode>> = self
+            .memo
+            .get(outer_set)
+            .expect("outer group exists")
+            .entries()
+            .to_vec();
+        let inner_entries: Vec<Rc<PlanNode>> = self
+            .memo
+            .get(inner_set)
+            .expect("inner group exists")
+            .entries()
+            .to_vec();
+        let (outer_rows, outer_width) = {
+            let g = self.memo.get(outer_set).expect("outer group exists");
+            (g.rows, g.width)
+        };
+        let (inner_rows, inner_width) = {
+            let g = self.memo.get(inner_set).expect("inner group exists");
+            (g.rows, g.width)
+        };
+
+        let mut new_plans: Vec<Rc<PlanNode>> = Vec::new();
+        for (oi, outer) in outer_entries.iter().enumerate() {
+            let outer_input = JoinInput {
+                rows: outer_rows,
+                cost: outer.cost,
+                width: outer_width,
+                ordering: outer.ordering,
+            };
+            for (ii, inner) in inner_entries.iter().enumerate() {
+                let inner_input = JoinInput {
+                    rows: inner_rows,
+                    cost: inner.cost,
+                    width: inner_width,
+                    ordering: inner.ordering,
+                };
+                // Index NLJ does not depend on the inner plan choice:
+                // cost it once, against the first inner entry.
+                let idx = if ii == 0 { inner_index } else { None };
+                // Merge join alternatives, one per crossing class; the
+                // cost crate takes one class per call, so iterate.
+                let mut classes_iter: Vec<Option<ClassId>> =
+                    crossing_classes.iter().copied().map(Some).collect();
+                if classes_iter.is_empty() {
+                    classes_iter.push(None);
+                }
+                for (ci, class) in classes_iter.iter().enumerate() {
+                    // Hash/NL candidates are identical across classes;
+                    // only cost them on the first class iteration.
+                    let cands = self.model.join_candidates(
+                        &outer_input,
+                        &inner_input,
+                        crossing_sel,
+                        out_rows,
+                        *class,
+                        if ci == 0 { idx } else { None },
+                    );
+                    for c in cands {
+                        let is_merge = c.method == sdp_cost::JoinMethod::Merge;
+                        if ci > 0 && !is_merge {
+                            continue; // already costed under ci == 0
+                        }
+                        self.plans_costed += 1;
+                        let ordering = self.useful_ordering(c.ordering, union);
+                        let retained_possible = {
+                            let g = self.memo.get(union).expect("union group exists");
+                            !g.entries().iter().any(|e| {
+                                e.cost <= c.cost && (ordering.is_none() || e.ordering == ordering)
+                            })
+                        };
+                        if !retained_possible {
+                            continue;
+                        }
+                        new_plans.push(PlanNode::new(
+                            PlanOp::Join { method: c.method },
+                            union,
+                            out_rows,
+                            c.cost,
+                            ordering,
+                            vec![outer.clone(), inner.clone()],
+                        ));
+                    }
+                }
+                let _ = oi;
+            }
+        }
+        let group = self.memo.get_mut(union).expect("union group exists");
+        for p in new_plans {
+            group.add_plan(p);
+        }
+    }
+
+    /// Best complete plan for `full`, enforcing the `ORDER BY` with an
+    /// explicit sort when no suitably-ordered plan is cheaper.
+    pub fn finalize(&mut self, full: RelSet) -> Result<Rc<PlanNode>, OptError> {
+        let group = self.memo.get(full).ok_or(OptError::DisconnectedJoinGraph)?;
+        let best = group.best().clone();
+        let Some(target) = self.order_target else {
+            return Ok(best);
+        };
+        let sorted_alternative = group.best_for_order(target).cloned();
+        let sort_cost = best.cost + self.model.sort_cost(group.rows, group.width);
+        self.plans_costed += 1;
+        match sorted_alternative {
+            Some(p) if p.cost <= sort_cost => Ok(p),
+            _ => {
+                let rows = group.rows;
+                Ok(PlanNode::new(
+                    PlanOp::Sort { class: target },
+                    full,
+                    rows,
+                    sort_cost,
+                    Some(target),
+                    vec![best],
+                ))
+            }
+        }
+    }
+
+    /// Drop the group for `set` from the memo (pruning), updating the
+    /// memory model and prune counter.
+    pub fn prune_group(&mut self, set: RelSet) {
+        if self.memo.remove(set).is_some() {
+            self.memory.remove_groups(1);
+            self.jcrs_pruned += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_catalog::Catalog;
+    use sdp_query::{QueryGenerator, Topology};
+
+    fn ctx_fixture<'a>(query: &'a Query, model: &'a CostModel<'a>) -> EnumContext<'a> {
+        EnumContext::new(query, model, Budget::unlimited())
+    }
+
+    #[test]
+    fn base_groups_have_scan_plans() {
+        let cat = Catalog::paper();
+        let model = CostModel::with_defaults(&cat);
+        let q = QueryGenerator::new(&cat, Topology::Chain(3), 1).instance(0);
+        let mut ctx = ctx_fixture(&q, &model);
+        ctx.ensure_base_group(0);
+        let g = ctx.memo.get(RelSet::single(0)).unwrap();
+        assert!(!g.is_empty());
+        assert!(g.rows >= 100.0);
+        assert_eq!(g.selectivity, 1.0);
+        // Idempotent.
+        ctx.ensure_base_group(0);
+        assert_eq!(ctx.memo.len(), 1);
+    }
+
+    #[test]
+    fn join_pair_builds_union_group() {
+        let cat = Catalog::paper();
+        let model = CostModel::with_defaults(&cat);
+        let q = QueryGenerator::new(&cat, Topology::Chain(3), 1).instance(0);
+        let mut ctx = ctx_fixture(&q, &model);
+        ctx.ensure_base_group(0);
+        ctx.ensure_base_group(1);
+        assert!(ctx.join_pair(RelSet::single(0), RelSet::single(1)));
+        let union = RelSet::from_indices([0, 1]);
+        let g = ctx.memo.get(union).unwrap();
+        assert!(!g.is_empty());
+        assert!(g.best_cost() > 0.0);
+        assert!(ctx.plans_costed > 4);
+        // Calling again refines, does not duplicate the group.
+        assert!(!ctx.join_pair(RelSet::single(0), RelSet::single(1)));
+    }
+
+    #[test]
+    fn joined_group_rows_match_estimator() {
+        let cat = Catalog::paper();
+        let model = CostModel::with_defaults(&cat);
+        let q = QueryGenerator::new(&cat, Topology::Chain(4), 3).instance(0);
+        let mut ctx = ctx_fixture(&q, &model);
+        for i in 0..2 {
+            ctx.ensure_base_group(i);
+        }
+        ctx.join_pair(RelSet::single(0), RelSet::single(1));
+        let union = RelSet::from_indices([0, 1]);
+        let direct = model.estimator().rows_for_set(&q.graph, union);
+        let group = ctx.memo.get(union).unwrap();
+        let rel_err = (group.rows - direct).abs() / direct;
+        assert!(rel_err < 1e-9, "incremental vs direct rows: {rel_err}");
+    }
+
+    #[test]
+    fn join_plans_satisfy_invariants() {
+        let cat = Catalog::paper();
+        let model = CostModel::with_defaults(&cat);
+        let q = QueryGenerator::new(&cat, Topology::Star(4), 5).instance(0);
+        let mut ctx = ctx_fixture(&q, &model);
+        for i in 0..4 {
+            ctx.ensure_base_group(i);
+        }
+        ctx.join_pair(RelSet::single(0), RelSet::single(1));
+        for e in ctx
+            .memo
+            .get(RelSet::from_indices([0, 1]))
+            .unwrap()
+            .entries()
+        {
+            e.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn finalize_enforces_order_by() {
+        let cat = Catalog::paper();
+        let model = CostModel::with_defaults(&cat);
+        let q = QueryGenerator::new(&cat, Topology::Chain(2), 9).ordered_instance(0);
+        assert!(q.order_on_join_column());
+        let mut ctx = ctx_fixture(&q, &model);
+        ctx.ensure_base_group(0);
+        ctx.ensure_base_group(1);
+        ctx.join_pair(RelSet::single(0), RelSet::single(1));
+        let root = ctx.finalize(RelSet::from_indices([0, 1])).unwrap();
+        assert_eq!(root.ordering, ctx.order_target());
+        root.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn prune_group_updates_counters() {
+        let cat = Catalog::paper();
+        let model = CostModel::with_defaults(&cat);
+        let q = QueryGenerator::new(&cat, Topology::Chain(3), 1).instance(0);
+        let mut ctx = ctx_fixture(&q, &model);
+        ctx.ensure_base_group(2);
+        let before = ctx.memory.used_bytes();
+        ctx.prune_group(RelSet::single(2));
+        assert!(ctx.memory.used_bytes() < before);
+        assert_eq!(ctx.jcrs_pruned, 1);
+        assert!(ctx.memo.get(RelSet::single(2)).is_none());
+        // Pruning a missing group is a no-op.
+        ctx.prune_group(RelSet::single(2));
+        assert_eq!(ctx.jcrs_pruned, 1);
+    }
+}

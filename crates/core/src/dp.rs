@@ -1,0 +1,421 @@
+//! The level-wise bushy dynamic-programming engine.
+//!
+//! System-R style: level `s` enumerates every connected,
+//! cartesian-product-free JCR of `s` atoms by combining surviving
+//! JCRs of `i` and `s − i` atoms for all splits — "the input to the
+//! DP algorithm in each level is composed of not just the survivor
+//! JCRs of the immediately preceding level, but also the survivor
+//! JCRs of all prior levels, thereby supporting the identification of
+//! bushy joins."
+//!
+//! The engine is generalized over *atoms* (disjoint relation sets
+//! with pre-populated memo groups):
+//!
+//! * DP and SDP run it over singleton atoms for the full query;
+//! * IDP runs it repeatedly over a shrinking atom list, up to its
+//!   block size, contracting the winning block into a compound atom
+//!   between iterations.
+//!
+//! A [`LevelPruner`] hook fires after each level is fully enumerated;
+//! SDP plugs its hub-partitioned skyline pruning in here, exhaustive
+//! DP passes `None`.
+
+use std::rc::Rc;
+
+use sdp_query::RelSet;
+
+use crate::budget::OptError;
+use crate::context::EnumContext;
+use crate::plan::PlanNode;
+
+/// Budget-check cadence, in candidate pair visits.
+const CHECK_INTERVAL: u64 = 1 << 16;
+
+/// Pruning hook invoked after each DP level is complete.
+pub trait LevelPruner {
+    /// Inspect the fully-enumerated `level` (number of atoms joined;
+    /// `level_sets` lists its JCRs) and return the JCRs to prune.
+    fn prune(&mut self, ctx: &EnumContext<'_>, level: usize, level_sets: &[RelSet]) -> Vec<RelSet>;
+}
+
+/// Per-level survivor table produced by [`run_levels`]: entry `s - 1`
+/// holds the surviving JCRs of `s` atoms, paired with their cached
+/// join-graph neighbourhoods.
+#[derive(Debug, Default)]
+pub struct LevelTable {
+    /// `levels[s - 1]` = surviving `(set, neighbors)` of `s` atoms.
+    pub levels: Vec<Vec<(RelSet, RelSet)>>,
+}
+
+impl LevelTable {
+    /// Surviving JCR sets at the given atom count.
+    pub fn sets_at(&self, atom_count: usize) -> Vec<RelSet> {
+        self.levels
+            .get(atom_count - 1)
+            .map(|v| v.iter().map(|&(s, _)| s).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Run bottom-up DP over `atoms` (each must already have a memo
+/// group), building levels `2 ..= up_to` (in atom count), applying
+/// `pruner` after each level when provided.
+pub fn run_levels(
+    ctx: &mut EnumContext<'_>,
+    atoms: &[RelSet],
+    up_to: usize,
+    mut pruner: Option<&mut dyn LevelPruner>,
+) -> Result<LevelTable, OptError> {
+    debug_assert!(up_to >= 1 && up_to <= atoms.len());
+    let mut table = LevelTable::default();
+    table.levels.push(
+        atoms
+            .iter()
+            .map(|&a| {
+                debug_assert!(ctx.memo.get(a).is_some(), "atom {a:?} lacks a memo group");
+                (a, ctx.graph().neighbors(a))
+            })
+            .collect(),
+    );
+
+    let mut visits: u64 = 0;
+    for s in 2..=up_to {
+        let mut new_sets: Vec<RelSet> = Vec::new();
+        for i in 1..=s / 2 {
+            let j = s - i;
+            // Split borrows: the pair loop reads levels i-1 and j-1.
+            let (left_level, right_level) = if i == j {
+                (&table.levels[i - 1], &table.levels[i - 1])
+            } else {
+                (&table.levels[i - 1], &table.levels[j - 1])
+            };
+            for (li, &(a, a_nb)) in left_level.iter().enumerate() {
+                for (ri, &(b, _)) in right_level.iter().enumerate() {
+                    if i == j && li >= ri {
+                        continue; // unordered pair once
+                    }
+                    visits += 1;
+                    if visits.is_multiple_of(CHECK_INTERVAL) {
+                        ctx.memory.check()?;
+                    }
+                    if !a.is_disjoint(b) || !a_nb.intersects(b) {
+                        continue;
+                    }
+                    if ctx.join_pair(a, b) {
+                        new_sets.push(a | b);
+                    }
+                }
+            }
+        }
+        ctx.memory.check()?;
+
+        if let Some(p) = pruner.as_deref_mut() {
+            let victims = p.prune(ctx, s, &new_sets);
+            if !victims.is_empty() {
+                let victim_set: crate::fx::FxHashSet<RelSet> = victims.iter().copied().collect();
+                for v in victims {
+                    ctx.prune_group(v);
+                }
+                new_sets.retain(|s| !victim_set.contains(s));
+            }
+        }
+
+        let graph = ctx.graph();
+        table
+            .levels
+            .push(new_sets.iter().map(|&s| (s, graph.neighbors(s))).collect());
+    }
+    Ok(table)
+}
+
+/// Run the engine from singleton atoms all the way to the complete
+/// query, with an optional pruner, and finish the plan (greedy
+/// completion safety-net included).
+pub fn optimize_complete(
+    ctx: &mut EnumContext<'_>,
+    pruner: Option<&mut dyn LevelPruner>,
+) -> Result<Rc<PlanNode>, OptError> {
+    let n = ctx.graph().len();
+    if n == 0 {
+        return Err(OptError::EmptyQuery);
+    }
+    let all = ctx.graph().all_nodes();
+    if !ctx.graph().is_connected(all) {
+        return Err(OptError::DisconnectedJoinGraph);
+    }
+    let atoms: Vec<RelSet> = (0..n).map(RelSet::single).collect();
+    for i in 0..n {
+        ctx.ensure_base_group(i);
+    }
+    ctx.memory.check()?;
+    run_levels(ctx, &atoms, n, pruner)?;
+    if ctx.memo.get(all).is_none() {
+        greedy_complete(ctx, all)?;
+        ctx.completed_greedily = true;
+    }
+    ctx.finalize(all)
+}
+
+/// Safety net for aggressive pruning configurations: when no complete
+/// JCR survived the level DP, finish the plan by greedily extending
+/// the largest surviving JCR one base relation at a time (MinRows
+/// selection). Exhaustive DP never needs this; the paper's SDP
+/// configurations virtually never do either, but a pruner is
+/// user-pluggable and completeness must not depend on its good
+/// behaviour.
+fn greedy_complete(ctx: &mut EnumContext<'_>, all: RelSet) -> Result<(), OptError> {
+    // Start from the largest surviving group (ties: cheapest), so the
+    // work DP already did is reused.
+    let mut current = {
+        let mut best: Option<(RelSet, usize, f64)> = None;
+        let sets: Vec<RelSet> = ctx.memo.sets().collect();
+        for s in sets {
+            let cost = ctx.memo.get(s).expect("live set").best_cost();
+            let better = match best {
+                None => true,
+                Some((_, len, c)) => s.len() > len || (s.len() == len && cost < c),
+            };
+            if better {
+                best = Some((s, s.len(), cost));
+            }
+        }
+        best.map(|(s, _, _)| s)
+            .ok_or(OptError::DisconnectedJoinGraph)?
+    };
+
+    while current != all {
+        let graph = ctx.graph();
+        let frontier = graph.neighbors(current) & all;
+        if frontier.is_empty() {
+            return Err(OptError::DisconnectedJoinGraph);
+        }
+        // MinRows greedy step over adjacent base relations.
+        let est = ctx.model().estimator();
+        let mut best: Option<(f64, usize)> = None;
+        for node in frontier.iter() {
+            let a = RelSet::single(node);
+            let cur_rows = ctx.memo.get(current).expect("current exists").rows;
+            let a_rows = est.rows_for_set(graph, a);
+            let rows = cur_rows * a_rows * est.crossing_selectivity(graph, current, a);
+            if best.is_none_or(|(r, _)| rows < r) {
+                best = Some((rows, node));
+            }
+        }
+        let (_, node) = best.expect("frontier non-empty");
+        ctx.ensure_base_group(node);
+        ctx.join_pair(current, RelSet::single(node));
+        current = current.insert(node);
+        ctx.memory.check()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use sdp_catalog::Catalog;
+    use sdp_cost::CostModel;
+    use sdp_query::{Query, QueryGenerator, Topology};
+
+    fn optimize(q: &Query, cat: &Catalog) -> Rc<PlanNode> {
+        let model = CostModel::with_defaults(cat);
+        let mut ctx = EnumContext::new(q, &model, Budget::unlimited());
+        optimize_complete(&mut ctx, None).expect("optimization succeeds")
+    }
+
+    #[test]
+    fn dp_covers_all_relations() {
+        let cat = Catalog::paper();
+        for topo in [
+            Topology::Chain(6),
+            Topology::Star(6),
+            Topology::Cycle(6),
+            Topology::star_chain(7),
+        ] {
+            let q = QueryGenerator::new(&cat, topo, 3).instance(0);
+            let plan = optimize(&q, &cat);
+            assert_eq!(plan.set, q.graph.all_nodes(), "{topo}");
+            assert_eq!(
+                plan.join_count(),
+                q.num_relations() - 1,
+                "{topo}: n-1 joins"
+            );
+            plan.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn dp_is_optimal_versus_exhaustive_recursion() {
+        // Brute-force reference: recursively enumerate every
+        // cartesian-free bushy partition and take the cheapest cost
+        // reachable with the same operator set. DP must match it.
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Chain(5), 17).instance(0);
+        let model = CostModel::with_defaults(&cat);
+
+        let mut ctx = EnumContext::new(&q, &model, Budget::unlimited());
+        let dp_plan = optimize_complete(&mut ctx, None).unwrap();
+
+        // The brute force reuses the same EnumContext machinery but
+        // enumerates sets recursively; since join_pair is exactly the
+        // costing DP uses, equality of best cost demonstrates DP
+        // explored every split.
+        fn enumerate_all(ctx: &mut EnumContext<'_>, set: RelSet) {
+            if set.len() == 1 {
+                ctx.ensure_base_group(set.min_index().unwrap());
+                return;
+            }
+            // All proper subset splits (connected, disjoint by
+            // construction).
+            let members: Vec<usize> = set.iter().collect();
+            let m = members.len();
+            for mask in 1..(1u64 << m) - 1 {
+                let a = RelSet::from_indices(
+                    (0..m).filter(|&i| mask & (1 << i) != 0).map(|i| members[i]),
+                );
+                let b = set - a;
+                if a.min_index() > b.min_index() {
+                    continue; // each split once
+                }
+                if !ctx.graph().is_connected(a) || !ctx.graph().is_connected(b) {
+                    continue;
+                }
+                if !ctx.graph().sets_connected(a, b) {
+                    continue;
+                }
+                enumerate_all(ctx, a);
+                enumerate_all(ctx, b);
+                ctx.join_pair(a, b);
+            }
+        }
+        let mut brute = EnumContext::new(&q, &model, Budget::unlimited());
+        enumerate_all(&mut brute, q.graph.all_nodes());
+        let brute_best = brute.finalize(q.graph.all_nodes()).unwrap();
+
+        let rel = (dp_plan.cost - brute_best.cost).abs() / brute_best.cost;
+        assert!(
+            rel < 1e-9,
+            "DP {} vs brute {}",
+            dp_plan.cost,
+            brute_best.cost
+        );
+    }
+
+    #[test]
+    fn star_dp_prefers_index_nested_loops() {
+        // The classic star strategy: probe the big hub… actually
+        // probing the *spokes'* indexed join columns; the chosen plan
+        // should use at least one index nested-loop.
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Star(6), 5).instance(0);
+        let plan = optimize(&q, &cat);
+        fn has_inl(p: &PlanNode) -> bool {
+            matches!(
+                p.op,
+                crate::plan::PlanOp::Join {
+                    method: sdp_cost::JoinMethod::IndexNestedLoop
+                }
+            ) || p.children.iter().any(|c| has_inl(c))
+        }
+        assert!(has_inl(&plan), "star plan without any index NLJ");
+    }
+
+    #[test]
+    fn level_table_records_survivors() {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Chain(4), 1).instance(0);
+        let model = CostModel::with_defaults(&cat);
+        let mut ctx = EnumContext::new(&q, &model, Budget::unlimited());
+        for i in 0..4 {
+            ctx.ensure_base_group(i);
+        }
+        let atoms: Vec<RelSet> = (0..4).map(RelSet::single).collect();
+        let table = run_levels(&mut ctx, &atoms, 4, None).unwrap();
+        // Chain-4 has 3 pairs, 2 triples, 1 quad of connected sets.
+        assert_eq!(table.sets_at(1).len(), 4);
+        assert_eq!(table.sets_at(2).len(), 3);
+        assert_eq!(table.sets_at(3).len(), 2);
+        assert_eq!(table.sets_at(4).len(), 1);
+    }
+
+    #[test]
+    fn budget_infeasibility_surfaces() {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Star(12), 2).instance(0);
+        let model = CostModel::with_defaults(&cat);
+        let mut ctx = EnumContext::new(
+            &q,
+            &model,
+            Budget::with_memory(64 * crate::budget::GROUP_MODEL_BYTES),
+        );
+        match optimize_complete(&mut ctx, None) {
+            Err(OptError::MemoryExhausted { .. }) => {}
+            other => panic!("expected memory exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        use sdp_catalog::RelId;
+        let g = sdp_query::JoinGraph::new(vec![RelId(0), RelId(1)], vec![]);
+        let q = Query::new(g);
+        let cat = Catalog::paper();
+        let model = CostModel::with_defaults(&cat);
+        let mut ctx = EnumContext::new(&q, &model, Budget::unlimited());
+        assert!(matches!(
+            optimize_complete(&mut ctx, None),
+            Err(OptError::DisconnectedJoinGraph)
+        ));
+    }
+
+    #[test]
+    fn single_relation_query() {
+        let cat = Catalog::paper();
+        use sdp_catalog::RelId;
+        let g = sdp_query::JoinGraph::new(vec![RelId(5)], vec![]);
+        let q = Query::new(g);
+        let model = CostModel::with_defaults(&cat);
+        let mut ctx = EnumContext::new(&q, &model, Budget::unlimited());
+        let plan = optimize_complete(&mut ctx, None).unwrap();
+        assert_eq!(plan.set, RelSet::single(0));
+        assert_eq!(plan.join_count(), 0);
+    }
+
+    #[test]
+    fn a_hostile_pruner_cannot_break_completeness() {
+        // Prune EVERYTHING at every level; greedy completion must
+        // still deliver a valid full plan.
+        struct PruneAll;
+        impl LevelPruner for PruneAll {
+            fn prune(
+                &mut self,
+                _ctx: &EnumContext<'_>,
+                _level: usize,
+                sets: &[RelSet],
+            ) -> Vec<RelSet> {
+                sets.to_vec()
+            }
+        }
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::star_chain(8), 4).instance(0);
+        let model = CostModel::with_defaults(&cat);
+        let mut ctx = EnumContext::new(&q, &model, Budget::unlimited());
+        let mut pruner = PruneAll;
+        let plan = optimize_complete(&mut ctx, Some(&mut pruner)).unwrap();
+        assert_eq!(plan.set, q.graph.all_nodes());
+        plan.check_invariants().unwrap();
+        assert!(ctx.completed_greedily);
+    }
+
+    #[test]
+    fn ordered_query_root_is_ordered() {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Star(5), 8).ordered_instance(0);
+        let model = CostModel::with_defaults(&cat);
+        let mut ctx = EnumContext::new(&q, &model, Budget::unlimited());
+        let plan = optimize_complete(&mut ctx, None).unwrap();
+        assert_eq!(plan.ordering, ctx.order_target());
+        assert!(plan.ordering.is_some());
+    }
+}

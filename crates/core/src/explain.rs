@@ -1,0 +1,129 @@
+//! Plan pretty-printing, in the spirit of `EXPLAIN`.
+
+use std::fmt::Write as _;
+
+use crate::plan::{PlanNode, PlanOp};
+
+/// Render a plan tree as an indented `EXPLAIN`-style listing.
+pub fn explain(plan: &PlanNode) -> String {
+    let mut out = String::new();
+    render(plan, 0, &mut out);
+    out
+}
+
+fn render(node: &PlanNode, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let label = match &node.op {
+        PlanOp::SeqScan { rel, node } => format!("Seq Scan on {rel} (n{node})"),
+        PlanOp::IndexScan { rel, node, col } => {
+            format!("Index Scan on {rel}.{col} (n{node})")
+        }
+        PlanOp::Join { method } => method.label().to_string(),
+        PlanOp::Sort { class } => format!("Sort (class {class})"),
+    };
+    let ordering = match node.ordering {
+        Some(c) => format!(" order=c{c}"),
+        None => String::new(),
+    };
+    let _ = writeln!(
+        out,
+        "{label}  (rows={:.0} cost={:.2}{ordering})",
+        node.rows, node.cost
+    );
+    for child in &node.children {
+        render(child, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::context::EnumContext;
+    use crate::dp::optimize_complete;
+    use sdp_catalog::Catalog;
+    use sdp_cost::CostModel;
+    use sdp_query::{QueryGenerator, Topology};
+
+    #[test]
+    fn explain_renders_every_node() {
+        let cat = Catalog::paper();
+        let model = CostModel::with_defaults(&cat);
+        let q = QueryGenerator::new(&cat, Topology::Chain(4), 3).instance(0);
+        let mut ctx = EnumContext::new(&q, &model, Budget::unlimited());
+        let plan = optimize_complete(&mut ctx, None).unwrap();
+        let text = explain(&plan);
+        assert_eq!(text.lines().count(), plan.node_count());
+        assert!(text.contains("Scan"));
+        assert!(text.contains("rows="));
+    }
+
+    #[test]
+    fn explain_indents_children() {
+        let cat = Catalog::paper();
+        let model = CostModel::with_defaults(&cat);
+        let q = QueryGenerator::new(&cat, Topology::Chain(3), 1).instance(0);
+        let mut ctx = EnumContext::new(&q, &model, Budget::unlimited());
+        let plan = optimize_complete(&mut ctx, None).unwrap();
+        let text = explain(&plan);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines[0].starts_with(' '));
+        assert!(lines[1].starts_with("  "));
+    }
+}
+
+/// Render a plan tree as a Graphviz `digraph`: operators as boxes,
+/// data flow bottom-up, estimated rows on the edges.
+pub fn plan_to_dot(plan: &PlanNode, name: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=BT; node [shape=box];");
+    let mut counter = 0usize;
+    fn walk(node: &PlanNode, counter: &mut usize, out: &mut String) -> usize {
+        use std::fmt::Write as _;
+        let id = *counter;
+        *counter += 1;
+        let label = match &node.op {
+            PlanOp::SeqScan { rel, .. } => format!("Seq Scan {rel}"),
+            PlanOp::IndexScan { rel, col, .. } => format!("Index Scan {rel}.{col}"),
+            PlanOp::Join { method } => method.label().to_string(),
+            PlanOp::Sort { class } => format!("Sort c{class}"),
+        };
+        let _ = writeln!(out, "  p{id} [label=\"{label}\\ncost {:.0}\"];", node.cost);
+        for child in &node.children {
+            let cid = walk(child, counter, out);
+            let _ = writeln!(out, "  p{cid} -> p{id} [label=\"{:.0}\"];", child.rows);
+        }
+        id
+    }
+    walk(plan, &mut counter, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::context::EnumContext;
+    use crate::dp::optimize_complete;
+    use sdp_catalog::Catalog;
+    use sdp_cost::CostModel;
+    use sdp_query::{QueryGenerator, Topology};
+
+    #[test]
+    fn plan_dot_has_one_box_per_operator() {
+        let cat = Catalog::paper();
+        let model = CostModel::with_defaults(&cat);
+        let q = QueryGenerator::new(&cat, Topology::Star(5), 2).instance(0);
+        let mut ctx = EnumContext::new(&q, &model, Budget::unlimited());
+        let plan = optimize_complete(&mut ctx, None).unwrap();
+        let dot = plan_to_dot(&plan, "plan");
+        assert_eq!(dot.matches("\\ncost ").count(), plan.node_count());
+        // n - 1 joins + scans: each non-root node has one outgoing edge.
+        assert_eq!(dot.matches(" -> ").count(), plan.node_count() - 1);
+    }
+}

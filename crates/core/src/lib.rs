@@ -1,0 +1,48 @@
+//! # sdp-core — the SDP optimizer and its competitor enumerators
+//!
+//! The paper's primary contribution, implemented on a System-R-style
+//! bottom-up dynamic-programming substrate:
+//!
+//! * [`dp`] — the exhaustive bushy DP enumerator (PostgreSQL's
+//!   baseline), generalized over *atoms* so that IDP can reuse it
+//!   after contracting compounds;
+//! * [`sdp`] — **Skyline Dynamic Programming**: localized pruning on
+//!   hub partitions with the disjunctive pairwise-skyline function
+//!   over the `[Rows, Cost, Selectivity]` feature vector, including
+//!   the Root-Hub / Parent-Hub / Global partitioning variants and the
+//!   Option-1 / Option-2 / k-dominant skyline variants;
+//! * [`idp`] — Iterative Dynamic Programming, the
+//!   `IDP1-balanced-bestRow` variant the paper benchmarks against;
+//! * [`goo`] — Greedy Operator Ordering, a cheap baseline;
+//! * [`random`] — Iterative Improvement and Simulated Annealing, the
+//!   "jettison DP entirely" baselines from the paper's related work;
+//! * [`optimizer`] — the public entry point tying everything together.
+//!
+//! Every enumerator runs under a [`budget::Budget`] that models the
+//! paper's 1 GB physical-memory wall (the `*` cells in its tables) and
+//! counts plans costed, the paper's third overhead metric.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod budget;
+pub mod context;
+pub mod dp;
+pub mod explain;
+pub mod fx;
+pub mod goo;
+pub mod idp;
+pub mod memo;
+pub mod optimizer;
+pub mod plan;
+pub mod random;
+pub mod recost;
+pub mod sdp;
+
+pub use budget::{Budget, OptError};
+pub use context::{EnumContext, RunStats};
+pub use memo::{Group, Memo};
+pub use optimizer::{Algorithm, OptimizedPlan, Optimizer};
+pub use plan::{live_plan_nodes, PlanNode, PlanOp};
+pub use recost::recost;
+pub use sdp::{Partitioning, SdpConfig, SkylineOption};

@@ -1,0 +1,273 @@
+//! Public optimizer entry point.
+//!
+//! ```
+//! use sdp_catalog::Catalog;
+//! use sdp_core::{Algorithm, Optimizer};
+//! use sdp_query::{QueryGenerator, Topology};
+//!
+//! let catalog = Catalog::paper();
+//! let query = QueryGenerator::new(&catalog, Topology::star_chain(8), 42).instance(0);
+//! let optimizer = Optimizer::new(&catalog);
+//! let plan = optimizer.optimize(&query, Algorithm::Sdp(Default::default())).unwrap();
+//! assert!(plan.cost > 0.0);
+//! ```
+
+use std::rc::Rc;
+
+use sdp_catalog::Catalog;
+use sdp_cost::{CostModel, CostParams};
+use sdp_query::{infer_transitive_edges, Query};
+
+use crate::budget::{Budget, OptError};
+use crate::context::{EnumContext, RunStats};
+use crate::dp::optimize_complete;
+use crate::goo::optimize_goo;
+use crate::idp::{optimize_idp, IdpConfig};
+use crate::plan::PlanNode;
+use crate::random::{optimize_ii, optimize_sa, RandomConfig};
+use crate::sdp::{optimize_sdp, SdpConfig};
+
+/// Which enumeration strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// Exhaustive bushy dynamic programming (PostgreSQL's baseline).
+    Dp,
+    /// Iterative DP, the `IDP1-balanced-bestRow` variant, with block
+    /// parameter `k` (paper: 4 or 7).
+    Idp {
+        /// DP levels per iteration.
+        k: usize,
+    },
+    /// Kossmann's standard IDP1 (no ballooning) — an ablation.
+    IdpStandard {
+        /// DP levels per iteration.
+        k: usize,
+    },
+    /// Skyline Dynamic Programming (the paper's contribution).
+    Sdp(SdpConfig),
+    /// Greedy operator ordering baseline.
+    Goo,
+    /// Iterative Improvement (randomized restarts + hill-climbing).
+    IterativeImprovement(RandomConfig),
+    /// Simulated Annealing.
+    SimulatedAnnealing(RandomConfig),
+}
+
+impl Algorithm {
+    /// Display label matching the paper's table rows.
+    pub fn label(&self) -> String {
+        match self {
+            Algorithm::Dp => "DP".into(),
+            Algorithm::Idp { k } => format!("IDP({k})"),
+            Algorithm::IdpStandard { k } => format!("IDP-std({k})"),
+            Algorithm::Sdp(cfg) if *cfg == SdpConfig::paper() => "SDP".into(),
+            Algorithm::Sdp(cfg) => format!("SDP[{:?}/{:?}]", cfg.partitioning, cfg.skyline),
+            Algorithm::Goo => "GOO".into(),
+            Algorithm::IterativeImprovement(_) => "II".into(),
+            Algorithm::SimulatedAnnealing(_) => "SA".into(),
+        }
+    }
+
+    /// Iterative Improvement with default tuning.
+    pub fn ii() -> Self {
+        Algorithm::IterativeImprovement(RandomConfig::default())
+    }
+
+    /// Simulated Annealing with default tuning.
+    pub fn sa() -> Self {
+        Algorithm::SimulatedAnnealing(RandomConfig::default())
+    }
+}
+
+/// The result of one optimization: the chosen plan and the run's
+/// overhead statistics.
+#[derive(Debug, Clone)]
+pub struct OptimizedPlan {
+    /// Root of the chosen physical plan.
+    pub root: Rc<PlanNode>,
+    /// Estimated cost of the plan (the paper's plan-quality
+    /// currency).
+    pub cost: f64,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Overhead counters (plans costed, peak memory model bytes,
+    /// elapsed time, …).
+    pub stats: RunStats,
+}
+
+/// Optimizer façade: catalog + cost parameters + budget + rewriter
+/// switch.
+#[derive(Debug, Clone)]
+pub struct Optimizer<'a> {
+    catalog: &'a Catalog,
+    params: CostParams,
+    budget: Budget,
+    infer_closure: bool,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Optimizer with PostgreSQL-default cost constants, the paper's
+    /// 1 GB memory budget, and the transitive-closure rewriter
+    /// enabled (as in PostgreSQL).
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Optimizer {
+            catalog,
+            params: CostParams::default(),
+            budget: Budget::default(),
+            infer_closure: true,
+        }
+    }
+
+    /// Override the cost constants.
+    pub fn with_params(mut self, params: CostParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Override the resource budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enable or disable the shared-join-column transitive-closure
+    /// rewrite (Section 2.1.4).
+    pub fn with_closure_inference(mut self, on: bool) -> Self {
+        self.infer_closure = on;
+        self
+    }
+
+    /// The budget in force.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Optimize `query` with the chosen algorithm.
+    ///
+    /// The query is first passed through the rewriter (transitive
+    /// closure of shared join columns), exactly as PostgreSQL's
+    /// rewriter would before planning.
+    pub fn optimize(&self, query: &Query, algorithm: Algorithm) -> Result<OptimizedPlan, OptError> {
+        let mut rewritten = query.clone();
+        if self.infer_closure {
+            infer_transitive_edges(&mut rewritten.graph);
+        }
+        let model = CostModel::new(self.catalog, self.params);
+        let mut ctx = EnumContext::new(&rewritten, &model, self.budget);
+        let root = match algorithm {
+            Algorithm::Dp => optimize_complete(&mut ctx, None),
+            Algorithm::Idp { k } => optimize_idp(&mut ctx, IdpConfig::paper(k)),
+            Algorithm::IdpStandard { k } => optimize_idp(&mut ctx, IdpConfig::standard(k)),
+            Algorithm::Sdp(cfg) => optimize_sdp(&mut ctx, cfg),
+            Algorithm::Goo => optimize_goo(&mut ctx),
+            Algorithm::IterativeImprovement(cfg) => optimize_ii(&mut ctx, cfg),
+            Algorithm::SimulatedAnnealing(cfg) => optimize_sa(&mut ctx, cfg),
+        }?;
+        let stats = ctx.stats();
+        Ok(OptimizedPlan {
+            cost: root.cost,
+            rows: root.rows,
+            root,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_query::{QueryGenerator, Topology};
+
+    fn plan_for(algorithm: Algorithm, topo: Topology, seed: u64) -> OptimizedPlan {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, topo, seed).instance(0);
+        Optimizer::new(&cat).optimize(&q, algorithm).unwrap()
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_tiny_queries() {
+        // Two relations: a single join — every strategy must find the
+        // identical optimum.
+        let costs: Vec<f64> = [
+            Algorithm::Dp,
+            Algorithm::Idp { k: 4 },
+            Algorithm::Sdp(SdpConfig::paper()),
+            Algorithm::Goo,
+        ]
+        .iter()
+        .map(|&a| plan_for(a, Topology::Chain(2), 3).cost)
+        .collect();
+        for c in &costs[1..] {
+            assert!((c - costs[0]).abs() / costs[0] < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quality_ordering_holds_on_star() {
+        let dp = plan_for(Algorithm::Dp, Topology::Star(9), 11);
+        let sdp = plan_for(Algorithm::Sdp(SdpConfig::paper()), Topology::Star(9), 11);
+        let idp = plan_for(Algorithm::Idp { k: 4 }, Topology::Star(9), 11);
+        let goo = plan_for(Algorithm::Goo, Topology::Star(9), 11);
+        let eps = 1.0 - 1e-9;
+        assert!(sdp.cost >= dp.cost * eps);
+        assert!(idp.cost >= dp.cost * eps);
+        assert!(goo.cost >= dp.cost * eps);
+        // Efforts: DP costs the most plans, GOO the fewest.
+        assert!(dp.stats.plans_costed > sdp.stats.plans_costed);
+        assert!(sdp.stats.plans_costed > goo.stats.plans_costed);
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(Algorithm::Dp.label(), "DP");
+        assert_eq!(Algorithm::Idp { k: 7 }.label(), "IDP(7)");
+        assert_eq!(Algorithm::Sdp(SdpConfig::paper()).label(), "SDP");
+        assert!(Algorithm::Sdp(SdpConfig {
+            partitioning: crate::sdp::Partitioning::Global,
+            ..SdpConfig::paper()
+        })
+        .label()
+        .contains("Global"));
+    }
+
+    #[test]
+    fn budget_propagates_to_runs() {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Star(13), 5).instance(0);
+        let tight = Optimizer::new(&cat).with_budget(Budget::with_memory(1 << 20));
+        assert!(matches!(
+            tight.optimize(&q, Algorithm::Dp),
+            Err(OptError::MemoryExhausted { .. })
+        ));
+        // SDP fits where DP does not.
+        let sdp = tight.optimize(&q, Algorithm::Sdp(SdpConfig::paper()));
+        assert!(sdp.is_ok(), "SDP should fit the tight budget: {sdp:?}");
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let p = plan_for(
+            Algorithm::Sdp(SdpConfig::paper()),
+            Topology::star_chain(9),
+            2,
+        );
+        assert!(p.stats.plans_costed > 0);
+        assert!(p.stats.jcrs_processed > 9);
+        assert!(p.stats.peak_model_bytes > 0);
+        assert!(p.rows >= 1.0);
+    }
+
+    #[test]
+    fn closure_inference_can_be_disabled() {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Chain(5), 8).instance(0);
+        let a = Optimizer::new(&cat)
+            .with_closure_inference(false)
+            .optimize(&q, Algorithm::Dp)
+            .unwrap();
+        let b = Optimizer::new(&cat).optimize(&q, Algorithm::Dp).unwrap();
+        // Chains with distinct join columns have no closure edges, so
+        // the results coincide.
+        assert!((a.cost - b.cost).abs() / b.cost < 1e-9);
+    }
+}

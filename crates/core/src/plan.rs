@@ -1,0 +1,302 @@
+//! Physical plan trees.
+//!
+//! Plans are immutable `Rc` trees: subplans are shared between every
+//! memo group that references them, and pruning a group (SDP's whole
+//! point) drops its `Rc`s, transparently freeing any node no longer
+//! reachable — which is what makes the memory-overhead measurements
+//! (paper Tables 1.2, 1.4, 2.1, 3.2, 3.3) meaningful.
+//!
+//! A thread-local live-node counter tracks exactly how many plan nodes
+//! are alive at any instant; [`crate::budget::MemoryModel`] converts
+//! that (plus the group count) into paper-equivalent megabytes.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use sdp_catalog::{ColId, RelId};
+use sdp_cost::JoinMethod;
+use sdp_query::{ClassId, RelSet};
+
+thread_local! {
+    static LIVE_PLAN_NODES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of plan nodes currently alive on this thread.
+pub fn live_plan_nodes() -> u64 {
+    LIVE_PLAN_NODES.with(|c| c.get())
+}
+
+/// The operator at a plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOp {
+    /// Sequential scan of a base relation.
+    SeqScan {
+        /// Catalog relation scanned.
+        rel: RelId,
+        /// Query-local node index.
+        node: usize,
+    },
+    /// Full index-order scan of a base relation.
+    IndexScan {
+        /// Catalog relation scanned.
+        rel: RelId,
+        /// Query-local node index.
+        node: usize,
+        /// Indexed column providing the output order.
+        col: ColId,
+    },
+    /// Binary join (children: outer, inner).
+    Join {
+        /// Physical join algorithm.
+        method: JoinMethod,
+    },
+    /// Explicit sort enforcing an output order (child: input).
+    Sort {
+        /// Order class enforced.
+        class: ClassId,
+    },
+}
+
+/// One node of a physical plan tree, annotated with the estimated
+/// properties the optimizer derived for it.
+#[derive(Debug)]
+pub struct PlanNode {
+    /// Operator.
+    pub op: PlanOp,
+    /// Base relations covered by this subtree.
+    pub set: RelSet,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated cumulative cost.
+    pub cost: f64,
+    /// Order class of the output, if any.
+    pub ordering: Option<ClassId>,
+    /// Children (empty for scans, `[outer, inner]` for joins,
+    /// `[input]` for sorts).
+    pub children: Vec<Rc<PlanNode>>,
+}
+
+impl PlanNode {
+    /// Construct a node (increments the live-node counter).
+    pub fn new(
+        op: PlanOp,
+        set: RelSet,
+        rows: f64,
+        cost: f64,
+        ordering: Option<ClassId>,
+        children: Vec<Rc<PlanNode>>,
+    ) -> Rc<Self> {
+        debug_assert!(rows.is_finite() && rows >= 0.0, "rows = {rows}");
+        debug_assert!(cost.is_finite() && cost >= 0.0, "cost = {cost}");
+        LIVE_PLAN_NODES.with(|c| c.set(c.get() + 1));
+        Rc::new(PlanNode {
+            op,
+            set,
+            rows,
+            cost,
+            ordering,
+            children,
+        })
+    }
+
+    /// Number of nodes in this subtree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// Depth of the tree (a scan has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(|c| c.depth()).max().unwrap_or(0)
+    }
+
+    /// Number of join operators in the subtree.
+    pub fn join_count(&self) -> usize {
+        let own = usize::from(matches!(self.op, PlanOp::Join { .. }));
+        own + self.children.iter().map(|c| c.join_count()).sum::<usize>()
+    }
+
+    /// Whether the tree is *bushy* — some join has two composite
+    /// (non-scan) children.
+    pub fn is_bushy(&self) -> bool {
+        let here = matches!(self.op, PlanOp::Join { .. })
+            && self.children.iter().all(|c| c.set.len() >= 2);
+        here || self.children.iter().any(|c| c.is_bushy())
+    }
+
+    /// Validate structural invariants of the subtree; returns a
+    /// description of the first violation. Used by integration tests
+    /// and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        match &self.op {
+            PlanOp::SeqScan { node, .. } | PlanOp::IndexScan { node, .. } => {
+                if self.set != RelSet::single(*node) {
+                    return Err(format!("scan set {:?} != node {node}", self.set));
+                }
+                if !self.children.is_empty() {
+                    return Err("scan with children".into());
+                }
+            }
+            PlanOp::Join { method } => {
+                if self.children.len() != 2 {
+                    return Err("join without two children".into());
+                }
+                let (l, r) = (&self.children[0], &self.children[1]);
+                if !l.set.is_disjoint(r.set) {
+                    return Err(format!("overlapping join inputs {:?} {:?}", l.set, r.set));
+                }
+                if (l.set | r.set) != self.set {
+                    return Err("join set != union of children".into());
+                }
+                // An index nested-loop replaces the inner child's scan
+                // with per-tuple index probes, so only the outer
+                // child's cost is necessarily included.
+                let floor = if *method == JoinMethod::IndexNestedLoop {
+                    l.cost
+                } else {
+                    l.cost + r.cost
+                };
+                if self.cost + 1e-6 < floor {
+                    return Err(format!(
+                        "join cost {} below input cost floor {floor}",
+                        self.cost
+                    ));
+                }
+            }
+            PlanOp::Sort { class } => {
+                if self.children.len() != 1 {
+                    return Err("sort without single child".into());
+                }
+                if self.ordering != Some(*class) {
+                    return Err("sort not ordered by its class".into());
+                }
+                if self.set != self.children[0].set {
+                    return Err("sort changes relation set".into());
+                }
+            }
+        }
+        for c in &self.children {
+            c.check_invariants()?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for PlanNode {
+    fn drop(&mut self) {
+        LIVE_PLAN_NODES.with(|c| c.set(c.get().saturating_sub(1)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(node: usize, cost: f64) -> Rc<PlanNode> {
+        PlanNode::new(
+            PlanOp::SeqScan {
+                rel: RelId(node as u32),
+                node,
+            },
+            RelSet::single(node),
+            100.0,
+            cost,
+            None,
+            vec![],
+        )
+    }
+
+    fn join(l: Rc<PlanNode>, r: Rc<PlanNode>) -> Rc<PlanNode> {
+        let set = l.set | r.set;
+        let cost = l.cost + r.cost + 1.0;
+        PlanNode::new(
+            PlanOp::Join {
+                method: JoinMethod::Hash,
+            },
+            set,
+            50.0,
+            cost,
+            None,
+            vec![l, r],
+        )
+    }
+
+    #[test]
+    fn live_counter_tracks_creation_and_drop() {
+        let before = live_plan_nodes();
+        {
+            let a = scan(0, 1.0);
+            let b = scan(1, 1.0);
+            let j = join(a, b);
+            assert_eq!(live_plan_nodes(), before + 3);
+            drop(j); // drops all three (children moved into the join)
+        }
+        assert_eq!(live_plan_nodes(), before);
+    }
+
+    #[test]
+    fn shared_subplans_freed_only_when_unreachable() {
+        let before = live_plan_nodes();
+        let shared = scan(0, 1.0);
+        let j1 = join(shared.clone(), scan(1, 1.0));
+        let j2 = join(shared.clone(), scan(2, 1.0));
+        drop(shared);
+        assert_eq!(live_plan_nodes(), before + 5);
+        drop(j1);
+        assert_eq!(live_plan_nodes(), before + 3); // shared survives via j2
+        drop(j2);
+        assert_eq!(live_plan_nodes(), before);
+    }
+
+    #[test]
+    fn tree_shape_metrics() {
+        let left = join(scan(0, 1.0), scan(1, 1.0));
+        let right = join(scan(2, 1.0), scan(3, 1.0));
+        let bushy = join(left, right);
+        assert_eq!(bushy.node_count(), 7);
+        assert_eq!(bushy.join_count(), 3);
+        assert_eq!(bushy.depth(), 3);
+        assert!(bushy.is_bushy());
+
+        let ld = join(join(scan(0, 1.0), scan(1, 1.0)), scan(2, 1.0));
+        assert!(!ld.is_bushy());
+    }
+
+    #[test]
+    fn invariants_accept_valid_trees() {
+        let t = join(scan(0, 1.0), scan(1, 2.0));
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn invariants_reject_overlapping_join() {
+        let a = scan(0, 1.0);
+        let bad = PlanNode::new(
+            PlanOp::Join {
+                method: JoinMethod::Hash,
+            },
+            RelSet::single(0),
+            1.0,
+            10.0,
+            None,
+            vec![a.clone(), a],
+        );
+        assert!(bad.check_invariants().is_err());
+    }
+
+    #[test]
+    fn invariants_reject_cost_regression() {
+        let a = scan(0, 10.0);
+        let b = scan(1, 10.0);
+        let bad = PlanNode::new(
+            PlanOp::Join {
+                method: JoinMethod::Hash,
+            },
+            RelSet::from_indices([0, 1]),
+            1.0,
+            5.0, // cheaper than its inputs: impossible
+            None,
+            vec![a, b],
+        );
+        assert!(bad.check_invariants().is_err());
+    }
+}

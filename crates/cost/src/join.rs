@@ -1,0 +1,416 @@
+//! Join-method costing.
+//!
+//! Four physical join operators in the PostgreSQL mould. Their cost
+//! structure creates exactly the trade-offs SDP's feature vector
+//! captures: hash joins are cheap but orderless, merge joins cost
+//! sorts but emit interesting orders, index nested-loops are
+//! unbeatable for small outers probing large indexed inners (the
+//! star-query workhorse) yet disastrous for large outers.
+
+use sdp_catalog::PAGE_SIZE_BYTES;
+use sdp_query::ClassId;
+
+use crate::params::CostParams;
+use crate::scan::{index_probe_cost, sort_cost};
+
+/// Physical join algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinMethod {
+    /// Tuple-at-a-time nested loop with a materialized inner.
+    NestedLoop,
+    /// Nested loop probing the inner relation's index — available
+    /// only when the inner is a base relation indexed on the join
+    /// column.
+    IndexNestedLoop,
+    /// Classic hybrid hash join, build side = inner.
+    Hash,
+    /// Sort-merge join; sorts whichever inputs are not already
+    /// ordered on the join class.
+    Merge,
+}
+
+impl JoinMethod {
+    /// Short display label used in plan explains.
+    pub fn label(self) -> &'static str {
+        match self {
+            JoinMethod::NestedLoop => "NestLoop",
+            JoinMethod::IndexNestedLoop => "IdxNestLoop",
+            JoinMethod::Hash => "HashJoin",
+            JoinMethod::Merge => "MergeJoin",
+        }
+    }
+}
+
+/// Properties of one join input as the costing functions see it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinInput {
+    /// Estimated rows produced.
+    pub rows: f64,
+    /// Cost of producing them.
+    pub cost: f64,
+    /// Average tuple width in bytes.
+    pub width: f64,
+    /// Order class the output is sorted on, if any.
+    pub ordering: Option<ClassId>,
+}
+
+impl JoinInput {
+    fn pages(&self) -> f64 {
+        (self.rows * self.width.max(1.0) / PAGE_SIZE_BYTES as f64).max(1.0)
+    }
+}
+
+/// Index metadata enabling an index nested-loop on the inner side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InnerIndex {
+    /// Tuples in the inner base relation.
+    pub tuples: f64,
+    /// Heap pages of the inner base relation.
+    pub pages: f64,
+}
+
+/// A costed join alternative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinCandidate {
+    /// Algorithm used.
+    pub method: JoinMethod,
+    /// Total (cumulative) cost including both inputs.
+    pub cost: f64,
+    /// Order class of the output, if any.
+    pub ordering: Option<ClassId>,
+}
+
+/// Enumerate and cost every join method applicable to
+/// `outer ⋈ inner`.
+///
+/// * `crossing_sel` — joint selectivity of the connecting edges;
+/// * `out_rows` — estimated output cardinality;
+/// * `join_class` — the order class of the join columns (drives merge
+///   join); `None` disables merge;
+/// * `inner_index` — present when the inner is a base relation with an
+///   index on the join column, enabling index nested-loop.
+pub fn join_candidates(
+    outer: &JoinInput,
+    inner: &JoinInput,
+    crossing_sel: f64,
+    out_rows: f64,
+    join_class: Option<ClassId>,
+    inner_index: Option<InnerIndex>,
+    params: &CostParams,
+) -> Vec<JoinCandidate> {
+    let mut out = Vec::with_capacity(4);
+    let emit_cpu = out_rows * params.cpu_tuple_cost;
+
+    // --- Nested loop over a materialized inner ------------------------
+    out.push(JoinCandidate {
+        method: JoinMethod::NestedLoop,
+        cost: outer.cost
+            + inner.cost
+            + inner.rows * params.cpu_tuple_cost // materialization
+            + outer.rows * inner.rows * params.cpu_operator_cost
+            + emit_cpu,
+        ordering: outer.ordering,
+    });
+
+    // --- Index nested loop --------------------------------------------
+    if let Some(idx) = inner_index {
+        let matched = (inner.rows * crossing_sel).max(1e-6);
+        let probe = index_probe_cost(idx.tuples, idx.pages, matched, params);
+        out.push(JoinCandidate {
+            method: JoinMethod::IndexNestedLoop,
+            cost: outer.cost + outer.rows * probe + emit_cpu,
+            ordering: outer.ordering,
+        });
+    }
+
+    // --- Hash join (build = inner) -------------------------------------
+    {
+        let build_bytes = inner.rows * inner.width.max(1.0);
+        let spill = if build_bytes > params.work_mem_bytes {
+            // Hybrid hash: write and re-read both sides once per extra
+            // batch round.
+            2.0 * (inner.pages() + outer.pages()) * params.seq_page_cost
+        } else {
+            0.0
+        };
+        out.push(JoinCandidate {
+            method: JoinMethod::Hash,
+            cost: outer.cost
+                + inner.cost
+                + inner.rows * params.cpu_operator_cost * 2.0 // build
+                + outer.rows * params.cpu_operator_cost // probe
+                + spill
+                + emit_cpu,
+            ordering: None,
+        });
+    }
+
+    // --- Merge join -----------------------------------------------------
+    if let Some(class) = join_class {
+        let sort_side = |input: &JoinInput| {
+            if input.ordering == Some(class) {
+                0.0
+            } else {
+                sort_cost(input.rows, input.width, params)
+            }
+        };
+        out.push(JoinCandidate {
+            method: JoinMethod::Merge,
+            cost: outer.cost
+                + inner.cost
+                + sort_side(outer)
+                + sort_side(inner)
+                + (outer.rows + inner.rows) * params.cpu_operator_cost
+                + emit_cpu,
+            ordering: Some(class),
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(rows: f64, cost: f64) -> JoinInput {
+        JoinInput {
+            rows,
+            cost,
+            width: 200.0,
+            ordering: None,
+        }
+    }
+
+    fn all(
+        outer: &JoinInput,
+        inner: &JoinInput,
+        sel: f64,
+        idx: Option<InnerIndex>,
+    ) -> Vec<JoinCandidate> {
+        let out_rows = (outer.rows * inner.rows * sel).max(1.0);
+        join_candidates(
+            outer,
+            inner,
+            sel,
+            out_rows,
+            Some(0),
+            idx,
+            &CostParams::default(),
+        )
+    }
+
+    fn cost_of(cands: &[JoinCandidate], m: JoinMethod) -> f64 {
+        cands.iter().find(|c| c.method == m).unwrap().cost
+    }
+
+    #[test]
+    fn index_nlj_wins_small_outer_big_inner() {
+        let outer = input(10.0, 5.0);
+        let inner = input(1_000_000.0, 30_000.0);
+        let idx = InnerIndex {
+            tuples: 1_000_000.0,
+            pages: 30_000.0,
+        };
+        let cands = all(&outer, &inner, 1e-6, Some(idx));
+        let inlj = cost_of(&cands, JoinMethod::IndexNestedLoop);
+        for c in &cands {
+            if c.method != JoinMethod::IndexNestedLoop {
+                assert!(inlj < c.cost, "INLJ should beat {:?}", c.method);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_wins_large_large() {
+        let outer = input(1_000_000.0, 30_000.0);
+        let inner = input(500_000.0, 20_000.0);
+        let idx = InnerIndex {
+            tuples: 500_000.0,
+            pages: 15_000.0,
+        };
+        let cands = all(&outer, &inner, 1e-6, Some(idx));
+        let hash = cost_of(&cands, JoinMethod::Hash);
+        assert!(hash < cost_of(&cands, JoinMethod::NestedLoop));
+        assert!(hash < cost_of(&cands, JoinMethod::IndexNestedLoop));
+    }
+
+    #[test]
+    fn merge_join_exploits_existing_order() {
+        let sorted = JoinInput {
+            ordering: Some(0),
+            ..input(100_000.0, 5_000.0)
+        };
+        let unsorted = input(100_000.0, 5_000.0);
+        let p = CostParams::default();
+        let out_rows = 1000.0;
+        let with_order = join_candidates(&sorted, &sorted, 1e-7, out_rows, Some(0), None, &p);
+        let without = join_candidates(&unsorted, &unsorted, 1e-7, out_rows, Some(0), None, &p);
+        assert!(
+            cost_of(&with_order, JoinMethod::Merge) < cost_of(&without, JoinMethod::Merge),
+            "pre-sorted inputs must make merge cheaper"
+        );
+    }
+
+    #[test]
+    fn merge_absent_without_join_class() {
+        let a = input(100.0, 10.0);
+        let cands = join_candidates(&a, &a, 0.01, 100.0, None, None, &CostParams::default());
+        assert!(cands.iter().all(|c| c.method != JoinMethod::Merge));
+    }
+
+    #[test]
+    fn orderings_propagate_correctly() {
+        let sorted_outer = JoinInput {
+            ordering: Some(7),
+            ..input(1000.0, 10.0)
+        };
+        let inner = input(1000.0, 10.0);
+        let idx = InnerIndex {
+            tuples: 1000.0,
+            pages: 30.0,
+        };
+        let cands = join_candidates(
+            &sorted_outer,
+            &inner,
+            0.001,
+            1000.0,
+            Some(3),
+            Some(idx),
+            &CostParams::default(),
+        );
+        for c in &cands {
+            match c.method {
+                JoinMethod::NestedLoop | JoinMethod::IndexNestedLoop => {
+                    assert_eq!(c.ordering, Some(7), "NL preserves outer order")
+                }
+                JoinMethod::Hash => assert_eq!(c.ordering, None),
+                JoinMethod::Merge => assert_eq!(c.ordering, Some(3)),
+            }
+        }
+    }
+
+    #[test]
+    fn hash_spill_penalty_applies() {
+        let p = CostParams::default();
+        let small = input(100.0, 1.0);
+        // 1M rows x 200B = 200MB >> work_mem.
+        let big = input(1_000_000.0, 1.0);
+        let cands_spill = join_candidates(&small, &big, 1e-6, 1.0, None, None, &p);
+        // Same rows but tiny width: fits in memory.
+        let slim = JoinInput { width: 0.5, ..big };
+        let cands_fit = join_candidates(&small, &slim, 1e-6, 1.0, None, None, &p);
+        assert!(cost_of(&cands_spill, JoinMethod::Hash) > cost_of(&cands_fit, JoinMethod::Hash));
+    }
+
+    #[test]
+    fn costs_are_cumulative() {
+        // Join cost must include both input costs.
+        let a = input(10.0, 1000.0);
+        let b = input(10.0, 2000.0);
+        let cands = join_candidates(&a, &b, 0.1, 10.0, Some(0), None, &CostParams::default());
+        for c in cands {
+            assert!(c.cost >= 3000.0, "{:?} lost input cost", c.method);
+        }
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_input() -> impl Strategy<Value = JoinInput> {
+        (
+            1.0f64..1e7,
+            0.0f64..1e6,
+            8.0f64..512.0,
+            prop::option::of(0u32..4),
+        )
+            .prop_map(|(rows, cost, width, ordering)| JoinInput {
+                rows,
+                cost,
+                width,
+                ordering,
+            })
+    }
+
+    proptest! {
+        /// Costing laws that every candidate must obey: finite,
+        /// non-negative, and at least the outer input's cost (the one
+        /// input every method consumes in full).
+        #[test]
+        fn candidates_are_sane(
+            outer in arb_input(),
+            inner in arb_input(),
+            sel in 1e-9f64..1.0,
+            class in prop::option::of(0u32..4),
+            with_index in any::<bool>(),
+        ) {
+            let out_rows = (outer.rows * inner.rows * sel).max(1.0);
+            let idx = with_index.then(|| InnerIndex {
+                tuples: inner.rows.max(2.0),
+                pages: (inner.rows / 40.0).max(1.0),
+            });
+            let cands = join_candidates(
+                &outer, &inner, sel, out_rows, class, idx, &CostParams::default(),
+            );
+            prop_assert!(!cands.is_empty());
+            // NL and Hash always present; Merge iff class; INL iff index.
+            prop_assert!(cands.iter().any(|c| c.method == JoinMethod::NestedLoop));
+            prop_assert!(cands.iter().any(|c| c.method == JoinMethod::Hash));
+            prop_assert_eq!(
+                cands.iter().any(|c| c.method == JoinMethod::Merge),
+                class.is_some()
+            );
+            prop_assert_eq!(
+                cands.iter().any(|c| c.method == JoinMethod::IndexNestedLoop),
+                with_index
+            );
+            for c in &cands {
+                prop_assert!(c.cost.is_finite() && c.cost >= 0.0);
+                prop_assert!(c.cost + 1e-9 >= outer.cost, "{:?} below outer cost", c.method);
+            }
+        }
+
+        /// More output rows never makes any method cheaper (emit CPU is
+        /// monotone), holding everything else fixed.
+        #[test]
+        fn cost_monotone_in_output(
+            outer in arb_input(),
+            inner in arb_input(),
+            sel in 1e-9f64..1.0,
+            extra in 1.0f64..1e6,
+        ) {
+            let base_rows = (outer.rows * inner.rows * sel).max(1.0);
+            let p = CostParams::default();
+            let a = join_candidates(&outer, &inner, sel, base_rows, Some(0), None, &p);
+            let b = join_candidates(&outer, &inner, sel, base_rows + extra, Some(0), None, &p);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.method, y.method);
+                prop_assert!(y.cost >= x.cost - 1e-9);
+            }
+        }
+
+        /// Pre-sorted inputs never make a merge join more expensive.
+        #[test]
+        fn merge_rewards_existing_order(
+            outer in arb_input(),
+            inner in arb_input(),
+            sel in 1e-9f64..1.0,
+        ) {
+            let out_rows = (outer.rows * inner.rows * sel).max(1.0);
+            let p = CostParams::default();
+            let sorted_outer = JoinInput { ordering: Some(0), ..outer };
+            let unsorted_outer = JoinInput { ordering: None, ..outer };
+            let cost_of = |o: &JoinInput| {
+                join_candidates(o, &inner, sel, out_rows, Some(0), None, &p)
+                    .into_iter()
+                    .find(|c| c.method == JoinMethod::Merge)
+                    .unwrap()
+                    .cost
+            };
+            prop_assert!(cost_of(&sorted_outer) <= cost_of(&unsorted_outer) + 1e-9);
+        }
+    }
+}

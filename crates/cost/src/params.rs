@@ -1,0 +1,96 @@
+//! Cost-model constants, mirroring PostgreSQL's GUC parameters.
+
+/// Cost constants in PostgreSQL's unit system (1.0 = one sequential
+/// page fetch). Defaults match PostgreSQL 8.1, the engine the paper
+/// used.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Cost of a sequentially fetched disk page.
+    pub seq_page_cost: f64,
+    /// Cost of a non-sequentially fetched disk page.
+    pub random_page_cost: f64,
+    /// CPU cost of processing one tuple.
+    pub cpu_tuple_cost: f64,
+    /// CPU cost of processing one index entry.
+    pub cpu_index_tuple_cost: f64,
+    /// CPU cost of one operator/function evaluation.
+    pub cpu_operator_cost: f64,
+    /// Memory available to each sort or hash operation, in bytes
+    /// (PostgreSQL's `work_mem`; 8.1 default was 1 MB).
+    pub work_mem_bytes: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            seq_page_cost: 1.0,
+            random_page_cost: 4.0,
+            cpu_tuple_cost: 0.01,
+            cpu_index_tuple_cost: 0.005,
+            cpu_operator_cost: 0.0025,
+            work_mem_bytes: 1024.0 * 1024.0,
+        }
+    }
+}
+
+impl CostParams {
+    /// Validate that every constant is positive and the random-page
+    /// premium is at least the sequential cost (the planner's
+    /// assumptions break otherwise).
+    pub fn validate(&self) -> Result<(), String> {
+        let fields = [
+            ("seq_page_cost", self.seq_page_cost),
+            ("random_page_cost", self.random_page_cost),
+            ("cpu_tuple_cost", self.cpu_tuple_cost),
+            ("cpu_index_tuple_cost", self.cpu_index_tuple_cost),
+            ("cpu_operator_cost", self.cpu_operator_cost),
+            ("work_mem_bytes", self.work_mem_bytes),
+        ];
+        for (name, v) in fields {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{name} must be positive and finite, got {v}"));
+            }
+        }
+        if self.random_page_cost < self.seq_page_cost {
+            return Err("random_page_cost must be >= seq_page_cost".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_postgres() {
+        let p = CostParams::default();
+        assert_eq!(p.seq_page_cost, 1.0);
+        assert_eq!(p.random_page_cost, 4.0);
+        assert_eq!(p.cpu_tuple_cost, 0.01);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_nonpositive() {
+        let p = CostParams {
+            cpu_tuple_cost: 0.0,
+            ..CostParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = CostParams {
+            work_mem_bytes: f64::NAN,
+            ..CostParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_inverted_page_costs() {
+        let p = CostParams {
+            random_page_cost: 0.5,
+            ..CostParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+}

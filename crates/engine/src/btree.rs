@@ -1,0 +1,322 @@
+//! A B+-tree index over `(key, row id)` pairs.
+//!
+//! The benchmark schema gives every relation one index; the executor
+//! uses this structure for index scans (sorted iteration), index
+//! nested-loop probes (point lookup) and index-range scans — the same
+//! three access patterns the cost model prices. It is a genuine
+//! B+-tree (branch nodes with separators, leaf chain), not a sorted
+//! array, so the probe path the cost model's `log`-descent term
+//! describes actually exists.
+
+/// Maximum entries per node (order of the tree).
+const FANOUT: usize = 64;
+
+/// One entry: key value and the heap row it points at.
+type Entry = (i64, usize);
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Sorted `(key, row)` entries plus the index of the next leaf.
+    Leaf {
+        entries: Vec<Entry>,
+        next: Option<usize>,
+    },
+    /// `children[i]` holds keys `< separators[i]`;
+    /// `children.len() == separators.len() + 1`.
+    Branch {
+        separators: Vec<i64>,
+        children: Vec<usize>,
+    },
+}
+
+/// An immutable B+-tree built bottom-up from the column data
+/// (bulk-loaded, the way `CREATE INDEX` does it).
+#[derive(Debug, Clone)]
+pub struct BTreeIndex {
+    nodes: Vec<Node>,
+    root: usize,
+    len: usize,
+    height: usize,
+}
+
+impl BTreeIndex {
+    /// Bulk-load an index over `values[row] = key`.
+    pub fn build(values: &[i64]) -> Self {
+        let mut entries: Vec<Entry> = values.iter().copied().zip(0..).collect();
+        entries.sort_unstable();
+        let len = entries.len();
+
+        let mut nodes: Vec<Node> = Vec::new();
+        // Leaf level.
+        let mut level: Vec<(i64, usize)> = Vec::new(); // (first key, node id)
+        if entries.is_empty() {
+            nodes.push(Node::Leaf {
+                entries: Vec::new(),
+                next: None,
+            });
+            level.push((i64::MIN, 0));
+        } else {
+            let mut leaf_ids = Vec::new();
+            for chunk in entries.chunks(FANOUT) {
+                let id = nodes.len();
+                nodes.push(Node::Leaf {
+                    entries: chunk.to_vec(),
+                    next: None,
+                });
+                leaf_ids.push(id);
+                level.push((chunk[0].0, id));
+            }
+            // Chain the leaves.
+            for w in leaf_ids.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                if let Node::Leaf { next, .. } = &mut nodes[a] {
+                    *next = Some(b);
+                }
+            }
+        }
+
+        // Branch levels until a single root remains.
+        let mut height = 1;
+        while level.len() > 1 {
+            height += 1;
+            let mut upper: Vec<(i64, usize)> = Vec::new();
+            for chunk in level.chunks(FANOUT) {
+                let id = nodes.len();
+                let separators = chunk[1..].iter().map(|&(k, _)| k).collect();
+                let children = chunk.iter().map(|&(_, c)| c).collect();
+                nodes.push(Node::Branch {
+                    separators,
+                    children,
+                });
+                upper.push((chunk[0].0, id));
+            }
+            level = upper;
+        }
+        let root = level[0].1;
+        BTreeIndex {
+            nodes,
+            root,
+            len,
+            height,
+        }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 = a single leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Descend to the leaf that may contain `key`, returning its node
+    /// id.
+    fn descend(&self, key: i64) -> usize {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { .. } => return node,
+                Node::Branch {
+                    separators,
+                    children,
+                } => {
+                    // First child whose range may hold `key`. Strict
+                    // comparison: a separator equal to `key` means the
+                    // run may have *started* in the child before it
+                    // (bulk loading cuts duplicate runs arbitrarily),
+                    // so descend there and let the leaf chain carry us
+                    // forward.
+                    let i = separators.partition_point(|&s| s < key);
+                    node = children[i];
+                }
+            }
+        }
+    }
+
+    /// Row ids with exactly this key (index nested-loop probe).
+    pub fn lookup(&self, key: i64) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut node = Some(self.descend(key));
+        while let Some(id) = node {
+            let Node::Leaf { entries, next } = &self.nodes[id] else {
+                unreachable!("descend ends at a leaf");
+            };
+            let start = entries.partition_point(|&(k, _)| k < key);
+            if start == entries.len() {
+                node = *next;
+                continue;
+            }
+            for &(k, row) in &entries[start..] {
+                if k != key {
+                    return out;
+                }
+                out.push(row);
+            }
+            node = *next; // key run continues into the next leaf
+        }
+        out
+    }
+
+    /// Row ids with `lo <= key < hi`, in key order (index-range scan).
+    pub fn range(&self, lo: i64, hi: i64) -> Vec<usize> {
+        let mut out = Vec::new();
+        if lo >= hi {
+            return out;
+        }
+        let mut node = Some(self.descend(lo));
+        while let Some(id) = node {
+            let Node::Leaf { entries, next } = &self.nodes[id] else {
+                unreachable!("descend ends at a leaf");
+            };
+            for &(k, row) in entries {
+                if k >= hi {
+                    return out;
+                }
+                if k >= lo {
+                    out.push(row);
+                }
+            }
+            node = *next;
+        }
+        out
+    }
+
+    /// All row ids in key order (full index scan).
+    pub fn scan_all(&self) -> Vec<usize> {
+        self.range(i64::MIN, i64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn reference_lookup(values: &[i64], key: i64) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..values.len()).filter(|&r| values[r] == key).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn lookup_matches_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let values: Vec<i64> = (0..10_000).map(|_| rng.gen_range(0..500)).collect();
+        let idx = BTreeIndex::build(&values);
+        assert_eq!(idx.len(), 10_000);
+        for key in [0i64, 17, 250, 499, 500, -1] {
+            let mut got = idx.lookup(key);
+            got.sort_unstable();
+            assert_eq!(got, reference_lookup(&values, key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn range_scan_is_sorted_and_complete() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let values: Vec<i64> = (0..5_000).map(|_| rng.gen_range(0..1000)).collect();
+        let idx = BTreeIndex::build(&values);
+        let rows = idx.range(100, 300);
+        // Sorted by key.
+        let keys: Vec<i64> = rows.iter().map(|&r| values[r]).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        // Complete.
+        let expected = values.iter().filter(|&&v| (100..300).contains(&v)).count();
+        assert_eq!(rows.len(), expected);
+        // Empty and inverted ranges.
+        assert!(idx.range(300, 100).is_empty());
+        assert!(idx.range(2000, 3000).is_empty());
+    }
+
+    #[test]
+    fn full_scan_orders_every_row() {
+        let values = vec![5i64, 3, 8, 3, 1, 8, 8];
+        let idx = BTreeIndex::build(&values);
+        let rows = idx.scan_all();
+        assert_eq!(rows.len(), values.len());
+        let keys: Vec<i64> = rows.iter().map(|&r| values[r]).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn duplicate_runs_crossing_leaf_boundaries() {
+        // 500 copies of one key force multi-leaf runs at FANOUT = 64.
+        let mut values = vec![42i64; 500];
+        values.extend([1, 2, 3]);
+        let idx = BTreeIndex::build(&values);
+        assert_eq!(idx.lookup(42).len(), 500);
+        assert!(idx.height() >= 2, "multi-level tree expected");
+    }
+
+    #[test]
+    fn empty_and_singleton_indexes() {
+        let empty = BTreeIndex::build(&[]);
+        assert!(empty.is_empty());
+        assert!(empty.lookup(1).is_empty());
+        assert!(empty.scan_all().is_empty());
+
+        let one = BTreeIndex::build(&[9]);
+        assert_eq!(one.lookup(9), vec![0]);
+        assert_eq!(one.height(), 1);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let small = BTreeIndex::build(&(0..100).collect::<Vec<i64>>());
+        let big = BTreeIndex::build(&(0..100_000).collect::<Vec<i64>>());
+        assert!(small.height() <= 2);
+        assert!(big.height() >= 3);
+        assert!(big.height() <= 4, "height {}", big.height());
+    }
+
+    #[test]
+    fn negative_and_extreme_keys() {
+        let values = vec![i64::MIN + 1, -5, 0, 5, i64::MAX - 1];
+        let idx = BTreeIndex::build(&values);
+        assert_eq!(idx.lookup(-5), vec![1]);
+        assert_eq!(idx.scan_all().len(), 5);
+        assert_eq!(idx.range(-5, 6).len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn lookup_agrees_with_scan(values in prop::collection::vec(-50i64..50, 0..400), key in -60i64..60) {
+            let idx = BTreeIndex::build(&values);
+            let mut got = idx.lookup(key);
+            got.sort_unstable();
+            let expected: Vec<usize> =
+                (0..values.len()).filter(|&r| values[r] == key).collect();
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn range_agrees_with_scan(
+            values in prop::collection::vec(-50i64..50, 0..400),
+            lo in -60i64..60,
+            span in 0i64..50,
+        ) {
+            let hi = lo + span;
+            let idx = BTreeIndex::build(&values);
+            let got = idx.range(lo, hi);
+            let expected = values.iter().filter(|&&v| v >= lo && v < hi).count();
+            prop_assert_eq!(got.len(), expected);
+            // Ordered by key.
+            let keys: Vec<i64> = got.iter().map(|&r| values[r]).collect();
+            prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

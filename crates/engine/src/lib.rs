@@ -1,0 +1,34 @@
+//! # sdp-engine — synthetic data generation and a Volcano-style
+//! executor
+//!
+//! The paper measures *optimizer-estimated* plan costs, so no query is
+//! ever executed for its tables. This crate exists as validation
+//! substrate: it materializes tuples that match the catalog's
+//! statistics (same cardinalities, domains and distributions the
+//! `ANALYZE`-equivalent statistics were derived from), executes the
+//! optimizer's physical plans with a small iterator-model engine, and
+//! checks that
+//!
+//! * every physical plan for a query produces the same result
+//!   multiset (plan correctness), and
+//! * estimated cardinalities track actual cardinalities (cost-model
+//!   sanity).
+//!
+//! Execution uses a *scaled-down* copy of the schema
+//! ([`scaled_catalog`]) — running 2.5 M-row joins is not the point;
+//! preserving the relative shapes is.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod analyze;
+mod btree;
+mod datagen;
+mod exec;
+mod validate;
+
+pub use analyze::{analyze_database, DEFAULT_SAMPLE};
+pub use btree::BTreeIndex;
+pub use datagen::{scaled_catalog, Database, Table};
+pub use exec::{execute, ExecError};
+pub use validate::{actual_vs_estimated, q_error};

@@ -1,0 +1,194 @@
+//! One driver per paper table/figure. See DESIGN.md for the
+//! experiment index.
+
+pub mod calibration;
+pub mod extensions;
+pub mod skyline_demo;
+pub mod star;
+pub mod star_chain;
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use sdp_catalog::Catalog;
+use sdp_core::Algorithm;
+use sdp_query::Topology;
+
+use crate::runner::{ExperimentConfig, RunOutcome, Runner};
+
+/// The output of one experiment: a console report and a markdown
+/// fragment for `EXPERIMENTS.md`.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Stable experiment id (e.g. `"table-1-1"`).
+    pub id: &'static str,
+    /// Human title (e.g. `"Table 1.1 — Star-Chain-15 plan quality"`).
+    pub title: String,
+    /// Console rendering.
+    pub text: String,
+    /// Markdown rendering for EXPERIMENTS.md.
+    pub markdown: String,
+}
+
+/// Shared state for a batch of experiments: the paper catalog and a
+/// cache so `all` does not re-optimize identical configurations.
+pub struct Session {
+    /// The paper's 25-relation schema.
+    pub catalog: Catalog,
+    /// Base configuration (instances, seed, budget).
+    pub config: ExperimentConfig,
+    cache: RefCell<HashMap<String, Rc<Vec<RunOutcome>>>>,
+}
+
+impl Session {
+    /// Create a session over the paper catalog.
+    pub fn new(config: ExperimentConfig) -> Self {
+        Session {
+            catalog: Catalog::paper(),
+            config,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Instance count for heavyweight configurations (20+-relation
+    /// graphs where exhaustive DP runs seconds per instance).
+    pub fn heavy_instances(&self) -> usize {
+        (self.config.instances / 4).max(5)
+    }
+
+    /// Run (or fetch cached) outcomes for a configuration.
+    pub fn outcomes(
+        &self,
+        topology: Topology,
+        algorithm: Algorithm,
+        ordered: bool,
+        instances: usize,
+    ) -> Rc<Vec<RunOutcome>> {
+        let key = format!("{topology}|{}|{ordered}|{instances}", algorithm.label());
+        if let Some(hit) = self.cache.borrow().get(&key) {
+            return hit.clone();
+        }
+        let cfg = ExperimentConfig {
+            instances,
+            ordered,
+            ..self.config
+        };
+        let runner = Runner::new(&self.catalog, cfg);
+        let outcomes = Rc::new(runner.run(topology, algorithm));
+        self.cache.borrow_mut().insert(key, outcomes.clone());
+        outcomes
+    }
+}
+
+/// All experiment ids, in paper order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table-1-1",
+    "table-1-2",
+    "figure-1-2",
+    "table-1-3",
+    "table-1-4",
+    "table-2-1",
+    "table-2-2",
+    "table-2-3",
+    "table-3-1",
+    "table-3-2",
+    "table-3-3",
+    "table-3-4",
+    "table-3-5",
+    "table-3-6",
+    "extra-skewed",
+    "extra-topologies",
+    "extra-idp-variants",
+    "extra-robustness",
+];
+
+/// Dispatch one experiment by id.
+pub fn run_experiment(session: &Session, id: &str) -> Option<ExperimentReport> {
+    Some(match id {
+        "table-1-1" => star_chain::table_1_1(session),
+        "table-1-2" => star_chain::table_1_2(session),
+        "figure-1-2" => star_chain::figure_1_2(session),
+        "table-1-3" => star_chain::table_1_3(session),
+        "table-1-4" => star_chain::table_1_4(session),
+        "table-2-1" => calibration::table_2_1(session),
+        "table-2-2" => skyline_demo::table_2_2(session),
+        "table-2-3" => skyline_demo::table_2_3(session),
+        "table-3-1" => star::table_3_1(session),
+        "table-3-2" => star::table_3_2(session),
+        "table-3-3" => calibration::table_3_3(session),
+        "table-3-4" => star::table_3_4(session),
+        "table-3-5" => star_chain::table_3_5(session),
+        "table-3-6" => star_chain::table_3_6(session),
+        "extra-skewed" => extensions::extra_skewed(session),
+        "extra-topologies" => extensions::extra_topologies(session),
+        "extra-idp-variants" => extensions::extra_idp_variants(session),
+        "extra-robustness" => extensions::extra_robustness(session),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ExperimentConfig;
+
+    fn tiny_session() -> Session {
+        Session::new(ExperimentConfig {
+            instances: 2,
+            ..ExperimentConfig::default()
+        })
+    }
+
+    #[test]
+    fn session_caches_identical_configurations() {
+        let s = tiny_session();
+        let a = s.outcomes(Topology::star_chain(6), Algorithm::Dp, false, 2);
+        let b = s.outcomes(Topology::star_chain(6), Algorithm::Dp, false, 2);
+        assert!(Rc::ptr_eq(&a, &b), "second call must hit the cache");
+        let c = s.outcomes(Topology::star_chain(6), Algorithm::Dp, true, 2);
+        assert!(!Rc::ptr_eq(&a, &c), "ordered variant is a different key");
+    }
+
+    #[test]
+    fn every_experiment_id_dispatches() {
+        let s = tiny_session();
+        for id in ALL_EXPERIMENTS {
+            // Only run the cheap ones end-to-end; for the rest, just
+            // verify the id is known (dispatch would run them).
+            if *id == "table-2-2" {
+                let report = run_experiment(&s, id).expect("known id");
+                assert_eq!(report.id, *id);
+                assert!(!report.text.is_empty());
+                assert!(!report.markdown.is_empty());
+            }
+        }
+        assert!(run_experiment(&s, "no-such-experiment").is_none());
+    }
+
+    #[test]
+    fn heavy_instance_reduction_floors_at_five() {
+        let s = Session::new(ExperimentConfig {
+            instances: 8,
+            ..ExperimentConfig::default()
+        });
+        assert_eq!(s.heavy_instances(), 5);
+        let s = Session::new(ExperimentConfig {
+            instances: 100,
+            ..ExperimentConfig::default()
+        });
+        assert_eq!(s.heavy_instances(), 25);
+    }
+
+    #[test]
+    fn worked_example_table_2_2_reproduces_the_paper() {
+        let s = tiny_session();
+        let report = skyline_demo::table_2_2(&s);
+        // The paper's verdicts, verbatim.
+        assert!(report.markdown.contains("| 135 |"));
+        assert!(report.markdown.contains("pruned"));
+        for survivor in ["123", "125", "145", "156"] {
+            assert!(report.markdown.contains(&format!("| {survivor} |")));
+        }
+    }
+}

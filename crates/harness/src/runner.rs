@@ -1,0 +1,271 @@
+//! Shared experiment machinery: run algorithms over instance streams,
+//! aggregate quality and overheads.
+
+use sdp_catalog::Catalog;
+use sdp_core::{Algorithm, Budget, OptError, Optimizer, RunStats};
+use sdp_metrics::{OverheadSample, OverheadSummary, QualitySummary};
+use sdp_query::{QueryGenerator, Topology};
+
+/// Configuration of one experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Query instances per configuration (paper tables use 100).
+    pub instances: usize,
+    /// Base RNG seed for the instance stream.
+    pub seed: u64,
+    /// Resource budget per optimization (paper: 1 GB memory model).
+    pub budget: Budget,
+    /// Use the ordered query variants (`ORDER BY` a join column).
+    pub ordered: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            instances: 100,
+            seed: 0x5d9_2007,
+            budget: Budget::default(),
+            ordered: false,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Reduced-instance configuration for smoke runs.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            instances: 10,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// Same configuration with the ordered query variants.
+    pub fn ordered(mut self) -> Self {
+        self.ordered = true;
+        self
+    }
+
+    /// Same configuration with a different instance count.
+    pub fn with_instances(mut self, n: usize) -> Self {
+        self.instances = n;
+        self
+    }
+}
+
+/// Result of optimizing one query instance with one algorithm.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// Optimization completed.
+    Plan {
+        /// Estimated cost of the chosen plan.
+        cost: f64,
+        /// Overhead counters.
+        stats: RunStats,
+    },
+    /// Budget exceeded — the paper's `*` cells.
+    Infeasible(OptError),
+}
+
+impl RunOutcome {
+    /// Plan cost if feasible.
+    pub fn cost(&self) -> Option<f64> {
+        match self {
+            RunOutcome::Plan { cost, .. } => Some(*cost),
+            RunOutcome::Infeasible(_) => None,
+        }
+    }
+
+    /// Run statistics if feasible.
+    pub fn stats(&self) -> Option<&RunStats> {
+        match self {
+            RunOutcome::Plan { stats, .. } => Some(stats),
+            RunOutcome::Infeasible(_) => None,
+        }
+    }
+}
+
+/// Runs configurations over a catalog.
+#[derive(Debug)]
+pub struct Runner<'a> {
+    catalog: &'a Catalog,
+    config: ExperimentConfig,
+}
+
+impl<'a> Runner<'a> {
+    /// Create a runner.
+    pub fn new(catalog: &'a Catalog, config: ExperimentConfig) -> Self {
+        Runner { catalog, config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> ExperimentConfig {
+        self.config
+    }
+
+    /// Optimize every instance of `topology` with `algorithm`.
+    ///
+    /// Instance `k` of the stream is identical across algorithms
+    /// (same seed), so per-instance cost ratios are meaningful.
+    pub fn run(&self, topology: Topology, algorithm: Algorithm) -> Vec<RunOutcome> {
+        let generator = QueryGenerator::new(self.catalog, topology, self.config.seed);
+        let optimizer = Optimizer::new(self.catalog).with_budget(self.config.budget);
+        let mut outcomes = Vec::with_capacity(self.config.instances);
+        for k in 0..self.config.instances as u64 {
+            let query = if self.config.ordered {
+                generator.ordered_instance(k)
+            } else {
+                generator.instance(k)
+            };
+            match optimizer.optimize(&query, algorithm) {
+                Ok(plan) => outcomes.push(RunOutcome::Plan {
+                    cost: plan.cost,
+                    stats: plan.stats,
+                }),
+                Err(e) => {
+                    // Infeasibility is structural (the memory wall does
+                    // not depend on which relations fill the template):
+                    // one failure condemns the whole configuration, so
+                    // skip the remaining instances — exactly how the
+                    // paper reports a single `*` per configuration.
+                    for _ in k..self.config.instances as u64 {
+                        outcomes.push(RunOutcome::Infeasible(e.clone()));
+                    }
+                    break;
+                }
+            }
+        }
+        outcomes
+    }
+
+    /// Whether a configuration should be reported as the paper's `*`:
+    /// infeasible on any instance (the paper's infeasibility is
+    /// structural — memory exhaustion does not depend on which
+    /// relations fill the template, so one failure condemns the
+    /// configuration).
+    pub fn is_infeasible(outcomes: &[RunOutcome]) -> bool {
+        outcomes.iter().any(|o| o.cost().is_none())
+    }
+}
+
+/// Per-instance cost ratios of `candidate` against `reference`,
+/// skipping instances where either side was infeasible.
+pub fn cost_ratios(reference: &[RunOutcome], candidate: &[RunOutcome]) -> Vec<f64> {
+    reference
+        .iter()
+        .zip(candidate)
+        .filter_map(|(r, c)| match (r.cost(), c.cost()) {
+            (Some(rc), Some(cc)) => {
+                // Guard against rounding making the candidate
+                // infinitesimally "better" than the reference.
+                Some((cc / rc).max(1.0))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Quality summary of `candidate` against `reference`; `None` when no
+/// instance pair was feasible.
+pub fn quality_against(
+    reference: &[RunOutcome],
+    candidate: &[RunOutcome],
+) -> Option<QualitySummary> {
+    let ratios = cost_ratios(reference, candidate);
+    if ratios.is_empty() {
+        None
+    } else {
+        Some(QualitySummary::from_ratios(&ratios))
+    }
+}
+
+/// Overhead summary over the feasible runs of a configuration.
+pub fn overheads(outcomes: &[RunOutcome]) -> OverheadSummary {
+    let samples: Vec<OverheadSample> = outcomes
+        .iter()
+        .filter_map(|o| o.stats())
+        .map(|s| OverheadSample {
+            memory_bytes: s.peak_model_bytes,
+            elapsed: s.elapsed,
+            plans_costed: s.plans_costed,
+        })
+        .collect();
+    OverheadSummary::from_samples(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_core::SdpConfig;
+
+    #[test]
+    fn runner_produces_per_instance_outcomes() {
+        let cat = Catalog::paper();
+        let cfg = ExperimentConfig {
+            instances: 3,
+            ..ExperimentConfig::default()
+        };
+        let runner = Runner::new(&cat, cfg);
+        let outcomes = runner.run(Topology::star_chain(8), Algorithm::Dp);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.iter().all(|o| o.cost().is_some()));
+    }
+
+    #[test]
+    fn ratios_pair_instances() {
+        let cat = Catalog::paper();
+        let cfg = ExperimentConfig {
+            instances: 4,
+            ..ExperimentConfig::default()
+        };
+        let runner = Runner::new(&cat, cfg);
+        let dp = runner.run(Topology::star_chain(8), Algorithm::Dp);
+        let sdp = runner.run(Topology::star_chain(8), Algorithm::Sdp(SdpConfig::paper()));
+        let ratios = cost_ratios(&dp, &sdp);
+        assert_eq!(ratios.len(), 4);
+        assert!(ratios.iter().all(|&r| r >= 1.0));
+        let q = quality_against(&dp, &sdp).unwrap();
+        assert!(q.rho >= 1.0);
+    }
+
+    #[test]
+    fn infeasible_runs_detected() {
+        let cat = Catalog::paper();
+        let cfg = ExperimentConfig {
+            instances: 1,
+            budget: Budget::with_memory(1 << 16),
+            ..ExperimentConfig::default()
+        };
+        let runner = Runner::new(&cat, cfg);
+        let dp = runner.run(Topology::Star(12), Algorithm::Dp);
+        assert!(Runner::is_infeasible(&dp));
+        assert!(quality_against(&dp, &dp).is_none());
+        assert_eq!(overheads(&dp).runs, 0);
+    }
+}
+
+#[cfg(test)]
+mod short_circuit_tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn infeasibility_short_circuits_the_instance_loop() {
+        let cat = Catalog::paper();
+        let cfg = ExperimentConfig {
+            instances: 50,
+            budget: Budget::with_memory(1 << 16),
+            ..ExperimentConfig::default()
+        };
+        let runner = Runner::new(&cat, cfg);
+        let started = Instant::now();
+        let outcomes = runner.run(Topology::Star(14), sdp_core::Algorithm::Dp);
+        // All 50 slots filled with the structural failure…
+        assert_eq!(outcomes.len(), 50);
+        assert!(outcomes.iter().all(|o| o.cost().is_none()));
+        // …after optimizing only one instance.
+        assert!(
+            started.elapsed().as_secs_f64() < 10.0,
+            "short-circuit did not engage"
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Hand-rolled SVG scatter plots — enough to regenerate the paper's
+//! Figure 1.2 ("Plan Quality vs. Effort Tradeoff") as an actual
+//! figure, with no plotting dependency.
+
+use std::fmt::Write as _;
+
+/// One labelled point of a scatter plot.
+#[derive(Debug, Clone)]
+pub struct ScatterPoint {
+    /// Series label drawn next to the marker.
+    pub label: String,
+    /// X value (plotted on a log10 axis).
+    pub x: f64,
+    /// Y value (linear axis).
+    pub y: f64,
+}
+
+/// Render a log-x scatter plot as a standalone SVG document.
+///
+/// # Panics
+/// Panics if `points` is empty or any x is non-positive (log axis).
+pub fn scatter_svg(title: &str, x_label: &str, y_label: &str, points: &[ScatterPoint]) -> String {
+    assert!(!points.is_empty(), "no points to plot");
+    assert!(
+        points.iter().all(|p| p.x > 0.0 && p.y.is_finite()),
+        "log-x plot needs positive x values"
+    );
+    const W: f64 = 640.0;
+    const H: f64 = 420.0;
+    const M: f64 = 64.0; // margin
+
+    let (mut lx_min, mut lx_max) = (f64::MAX, f64::MIN);
+    let (mut y_min, mut y_max) = (f64::MAX, f64::MIN);
+    for p in points {
+        lx_min = lx_min.min(p.x.log10());
+        lx_max = lx_max.max(p.x.log10());
+        y_min = y_min.min(p.y);
+        y_max = y_max.max(p.y);
+    }
+    // Pad the ranges so markers do not sit on the frame.
+    let (lx_min, lx_max) = (lx_min.floor(), lx_max.ceil().max(lx_min.floor() + 1.0));
+    let y_pad = ((y_max - y_min) * 0.15).max(0.05);
+    let (y_min, y_max) = ((y_min - y_pad).min(1.0 - y_pad), y_max + y_pad);
+
+    let sx = |x: f64| M + (x.log10() - lx_min) / (lx_max - lx_min) * (W - 2.0 * M);
+    let sy = |y: f64| H - M - (y - y_min) / (y_max - y_min) * (H - 2.0 * M);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+    );
+    let _ = writeln!(
+        out,
+        r#"<rect width="{W}" height="{H}" fill="white"/>
+<text x="{tx}" y="24" text-anchor="middle" font-family="sans-serif" font-size="15" font-weight="bold">{title}</text>"#,
+        tx = W / 2.0
+    );
+    // Axes.
+    let _ = writeln!(
+        out,
+        r#"<line x1="{M}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/>
+<line x1="{M}" y1="{M}" x2="{M}" y2="{y0}" stroke="black"/>"#,
+        y0 = H - M,
+        x1 = W - M
+    );
+    // X ticks at powers of ten.
+    let mut d = lx_min as i64;
+    while d as f64 <= lx_max {
+        let x = sx(10f64.powi(d as i32));
+        let _ = writeln!(
+            out,
+            r#"<line x1="{x}" y1="{y0}" x2="{x}" y2="{y2}" stroke="black"/>
+<text x="{x}" y="{ty}" text-anchor="middle" font-family="sans-serif" font-size="11">1e{d}</text>"#,
+            y0 = H - M,
+            y2 = H - M + 5.0,
+            ty = H - M + 18.0
+        );
+        d += 1;
+    }
+    // Y ticks: 5 even steps.
+    for i in 0..=4 {
+        let v = y_min + (y_max - y_min) * i as f64 / 4.0;
+        let y = sy(v);
+        let _ = writeln!(
+            out,
+            r#"<line x1="{x2}" y1="{y}" x2="{M}" y2="{y}" stroke="black"/>
+<text x="{tx}" y="{ty}" text-anchor="end" font-family="sans-serif" font-size="11">{v:.2}</text>"#,
+            x2 = M - 5.0,
+            tx = M - 8.0,
+            ty = y + 4.0
+        );
+    }
+    // Axis labels.
+    let _ = writeln!(
+        out,
+        r#"<text x="{tx}" y="{ty}" text-anchor="middle" font-family="sans-serif" font-size="12">{x_label}</text>
+<text x="18" y="{ly}" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 18 {ly})">{y_label}</text>"#,
+        tx = W / 2.0,
+        ty = H - 16.0,
+        ly = H / 2.0
+    );
+    // Points.
+    const COLORS: [&str; 8] = [
+        "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#e377c2", "#17becf",
+    ];
+    for (i, p) in points.iter().enumerate() {
+        let (x, y) = (sx(p.x), sy(p.y));
+        let color = COLORS[i % COLORS.len()];
+        let _ = writeln!(
+            out,
+            r#"<circle cx="{x}" cy="{y}" r="5" fill="{color}"/>
+<text x="{lx}" y="{lyy}" font-family="sans-serif" font-size="11">{label}</text>"#,
+            lx = x + 8.0,
+            lyy = y + 4.0,
+            label = p.label
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_points() -> Vec<ScatterPoint> {
+        vec![
+            ScatterPoint {
+                label: "DP".into(),
+                x: 3.4e5,
+                y: 1.0,
+            },
+            ScatterPoint {
+                label: "SDP".into(),
+                x: 8.8e3,
+                y: 1.04,
+            },
+            ScatterPoint {
+                label: "GOO".into(),
+                x: 2.8e2,
+                y: 1.14,
+            },
+        ]
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let svg = scatter_svg("Figure 1.2", "plans costed", "rho", &sample_points());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        for label in ["DP", "SDP", "GOO"] {
+            assert!(svg.contains(&format!(">{label}</text>")));
+        }
+        // Log ticks cover the range 1e2 .. 1e6.
+        assert!(svg.contains(">1e2<"));
+        assert!(svg.contains(">1e5<") || svg.contains(">1e6<"));
+    }
+
+    #[test]
+    fn points_are_inside_the_frame() {
+        let svg = scatter_svg("t", "x", "y", &sample_points());
+        for part in svg.split("<circle cx=\"").skip(1) {
+            let cx: f64 = part.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=640.0).contains(&cx), "cx {cx}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn empty_input_rejected() {
+        let _ = scatter_svg("t", "x", "y", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive x")]
+    fn non_positive_x_rejected() {
+        let _ = scatter_svg(
+            "t",
+            "x",
+            "y",
+            &[ScatterPoint {
+                label: "bad".into(),
+                x: 0.0,
+                y: 1.0,
+            }],
+        );
+    }
+}

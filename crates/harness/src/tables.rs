@@ -1,0 +1,191 @@
+//! Rendering experiment results in the paper's table format.
+
+use sdp_metrics::{overhead::sci, OverheadSummary, QualitySummary};
+
+/// One row of a plan-quality table (the paper's I/G/A/B/W/ρ columns).
+#[derive(Debug, Clone)]
+pub struct QualityRow {
+    /// Row label, e.g. `"IDP(7)"`.
+    pub technique: String,
+    /// `None` renders the paper's `*` (infeasible).
+    pub summary: Option<QualitySummary>,
+    /// `true` for the reference technique (all-ideal by definition).
+    pub is_reference: bool,
+}
+
+/// One row of an overheads table (Memory / Time / Costing columns).
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Row label.
+    pub technique: String,
+    /// `None` renders `*`.
+    pub summary: Option<OverheadSummary>,
+}
+
+/// Render a plan-quality table titled like the paper's.
+pub fn render_quality_table(title: &str, graph_label: &str, rows: &[QualityRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<16} {:<10} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8}\n",
+        "Join Graph", "Technique", "I%", "G%", "A%", "B%", "W", "rho"
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        let graph = if i == 0 { graph_label } else { "" };
+        match (&row.summary, row.is_reference) {
+            (Some(s), _) => out.push_str(&format!(
+                "{:<16} {:<10} {:>6.0} {:>6.0} {:>6.0} {:>6.0} {:>8.2} {:>8.2}\n",
+                graph,
+                row.technique,
+                s.ideal_pct,
+                s.good_pct,
+                s.acceptable_pct,
+                s.bad_pct,
+                s.worst,
+                s.rho
+            )),
+            (None, true) => out.push_str(&format!(
+                "{:<16} {:<10} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8}\n",
+                graph, row.technique, 100, 0, 0, 0, 1.0, 1.0
+            )),
+            (None, false) => out.push_str(&format!(
+                "{:<16} {:<10} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8}\n",
+                graph, row.technique, "*", "*", "*", "*", "*", "*"
+            )),
+        }
+    }
+    out
+}
+
+/// Render an overheads table.
+pub fn render_overhead_table(title: &str, graph_label: &str, rows: &[OverheadRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<16} {:<10} {:>12} {:>12} {:>14}\n",
+        "Join Graph", "Technique", "Memory (MB)", "Time (s)", "Costing"
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        let graph = if i == 0 { graph_label } else { "" };
+        match &row.summary {
+            Some(s) => out.push_str(&format!(
+                "{:<16} {:<10} {:>12.2} {:>12.4} {:>14}\n",
+                graph,
+                row.technique,
+                s.memory_mb,
+                s.time_s,
+                s.plans_costed_sci()
+            )),
+            None => out.push_str(&format!(
+                "{:<16} {:<10} {:>12} {:>12} {:>14}\n",
+                graph, row.technique, "*", "*", "*"
+            )),
+        }
+    }
+    out
+}
+
+/// Render a markdown quality table for `EXPERIMENTS.md`.
+pub fn markdown_quality_rows(rows: &[QualityRow]) -> String {
+    let mut out =
+        String::from("| Technique | I% | G% | A% | B% | W | ρ |\n|---|---|---|---|---|---|---|\n");
+    for row in rows {
+        match (&row.summary, row.is_reference) {
+            (Some(s), _) => out.push_str(&format!(
+                "| {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.2} | {:.3} |\n",
+                row.technique, s.ideal_pct, s.good_pct, s.acceptable_pct, s.bad_pct, s.worst, s.rho
+            )),
+            (None, true) => out.push_str(&format!(
+                "| {} | 100 | 0 | 0 | 0 | 1.00 | 1.000 |\n",
+                row.technique
+            )),
+            (None, false) => {
+                out.push_str(&format!("| {} | * | * | * | * | * | * |\n", row.technique))
+            }
+        }
+    }
+    out
+}
+
+/// Render a markdown overhead table for `EXPERIMENTS.md`.
+pub fn markdown_overhead_rows(rows: &[OverheadRow]) -> String {
+    let mut out =
+        String::from("| Technique | Memory (MB) | Time (s) | Plans costed |\n|---|---|---|---|\n");
+    for row in rows {
+        match &row.summary {
+            Some(s) => out.push_str(&format!(
+                "| {} | {:.2} | {:.4} | {} |\n",
+                row.technique,
+                s.memory_mb,
+                s.time_s,
+                sci(s.plans_costed)
+            )),
+            None => out.push_str(&format!("| {} | * | * | * |\n", row.technique)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_quality() -> QualitySummary {
+        QualitySummary::from_ratios(&[1.0, 1.5, 3.0, 12.0])
+    }
+
+    #[test]
+    fn quality_table_renders_all_rows() {
+        let rows = vec![
+            QualityRow {
+                technique: "DP".into(),
+                summary: None,
+                is_reference: true,
+            },
+            QualityRow {
+                technique: "IDP(7)".into(),
+                summary: Some(sample_quality()),
+                is_reference: false,
+            },
+            QualityRow {
+                technique: "SDP".into(),
+                summary: None,
+                is_reference: false,
+            },
+        ];
+        let t = render_quality_table("Table X", "Star-15", &rows);
+        assert!(t.contains("Star-15"));
+        assert!(t.contains("IDP(7)"));
+        assert!(t.contains('*'), "infeasible renders as *");
+        assert_eq!(t.lines().count(), 5);
+    }
+
+    #[test]
+    fn overhead_table_renders_sci_notation() {
+        let rows = vec![OverheadRow {
+            technique: "SDP".into(),
+            summary: Some(OverheadSummary {
+                runs: 10,
+                memory_mb: 4.33,
+                time_s: 0.1,
+                plans_costed: 50_000.0,
+            }),
+        }];
+        let t = render_overhead_table("Table Y", "Star-Chain-15", &rows);
+        assert!(t.contains("5.0E4"));
+        assert!(t.contains("4.33"));
+    }
+
+    #[test]
+    fn markdown_rows_are_well_formed() {
+        let rows = vec![QualityRow {
+            technique: "SDP".into(),
+            summary: Some(sample_quality()),
+            is_reference: false,
+        }];
+        let md = markdown_quality_rows(&rows);
+        for line in md.lines() {
+            assert_eq!(line.matches('|').count(), 8, "line: {line}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Optimization-overhead aggregation: the paper's Memory / Time /
+//! Costing columns.
+
+use std::time::Duration;
+
+/// One optimization run's overheads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadSample {
+    /// Peak memory (model bytes).
+    pub memory_bytes: u64,
+    /// Wall-clock optimization time.
+    pub elapsed: Duration,
+    /// Plans costed.
+    pub plans_costed: u64,
+}
+
+/// Mean overheads over a query set — one row of the paper's overhead
+/// tables (the paper reports per-query averages).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OverheadSummary {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean peak memory, in megabytes.
+    pub memory_mb: f64,
+    /// Mean optimization time, in seconds.
+    pub time_s: f64,
+    /// Mean plans costed.
+    pub plans_costed: f64,
+}
+
+impl OverheadSummary {
+    /// Aggregate samples into per-query means.
+    pub fn from_samples(samples: &[OverheadSample]) -> Self {
+        if samples.is_empty() {
+            return OverheadSummary::default();
+        }
+        let n = samples.len() as f64;
+        OverheadSummary {
+            runs: samples.len(),
+            memory_mb: samples.iter().map(|s| s.memory_bytes as f64).sum::<f64>()
+                / n
+                / (1024.0 * 1024.0),
+            time_s: samples.iter().map(|s| s.elapsed.as_secs_f64()).sum::<f64>() / n,
+            plans_costed: samples.iter().map(|s| s.plans_costed as f64).sum::<f64>() / n,
+        }
+    }
+
+    /// Format the plans-costed column in the paper's scientific style
+    /// (e.g. `8.3E5`).
+    pub fn plans_costed_sci(&self) -> String {
+        sci(self.plans_costed)
+    }
+}
+
+/// Render a number as the paper's compact scientific notation.
+pub fn sci(v: f64) -> String {
+    if v <= 0.0 {
+        return "0".into();
+    }
+    let exp = v.abs().log10().floor() as i32;
+    let mantissa = v / 10f64.powi(exp);
+    format!("{mantissa:.1}E{exp}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_are_correct() {
+        let samples = [
+            OverheadSample {
+                memory_bytes: 2 * 1024 * 1024,
+                elapsed: Duration::from_millis(100),
+                plans_costed: 1000,
+            },
+            OverheadSample {
+                memory_bytes: 4 * 1024 * 1024,
+                elapsed: Duration::from_millis(300),
+                plans_costed: 3000,
+            },
+        ];
+        let s = OverheadSummary::from_samples(&samples);
+        assert_eq!(s.runs, 2);
+        assert!((s.memory_mb - 3.0).abs() < 1e-9);
+        assert!((s.time_s - 0.2).abs() < 1e-9);
+        assert!((s.plans_costed - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = OverheadSummary::from_samples(&[]);
+        assert_eq!(s.runs, 0);
+        assert_eq!(s.memory_mb, 0.0);
+    }
+
+    #[test]
+    fn scientific_format_matches_paper_style() {
+        assert_eq!(sci(830_000.0), "8.3E5");
+        assert_eq!(sci(50_000.0), "5.0E4");
+        assert_eq!(sci(4_500_000.0), "4.5E6");
+        assert_eq!(sci(0.0), "0");
+    }
+}

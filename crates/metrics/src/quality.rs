@@ -1,0 +1,206 @@
+//! Plan-quality classification (I/G/A/B), worst-case ratio and the
+//! geometric-mean plan-quality factor ρ.
+
+use std::fmt;
+
+/// The paper's plan-quality classes for a cost ratio `r =
+/// cost(plan) / cost(reference)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QualityClass {
+    /// "the recommended plan is either identical to that produced by
+    /// DP, or within 1 % of this optimal".
+    Ideal,
+    /// Within a factor of two of the optimal (Kossmann's "good").
+    Good,
+    /// Within an order of magnitude of the optimal.
+    Acceptable,
+    /// Beyond an order of magnitude.
+    Bad,
+}
+
+impl QualityClass {
+    /// Classify a cost ratio.
+    ///
+    /// # Panics
+    /// Panics if `ratio` is not finite or is below 1 − 1e-6 (a plan
+    /// cannot beat the optimal reference by more than rounding).
+    pub fn classify(ratio: f64) -> Self {
+        assert!(
+            ratio.is_finite() && ratio > 1.0 - 1e-6,
+            "invalid plan-cost ratio {ratio}"
+        );
+        if ratio <= 1.01 {
+            QualityClass::Ideal
+        } else if ratio <= 2.0 {
+            QualityClass::Good
+        } else if ratio <= 10.0 {
+            QualityClass::Acceptable
+        } else {
+            QualityClass::Bad
+        }
+    }
+
+    /// One-letter label used in the paper's table headers.
+    pub fn letter(self) -> char {
+        match self {
+            QualityClass::Ideal => 'I',
+            QualityClass::Good => 'G',
+            QualityClass::Acceptable => 'A',
+            QualityClass::Bad => 'B',
+        }
+    }
+}
+
+impl fmt::Display for QualityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// Geometric mean of a set of cost ratios — the paper's ρ.
+///
+/// Computed in log space for numerical stability. Returns 1.0 for an
+/// empty input (the DP-versus-itself row).
+pub fn geometric_mean_ratio(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    let ln_sum: f64 = ratios.iter().map(|r| r.ln()).sum();
+    (ln_sum / ratios.len() as f64).exp()
+}
+
+/// Aggregated plan quality over a query set: one row of the paper's
+/// quality tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualitySummary {
+    /// Number of queries aggregated.
+    pub queries: usize,
+    /// Percentage classified Ideal.
+    pub ideal_pct: f64,
+    /// Percentage classified Good (but not Ideal).
+    pub good_pct: f64,
+    /// Percentage classified Acceptable.
+    pub acceptable_pct: f64,
+    /// Percentage classified Bad.
+    pub bad_pct: f64,
+    /// Worst-case ratio W.
+    pub worst: f64,
+    /// Plan-quality factor ρ (geometric mean of ratios).
+    pub rho: f64,
+}
+
+impl QualitySummary {
+    /// Summarize a set of cost ratios.
+    ///
+    /// # Panics
+    /// Panics when `ratios` is empty — an empty experiment row is a
+    /// harness bug, not a legitimate table entry.
+    pub fn from_ratios(ratios: &[f64]) -> Self {
+        assert!(!ratios.is_empty(), "no ratios to summarize");
+        let n = ratios.len() as f64;
+        let mut counts = [0usize; 4];
+        let mut worst = f64::MIN;
+        for &r in ratios {
+            let class = QualityClass::classify(r);
+            let idx = match class {
+                QualityClass::Ideal => 0,
+                QualityClass::Good => 1,
+                QualityClass::Acceptable => 2,
+                QualityClass::Bad => 3,
+            };
+            counts[idx] += 1;
+            worst = worst.max(r);
+        }
+        QualitySummary {
+            queries: ratios.len(),
+            ideal_pct: 100.0 * counts[0] as f64 / n,
+            good_pct: 100.0 * counts[1] as f64 / n,
+            acceptable_pct: 100.0 * counts[2] as f64 / n,
+            bad_pct: 100.0 * counts[3] as f64 / n,
+            worst,
+            rho: geometric_mean_ratio(ratios),
+        }
+    }
+
+    /// The reference row (DP against itself): 100 % ideal.
+    pub fn reference(queries: usize) -> Self {
+        QualitySummary {
+            queries,
+            ideal_pct: 100.0,
+            good_pct: 0.0,
+            acceptable_pct: 0.0,
+            bad_pct: 0.0,
+            worst: 1.0,
+            rho: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_thresholds_match_paper() {
+        assert_eq!(QualityClass::classify(1.0), QualityClass::Ideal);
+        assert_eq!(QualityClass::classify(1.01), QualityClass::Ideal);
+        assert_eq!(QualityClass::classify(1.02), QualityClass::Good);
+        assert_eq!(QualityClass::classify(2.0), QualityClass::Good);
+        assert_eq!(QualityClass::classify(2.001), QualityClass::Acceptable);
+        assert_eq!(QualityClass::classify(10.0), QualityClass::Acceptable);
+        assert_eq!(QualityClass::classify(10.5), QualityClass::Bad);
+    }
+
+    #[test]
+    fn letters_for_table_headers() {
+        assert_eq!(QualityClass::Ideal.letter(), 'I');
+        assert_eq!(QualityClass::Bad.to_string(), "B");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid plan-cost ratio")]
+    fn sub_optimal_ratio_rejected() {
+        let _ = QualityClass::classify(0.5);
+    }
+
+    #[test]
+    fn rounding_noise_below_one_tolerated() {
+        assert_eq!(QualityClass::classify(1.0 - 1e-9), QualityClass::Ideal);
+    }
+
+    #[test]
+    fn geometric_mean_examples() {
+        assert_eq!(geometric_mean_ratio(&[]), 1.0);
+        assert!((geometric_mean_ratio(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean_ratio(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // Geometric mean is dominated less by outliers than the
+        // arithmetic mean.
+        let g = geometric_mean_ratio(&[1.0, 1.0, 1.0, 11.0]);
+        assert!(g < 2.0);
+    }
+
+    #[test]
+    fn summary_percentages_sum_to_hundred() {
+        let ratios = [1.0, 1.005, 1.5, 3.0, 12.0, 1.0];
+        let s = QualitySummary::from_ratios(&ratios);
+        let total = s.ideal_pct + s.good_pct + s.acceptable_pct + s.bad_pct;
+        assert!((total - 100.0).abs() < 1e-9);
+        assert_eq!(s.queries, 6);
+        assert_eq!(s.worst, 12.0);
+        assert_eq!(s.ideal_pct, 50.0);
+    }
+
+    #[test]
+    fn reference_row_is_all_ideal() {
+        let s = QualitySummary::reference(100);
+        assert_eq!(s.ideal_pct, 100.0);
+        assert_eq!(s.rho, 1.0);
+        assert_eq!(s.worst, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ratios")]
+    fn empty_summary_rejected() {
+        let _ = QualitySummary::from_ratios(&[]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Join-column equivalence classes and transitive edge inference.
+//!
+//! "The presence of `R.a ⋈ S.b` and `R.a ⋈ T.c` in the join-graph …
+//! directly implies `S.b ⋈ T.c`. In most industrial-strength query
+//! optimizers, including PostgreSQL, the optimizer rewriter itself
+//! performs the inclusion of these additional edges." We reproduce the
+//! rewriter here: equi-joined columns are grouped into equivalence
+//! classes (union-find), and every missing edge among members of a
+//! class is added to the graph. The classes double as the *order
+//! classes* used for interesting-order bookkeeping: a sort on any
+//! column of a class satisfies an order requirement on the class.
+
+use std::collections::HashMap;
+
+use crate::graph::{ColRef, JoinEdge, JoinGraph};
+
+/// Identifier of a join-column equivalence class.
+pub type ClassId = u32;
+
+/// Equivalence classes of join columns, computed from a graph's edges.
+#[derive(Debug, Clone)]
+pub struct EquivClasses {
+    /// Map from column reference to class id.
+    class_of: HashMap<ColRef, ClassId>,
+    /// Members of each class, indexed by class id.
+    members: Vec<Vec<ColRef>>,
+}
+
+impl EquivClasses {
+    /// Compute classes from a join graph.
+    pub fn new(graph: &JoinGraph) -> Self {
+        // Union-find over the column references appearing in edges.
+        let mut ids: HashMap<ColRef, usize> = HashMap::new();
+        let mut parent: Vec<usize> = Vec::new();
+        let mut intern = |c: ColRef, parent: &mut Vec<usize>| -> usize {
+            *ids.entry(c).or_insert_with(|| {
+                let id = parent.len();
+                parent.push(id);
+                id
+            })
+        };
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]]; // path halving
+                x = parent[x];
+            }
+            x
+        }
+        for e in graph.edges() {
+            let a = intern(e.left, &mut parent);
+            let b = intern(e.right, &mut parent);
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+
+        // Canonicalize roots into dense class ids.
+        let mut root_to_class: HashMap<usize, ClassId> = HashMap::new();
+        let mut class_of: HashMap<ColRef, ClassId> = HashMap::new();
+        let mut members: Vec<Vec<ColRef>> = Vec::new();
+        let mut refs: Vec<ColRef> = ids.keys().copied().collect();
+        refs.sort_unstable(); // deterministic class numbering
+        for c in refs {
+            let root = find(&mut parent, ids[&c]);
+            let class = *root_to_class.entry(root).or_insert_with(|| {
+                members.push(Vec::new());
+                (members.len() - 1) as ClassId
+            });
+            class_of.insert(c, class);
+            members[class as usize].push(c);
+        }
+        EquivClasses { class_of, members }
+    }
+
+    /// The class of a column reference, if it participates in a join.
+    pub fn class_of(&self, c: ColRef) -> Option<ClassId> {
+        self.class_of.get(&c).copied()
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether there are no classes (graph without edges).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Members of one class.
+    pub fn members(&self, class: ClassId) -> &[ColRef] {
+        &self.members[class as usize]
+    }
+
+    /// Iterate over `(class id, members)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &[ColRef])> {
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (i as ClassId, m.as_slice()))
+    }
+
+    /// All classes touching the given node.
+    pub fn classes_of_node(&self, node: usize) -> Vec<ClassId> {
+        let mut v: Vec<ClassId> = self
+            .class_of
+            .iter()
+            .filter(|(c, _)| c.node == node)
+            .map(|(_, &cl)| cl)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Apply the rewriter's transitive closure: add every implied edge
+/// between members of the same equivalence class that is not already
+/// present. Returns the number of edges added.
+///
+/// "The presence of the extra edges has the potential to create new
+/// hubs, and therefore provides additional opportunity for SDP."
+pub fn infer_transitive_edges(graph: &mut JoinGraph) -> usize {
+    let classes = EquivClasses::new(graph);
+    let before = graph.edges().len();
+    for (_, members) in classes.iter() {
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                if members[i].node != members[j].node {
+                    graph.add_edge(JoinEdge::new(members[i], members[j]));
+                }
+            }
+        }
+    }
+    graph.edges().len() - before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_catalog::{ColId, RelId};
+
+    /// R0.a ⋈ R1.b and R0.a ⋈ R2.c — shared join column on R0.
+    fn shared_column_graph() -> JoinGraph {
+        let rels = (0..3).map(RelId).collect();
+        let a = ColRef::new(0, ColId(0));
+        let b = ColRef::new(1, ColId(1));
+        let c = ColRef::new(2, ColId(2));
+        JoinGraph::new(rels, vec![JoinEdge::new(a, b), JoinEdge::new(a, c)])
+    }
+
+    #[test]
+    fn shared_column_forms_single_class() {
+        let g = shared_column_graph();
+        let cl = EquivClasses::new(&g);
+        assert_eq!(cl.len(), 1);
+        assert_eq!(cl.members(0).len(), 3);
+        let a = cl.class_of(ColRef::new(0, ColId(0)));
+        let b = cl.class_of(ColRef::new(1, ColId(1)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_join_columns_form_distinct_classes() {
+        // Chain where each edge uses fresh columns: R0.c0=R1.c1,
+        // R1.c2=R2.c3 — two classes.
+        let rels = (0..3).map(RelId).collect();
+        let g = JoinGraph::new(
+            rels,
+            vec![
+                JoinEdge::new(ColRef::new(0, ColId(0)), ColRef::new(1, ColId(1))),
+                JoinEdge::new(ColRef::new(1, ColId(2)), ColRef::new(2, ColId(3))),
+            ],
+        );
+        let cl = EquivClasses::new(&g);
+        assert_eq!(cl.len(), 2);
+    }
+
+    #[test]
+    fn transitive_closure_adds_the_paper_edge() {
+        // R.a ⋈ S.b ∧ R.a ⋈ T.c ⇒ S.b ⋈ T.c
+        let mut g = shared_column_graph();
+        let added = infer_transitive_edges(&mut g);
+        assert_eq!(added, 1);
+        assert!(g
+            .edges()
+            .iter()
+            .any(|e| e.left.node == 1 && e.right.node == 2));
+        // Idempotent.
+        assert_eq!(infer_transitive_edges(&mut g), 0);
+    }
+
+    #[test]
+    fn closure_can_create_new_hubs() {
+        // Star of shared columns: R0.a joins R1, R2, R3 on the same
+        // column — closure turns the spokes into a clique, making every
+        // node a hub.
+        let rels = (0..4).map(RelId).collect();
+        let a = ColRef::new(0, ColId(0));
+        let edges = (1..4)
+            .map(|i| JoinEdge::new(a, ColRef::new(i, ColId(0))))
+            .collect();
+        let mut g = JoinGraph::new(rels, edges);
+        assert_eq!(crate::hubs::root_hubs(&g).len(), 1);
+        infer_transitive_edges(&mut g);
+        assert_eq!(crate::hubs::root_hubs(&g).len(), 4);
+    }
+
+    #[test]
+    fn classes_of_node_lists_participations() {
+        let g = shared_column_graph();
+        let cl = EquivClasses::new(&g);
+        assert_eq!(cl.classes_of_node(0), vec![0]);
+        assert_eq!(cl.classes_of_node(1), vec![0]);
+        assert!(!cl.is_empty());
+    }
+
+    #[test]
+    fn class_numbering_is_deterministic() {
+        let g = shared_column_graph();
+        let a = EquivClasses::new(&g);
+        let b = EquivClasses::new(&g);
+        for (c, id) in &a.class_of {
+            assert_eq!(b.class_of(*c), Some(*id));
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_has_no_classes() {
+        let g = JoinGraph::new(vec![RelId(0)], vec![]);
+        let cl = EquivClasses::new(&g);
+        assert!(cl.is_empty());
+        assert_eq!(cl.class_of(ColRef::new(0, ColId(0))), None);
+    }
+}

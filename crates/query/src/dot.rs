@@ -1,0 +1,75 @@
+//! Graphviz DOT rendering of join graphs — the quickest way to *see*
+//! the hub structure SDP's pruning keys on (compare the paper's
+//! Figures 1.1 and 2.1).
+
+use std::fmt::Write as _;
+
+use crate::graph::JoinGraph;
+use crate::hubs;
+
+/// Render a join graph as a Graphviz `graph` document. Hub relations
+/// are drawn as doubled circles; edges are labelled with their join
+/// columns; local predicates appear in the node labels.
+pub fn graph_to_dot(graph: &JoinGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  layout=neato; overlap=false;");
+    let hubs = hubs::root_hubs(graph);
+    for node in 0..graph.len() {
+        let rel = graph.relation(node);
+        let mut label = format!("n{node}\\n{rel}");
+        for f in graph.filters_on(node) {
+            let _ = write!(label, "\\n{} {} {}", f.column.col, f.op, f.value);
+        }
+        let shape = if hubs.contains(node) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "  n{node} [label=\"{label}\", shape={shape}];");
+    }
+    for e in graph.edges() {
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [label=\"{}={}\"];",
+            e.left.node, e.right.node, e.left.col, e.right.col
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::QueryGenerator;
+    use crate::topology::Topology;
+    use sdp_catalog::Catalog;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::star_chain(8), 3)
+            .with_filter_probability(1.0)
+            .instance(0);
+        let dot = graph_to_dot(&q.graph, "g");
+        assert!(dot.starts_with("graph g {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for node in 0..q.graph.len() {
+            assert!(dot.contains(&format!("n{node} [label=")));
+        }
+        assert_eq!(dot.matches(" -- ").count(), q.graph.edges().len());
+        // Hub marked, spokes not.
+        assert!(dot.contains("doublecircle"));
+        // Filters rendered.
+        assert!(dot.contains('<') || dot.contains('=') || dot.contains('>'));
+    }
+
+    #[test]
+    fn chains_have_no_hub_marks() {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Chain(6), 1).instance(0);
+        let dot = graph_to_dot(&q.graph, "chain");
+        assert!(!dot.contains("doublecircle"));
+    }
+}

@@ -1,0 +1,341 @@
+//! The join graph: nodes bound to catalog relations, edges carrying
+//! equi-join predicates.
+
+use sdp_catalog::{ColId, RelId};
+
+use crate::relset::RelSet;
+
+/// A reference to a column of a query node: `(node index, column)`.
+///
+/// Node indices are query-local (0-based positions in the join graph),
+/// not catalog relation ids — the same catalog relation may in
+/// principle appear under several aliases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColRef {
+    /// Query-local node index.
+    pub node: usize,
+    /// Column within that node's relation.
+    pub col: ColId,
+}
+
+impl ColRef {
+    /// Construct a column reference.
+    pub fn new(node: usize, col: ColId) -> Self {
+        ColRef { node, col }
+    }
+}
+
+/// An equi-join predicate `left = right` between two column
+/// references on distinct nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JoinEdge {
+    /// One side of the equality.
+    pub left: ColRef,
+    /// The other side.
+    pub right: ColRef,
+}
+
+impl JoinEdge {
+    /// Construct an edge; sides are normalized so `left.node <
+    /// right.node`, making edge identity canonical.
+    pub fn new(a: ColRef, b: ColRef) -> Self {
+        assert_ne!(a.node, b.node, "join edge must connect distinct nodes");
+        if a.node < b.node {
+            JoinEdge { left: a, right: b }
+        } else {
+            JoinEdge { left: b, right: a }
+        }
+    }
+
+    /// The two nodes as a set.
+    pub fn node_set(&self) -> RelSet {
+        RelSet::single(self.left.node) | RelSet::single(self.right.node)
+    }
+
+    /// Whether this edge crosses the boundary between `a` and `b`
+    /// (one endpoint in each).
+    pub fn crosses(&self, a: RelSet, b: RelSet) -> bool {
+        (a.contains(self.left.node) && b.contains(self.right.node))
+            || (a.contains(self.right.node) && b.contains(self.left.node))
+    }
+
+    /// Whether both endpoints lie within `set`.
+    pub fn within(&self, set: RelSet) -> bool {
+        set.contains(self.left.node) && set.contains(self.right.node)
+    }
+}
+
+/// An undirected join graph over `n` query nodes.
+///
+/// Stores, besides the edge list, a per-node adjacency bitset for O(1)
+/// connectivity tests — the hot operation of every enumerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinGraph {
+    /// For each node, the catalog relation it binds to.
+    relations: Vec<RelId>,
+    /// Equi-join predicates.
+    edges: Vec<JoinEdge>,
+    /// `adjacency[i]` = set of nodes sharing an edge with node `i`.
+    adjacency: Vec<RelSet>,
+    /// Local selection predicates, pushed into scans by the
+    /// enumerators.
+    filters: Vec<crate::predicate::Predicate>,
+}
+
+impl JoinGraph {
+    /// Build a graph from relation bindings and edges.
+    ///
+    /// # Panics
+    /// Panics if an edge references a node out of range or if there
+    /// are more than [`RelSet::MAX_RELATIONS`] nodes.
+    pub fn new(relations: Vec<RelId>, edges: Vec<JoinEdge>) -> Self {
+        let n = relations.len();
+        assert!(
+            n <= RelSet::MAX_RELATIONS,
+            "at most {} relations supported",
+            RelSet::MAX_RELATIONS
+        );
+        let mut adjacency = vec![RelSet::EMPTY; n];
+        for e in &edges {
+            assert!(e.left.node < n && e.right.node < n, "edge out of range");
+            adjacency[e.left.node] = adjacency[e.left.node].insert(e.right.node);
+            adjacency[e.right.node] = adjacency[e.right.node].insert(e.left.node);
+        }
+        JoinGraph {
+            relations,
+            edges,
+            adjacency,
+            filters: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The set of all nodes.
+    pub fn all_nodes(&self) -> RelSet {
+        RelSet::first_n(self.len())
+    }
+
+    /// Catalog relation bound to `node`.
+    pub fn relation(&self, node: usize) -> RelId {
+        self.relations[node]
+    }
+
+    /// All relation bindings, by node index.
+    pub fn relations(&self) -> &[RelId] {
+        &self.relations
+    }
+
+    /// All join edges.
+    pub fn edges(&self) -> &[JoinEdge] {
+        &self.edges
+    }
+
+    /// Adjacency set of a single node.
+    pub fn adjacent(&self, node: usize) -> RelSet {
+        self.adjacency[node]
+    }
+
+    /// Union of the adjacency sets of `set`'s members, minus `set`
+    /// itself: the external neighbourhood of a composite.
+    pub fn neighbors(&self, set: RelSet) -> RelSet {
+        let mut out = RelSet::EMPTY;
+        for i in set.iter() {
+            out = out | self.adjacency[i];
+        }
+        out - set
+    }
+
+    /// Degree of a composite: the number of distinct external
+    /// neighbour nodes. A composite with degree ≥ 3 is a *hub* in the
+    /// paper's terminology.
+    pub fn degree(&self, set: RelSet) -> usize {
+        self.neighbors(set).len()
+    }
+
+    /// Whether two disjoint sets are connected by at least one edge.
+    #[inline]
+    pub fn sets_connected(&self, a: RelSet, b: RelSet) -> bool {
+        self.neighbors(a).intersects(b)
+    }
+
+    /// Whether the induced subgraph on `set` is connected.
+    pub fn is_connected(&self, set: RelSet) -> bool {
+        let Some(start) = set.min_index() else {
+            return false;
+        };
+        let mut reached = RelSet::single(start);
+        loop {
+            let frontier = self.neighbors(reached) & set;
+            if frontier.is_empty() {
+                break;
+            }
+            reached = reached | frontier;
+        }
+        reached == set
+    }
+
+    /// Edges crossing between disjoint `a` and `b`.
+    pub fn crossing_edges(&self, a: RelSet, b: RelSet) -> impl Iterator<Item = &JoinEdge> {
+        self.edges.iter().filter(move |e| e.crosses(a, b))
+    }
+
+    /// Edges entirely inside `set`.
+    pub fn internal_edges(&self, set: RelSet) -> impl Iterator<Item = &JoinEdge> {
+        self.edges.iter().filter(move |e| e.within(set))
+    }
+
+    /// Attach a local selection predicate.
+    ///
+    /// # Panics
+    /// Panics if the predicate references a node out of range.
+    pub fn add_filter(&mut self, filter: crate::predicate::Predicate) {
+        assert!(filter.column.node < self.len(), "filter out of range");
+        self.filters.push(filter);
+    }
+
+    /// All selection predicates.
+    pub fn filters(&self) -> &[crate::predicate::Predicate] {
+        &self.filters
+    }
+
+    /// Selection predicates on one node.
+    pub fn filters_on(&self, node: usize) -> impl Iterator<Item = &crate::predicate::Predicate> {
+        self.filters.iter().filter(move |f| f.column.node == node)
+    }
+
+    /// Add an edge (used by the transitive-closure rewriter), updating
+    /// adjacency. Duplicate edges are ignored.
+    pub fn add_edge(&mut self, edge: JoinEdge) {
+        assert!(
+            edge.left.node < self.len() && edge.right.node < self.len(),
+            "edge out of range"
+        );
+        if self.edges.contains(&edge) {
+            return;
+        }
+        self.adjacency[edge.left.node] = self.adjacency[edge.left.node].insert(edge.right.node);
+        self.adjacency[edge.right.node] = self.adjacency[edge.right.node].insert(edge.left.node);
+        self.edges.push(edge);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path 0 - 1 - 2 - 3 on four distinct relations.
+    fn chain4() -> JoinGraph {
+        let rels = (0..4).map(RelId).collect();
+        let edges = (0..3)
+            .map(|i| JoinEdge::new(ColRef::new(i, ColId(0)), ColRef::new(i + 1, ColId(1))))
+            .collect();
+        JoinGraph::new(rels, edges)
+    }
+
+    /// Star with hub 0 and spokes 1..=4.
+    fn star5() -> JoinGraph {
+        let rels = (0..5).map(RelId).collect();
+        let edges = (1..5)
+            .map(|i| JoinEdge::new(ColRef::new(0, ColId(0)), ColRef::new(i, ColId(1))))
+            .collect();
+        JoinGraph::new(rels, edges)
+    }
+
+    #[test]
+    fn edge_is_normalized() {
+        let e = JoinEdge::new(ColRef::new(3, ColId(1)), ColRef::new(1, ColId(0)));
+        assert_eq!(e.left.node, 1);
+        assert_eq!(e.right.node, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct nodes")]
+    fn self_edge_rejected() {
+        let _ = JoinEdge::new(ColRef::new(2, ColId(0)), ColRef::new(2, ColId(1)));
+    }
+
+    #[test]
+    fn adjacency_and_neighbors() {
+        let g = chain4();
+        assert_eq!(g.adjacent(0), RelSet::single(1));
+        assert_eq!(g.adjacent(1), RelSet::from_indices([0, 2]));
+        let mid = RelSet::from_indices([1, 2]);
+        assert_eq!(g.neighbors(mid), RelSet::from_indices([0, 3]));
+    }
+
+    #[test]
+    fn degree_identifies_hubs() {
+        let g = star5();
+        assert_eq!(g.degree(RelSet::single(0)), 4); // hub
+        assert_eq!(g.degree(RelSet::single(1)), 1); // spoke
+                                                    // Composite hub: {0,1} still joins 2,3,4.
+        assert_eq!(g.degree(RelSet::from_indices([0, 1])), 3);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        let g = chain4();
+        assert!(g.is_connected(RelSet::from_indices([0, 1, 2])));
+        assert!(!g.is_connected(RelSet::from_indices([0, 2]))); // gap at 1
+        assert!(g.sets_connected(RelSet::single(0), RelSet::single(1)));
+        assert!(!g.sets_connected(RelSet::single(0), RelSet::single(3)));
+        assert!(!g.is_connected(RelSet::EMPTY));
+    }
+
+    #[test]
+    fn crossing_and_internal_edges() {
+        let g = chain4();
+        let a = RelSet::from_indices([0, 1]);
+        let b = RelSet::from_indices([2, 3]);
+        assert_eq!(g.crossing_edges(a, b).count(), 1);
+        assert_eq!(g.internal_edges(a).count(), 1);
+        assert_eq!(g.internal_edges(g.all_nodes()).count(), 3);
+    }
+
+    #[test]
+    fn add_edge_deduplicates() {
+        let mut g = chain4();
+        let e = JoinEdge::new(ColRef::new(0, ColId(0)), ColRef::new(3, ColId(2)));
+        g.add_edge(e);
+        g.add_edge(e);
+        assert_eq!(g.edges().len(), 4);
+        assert!(g.sets_connected(RelSet::single(0), RelSet::single(3)));
+    }
+
+    #[test]
+    fn filters_attach_and_filter_by_node() {
+        use crate::predicate::{PredOp, Predicate};
+        let mut g = chain4();
+        g.add_filter(Predicate::new(ColRef::new(1, ColId(5)), PredOp::Lt, 50));
+        g.add_filter(Predicate::new(ColRef::new(1, ColId(6)), PredOp::Eq, 7));
+        g.add_filter(Predicate::new(ColRef::new(3, ColId(0)), PredOp::Ge, 1));
+        assert_eq!(g.filters().len(), 3);
+        assert_eq!(g.filters_on(1).count(), 2);
+        assert_eq!(g.filters_on(0).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter out of range")]
+    fn out_of_range_filter_rejected() {
+        use crate::predicate::{PredOp, Predicate};
+        let mut g = chain4();
+        g.add_filter(Predicate::new(ColRef::new(9, ColId(0)), PredOp::Eq, 0));
+    }
+
+    #[test]
+    fn all_nodes_matches_len() {
+        let g = star5();
+        assert_eq!(g.all_nodes().len(), 5);
+        assert_eq!(g.len(), 5);
+        assert!(!g.is_empty());
+    }
+}

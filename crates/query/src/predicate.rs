@@ -1,0 +1,125 @@
+//! Local selection predicates (`WHERE col ⊕ constant`).
+//!
+//! The paper's benchmark queries are pure join queries, but a usable
+//! optimizer must handle selections; they are implemented end-to-end
+//! (estimation, access-path choice, execution) as a documented
+//! extension. Predicates are attached to the join graph — they are
+//! part of the query's relational structure, exactly like join edges —
+//! and pushed down into the scans by the enumerators.
+
+use std::fmt;
+
+use crate::graph::ColRef;
+
+/// Comparison operator of a selection predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredOp {
+    /// `col = v`
+    Eq,
+    /// `col < v`
+    Lt,
+    /// `col <= v`
+    Le,
+    /// `col > v`
+    Gt,
+    /// `col >= v`
+    Ge,
+}
+
+impl PredOp {
+    /// Evaluate the comparison.
+    #[inline]
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            PredOp::Eq => lhs == rhs,
+            PredOp::Lt => lhs < rhs,
+            PredOp::Le => lhs <= rhs,
+            PredOp::Gt => lhs > rhs,
+            PredOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            PredOp::Eq => "=",
+            PredOp::Lt => "<",
+            PredOp::Le => "<=",
+            PredOp::Gt => ">",
+            PredOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for PredOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A single-column selection `column ⊕ value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    /// Filtered column.
+    pub column: ColRef,
+    /// Comparison operator.
+    pub op: PredOp,
+    /// Constant operand (a value of the column's integer domain).
+    pub value: i64,
+}
+
+impl Predicate {
+    /// Construct a predicate.
+    pub fn new(column: ColRef, op: PredOp, value: i64) -> Self {
+        Predicate { column, op, value }
+    }
+
+    /// Whether a tuple value satisfies the predicate.
+    #[inline]
+    pub fn matches(&self, value: i64) -> bool {
+        self.op.eval(value, self.value)
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n{}.{} {} {}",
+            self.column.node, self.column.col, self.op, self.value
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_catalog::ColId;
+
+    #[test]
+    fn operators_evaluate_correctly() {
+        assert!(PredOp::Eq.eval(5, 5));
+        assert!(!PredOp::Eq.eval(5, 6));
+        assert!(PredOp::Lt.eval(4, 5));
+        assert!(!PredOp::Lt.eval(5, 5));
+        assert!(PredOp::Le.eval(5, 5));
+        assert!(PredOp::Gt.eval(6, 5));
+        assert!(PredOp::Ge.eval(5, 5));
+        assert!(!PredOp::Ge.eval(4, 5));
+    }
+
+    #[test]
+    fn predicate_matches_tuple_values() {
+        let p = Predicate::new(ColRef::new(2, ColId(3)), PredOp::Le, 100);
+        assert!(p.matches(100));
+        assert!(p.matches(-5));
+        assert!(!p.matches(101));
+    }
+
+    #[test]
+    fn display_is_sql_like() {
+        let p = Predicate::new(ColRef::new(1, ColId(0)), PredOp::Gt, 42);
+        assert_eq!(p.to_string(), "n1.c0 > 42");
+        assert_eq!(PredOp::Le.to_string(), "<=");
+    }
+}

@@ -1,0 +1,100 @@
+//! The query object handed to the optimizer: a join graph plus an
+//! optional user-requested output order.
+
+use crate::closure::EquivClasses;
+use crate::graph::{ColRef, JoinGraph};
+
+/// A user-requested output order (`ORDER BY` on a single column).
+///
+/// The paper's ordered query variants request "ordered output on a
+/// randomly chosen join column" — only orders on join columns are
+/// relevant to the optimizer's interesting-order machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OrderSpec {
+    /// Column whose order is requested.
+    pub column: ColRef,
+}
+
+/// An optimizable query: join graph, relation bindings, and optional
+/// order requirement.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// The join graph (after any rewriting).
+    pub graph: JoinGraph,
+    /// Optional `ORDER BY`.
+    pub order_by: Option<OrderSpec>,
+}
+
+impl Query {
+    /// Create an unordered query over a join graph.
+    pub fn new(graph: JoinGraph) -> Self {
+        Query {
+            graph,
+            order_by: None,
+        }
+    }
+
+    /// Attach an `ORDER BY` on the given column.
+    pub fn with_order_by(mut self, column: ColRef) -> Self {
+        self.order_by = Some(OrderSpec { column });
+        self
+    }
+
+    /// Number of relations joined.
+    pub fn num_relations(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Compute the join-column equivalence classes for this query.
+    pub fn equiv_classes(&self) -> EquivClasses {
+        EquivClasses::new(&self.graph)
+    }
+
+    /// Whether the requested order (if any) is on a join column — the
+    /// only case the paper's interesting-order handling concerns
+    /// itself with.
+    pub fn order_on_join_column(&self) -> bool {
+        match self.order_by {
+            None => false,
+            Some(o) => self.equiv_classes().class_of(o.column).is_some(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::JoinEdge;
+    use sdp_catalog::{ColId, RelId};
+
+    fn two_rel_graph() -> JoinGraph {
+        JoinGraph::new(
+            vec![RelId(0), RelId(1)],
+            vec![JoinEdge::new(
+                ColRef::new(0, ColId(0)),
+                ColRef::new(1, ColId(1)),
+            )],
+        )
+    }
+
+    #[test]
+    fn unordered_by_default() {
+        let q = Query::new(two_rel_graph());
+        assert!(q.order_by.is_none());
+        assert!(!q.order_on_join_column());
+        assert_eq!(q.num_relations(), 2);
+    }
+
+    #[test]
+    fn order_on_join_column_detected() {
+        let q = Query::new(two_rel_graph()).with_order_by(ColRef::new(0, ColId(0)));
+        assert!(q.order_on_join_column());
+    }
+
+    #[test]
+    fn order_on_non_join_column_is_irrelevant() {
+        let q = Query::new(two_rel_graph()).with_order_by(ColRef::new(0, ColId(5)));
+        assert!(q.order_by.is_some());
+        assert!(!q.order_on_join_column());
+    }
+}

@@ -1,0 +1,281 @@
+//! Bitset of query-local relation indices.
+//!
+//! All enumerators manipulate sets of base relations; a `u64` bitset
+//! supports joins of up to 64 relations, comfortably above the paper's
+//! 45-relation maximum scale-up.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not, Sub};
+
+/// A set of query-local relation indices (0‥64), stored as a bitmask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RelSet(pub u64);
+
+impl RelSet {
+    /// Maximum number of relations representable.
+    pub const MAX_RELATIONS: usize = 64;
+
+    /// The empty set.
+    pub const EMPTY: RelSet = RelSet(0);
+
+    /// Singleton set containing `index`.
+    #[inline]
+    pub fn single(index: usize) -> Self {
+        debug_assert!(index < Self::MAX_RELATIONS);
+        RelSet(1u64 << index)
+    }
+
+    /// Set containing indices `0..n`.
+    #[inline]
+    pub fn first_n(n: usize) -> Self {
+        debug_assert!(n <= Self::MAX_RELATIONS);
+        if n == 64 {
+            RelSet(u64::MAX)
+        } else {
+            RelSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Build a set from an iterator of indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        iter.into_iter().fold(RelSet::EMPTY, |s, i| s.insert(i))
+    }
+
+    /// Number of relations in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `index` is a member.
+    #[inline]
+    pub fn contains(self, index: usize) -> bool {
+        index < Self::MAX_RELATIONS && self.0 & (1u64 << index) != 0
+    }
+
+    /// Whether `other` is a subset of `self`.
+    #[inline]
+    pub fn is_superset(self, other: RelSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the two sets share no members.
+    #[inline]
+    pub fn is_disjoint(self, other: RelSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Whether the two sets share at least one member.
+    #[inline]
+    pub fn intersects(self, other: RelSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// The set with `index` added.
+    #[inline]
+    #[must_use]
+    pub fn insert(self, index: usize) -> Self {
+        debug_assert!(index < Self::MAX_RELATIONS);
+        RelSet(self.0 | (1u64 << index))
+    }
+
+    /// The set with `index` removed.
+    #[inline]
+    #[must_use]
+    pub fn remove(self, index: usize) -> Self {
+        debug_assert!(index < Self::MAX_RELATIONS);
+        RelSet(self.0 & !(1u64 << index))
+    }
+
+    /// Smallest member, if any.
+    #[inline]
+    pub fn min_index(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Iterate over member indices in increasing order.
+    #[inline]
+    pub fn iter(self) -> RelSetIter {
+        RelSetIter(self.0)
+    }
+}
+
+impl BitOr for RelSet {
+    type Output = RelSet;
+    #[inline]
+    fn bitor(self, rhs: RelSet) -> RelSet {
+        RelSet(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for RelSet {
+    type Output = RelSet;
+    #[inline]
+    fn bitand(self, rhs: RelSet) -> RelSet {
+        RelSet(self.0 & rhs.0)
+    }
+}
+
+impl BitXor for RelSet {
+    type Output = RelSet;
+    #[inline]
+    fn bitxor(self, rhs: RelSet) -> RelSet {
+        RelSet(self.0 ^ rhs.0)
+    }
+}
+
+impl Sub for RelSet {
+    type Output = RelSet;
+    /// Set difference.
+    #[inline]
+    fn sub(self, rhs: RelSet) -> RelSet {
+        RelSet(self.0 & !rhs.0)
+    }
+}
+
+impl Not for RelSet {
+    type Output = RelSet;
+    #[inline]
+    fn not(self) -> RelSet {
+        RelSet(!self.0)
+    }
+}
+
+impl fmt::Debug for RelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for RelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<usize> for RelSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        RelSet::from_indices(iter)
+    }
+}
+
+impl IntoIterator for RelSet {
+    type Item = usize;
+    type IntoIter = RelSetIter;
+    fn into_iter(self) -> RelSetIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`RelSet`], ascending.
+#[derive(Debug, Clone)]
+pub struct RelSetIter(u64);
+
+impl Iterator for RelSetIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(i)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RelSetIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_and_membership() {
+        let s = RelSet::single(5);
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn first_n_spans_prefix() {
+        let s = RelSet::first_n(4);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(0) && s.contains(3) && !s.contains(4));
+        assert_eq!(RelSet::first_n(64).len(), 64);
+        assert!(RelSet::first_n(0).is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = RelSet::from_indices([0, 1, 2]);
+        let b = RelSet::from_indices([2, 3]);
+        assert_eq!(a | b, RelSet::from_indices([0, 1, 2, 3]));
+        assert_eq!(a & b, RelSet::single(2));
+        assert_eq!(a - b, RelSet::from_indices([0, 1]));
+        assert_eq!(a ^ b, RelSet::from_indices([0, 1, 3]));
+        assert!(a.intersects(b));
+        assert!(!a.is_disjoint(b));
+        assert!(a.is_superset(RelSet::single(1)));
+        assert!(!a.is_superset(b));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let s = RelSet::EMPTY.insert(7).insert(9);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(7), RelSet::single(9));
+        assert_eq!(s.remove(8), s); // removing non-member is a no-op
+    }
+
+    #[test]
+    fn iter_is_ascending_and_exact() {
+        let s = RelSet::from_indices([9, 1, 33, 4]);
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![1, 4, 9, 33]);
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn min_index_on_empty_and_nonempty() {
+        assert_eq!(RelSet::EMPTY.min_index(), None);
+        assert_eq!(RelSet::from_indices([6, 3]).min_index(), Some(3));
+    }
+
+    #[test]
+    fn debug_format_lists_members() {
+        let s = RelSet::from_indices([2, 0]);
+        assert_eq!(format!("{s:?}"), "{0,2}");
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: RelSet = [5usize, 6, 5].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

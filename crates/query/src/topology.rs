@@ -1,0 +1,215 @@
+//! Join-graph topologies used in the paper's evaluation.
+//!
+//! The paper's representative results use **pure-star** and
+//! **star-chain** graphs; chain graphs calibrate DP overheads
+//! (Table 2.1), and the paper notes that results for other topologies
+//! (cycle, clique, …) "are similar in flavor" — we provide those too.
+
+use std::fmt;
+
+/// A join-graph shape, parameterized by the number of relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// `R0 — R1 — … — R(n−1)`: each relation joins its left neighbour.
+    Chain(usize),
+    /// Hub `R0` star-joins every other relation.
+    Star(usize),
+    /// A chain closed into a ring.
+    Cycle(usize),
+    /// Every pair of relations joins.
+    Clique(usize),
+    /// The paper's Figure 1.1 shape: a hub star-joins `spokes`
+    /// relations, and a chain of `n − spokes − 1` further relations
+    /// hangs off the last spoke. For Star-Chain-15 the paper uses 10
+    /// spokes (R2…R11) with R11…R15 chained.
+    StarChain {
+        /// Total number of relations.
+        n: usize,
+        /// Number of spoke relations directly joined to the hub
+        /// (including the spoke that anchors the chain).
+        spokes: usize,
+    },
+}
+
+impl Topology {
+    /// The paper's star-chain shape for `n` relations, keeping the
+    /// 15-relation reference proportions (10 spokes : 4 chained) —
+    /// `spokes = ceil(2 (n−1) / 3)`, which yields exactly 10 for
+    /// n = 15.
+    pub fn star_chain(n: usize) -> Self {
+        assert!(n >= 3, "star-chain needs at least 3 relations");
+        let spokes = 2 * (n - 1) / 3 + usize::from(!(2 * (n - 1)).is_multiple_of(3));
+        Topology::StarChain { n, spokes }
+    }
+
+    /// Number of relations in the graph.
+    pub fn n(&self) -> usize {
+        match *self {
+            Topology::Chain(n)
+            | Topology::Star(n)
+            | Topology::Cycle(n)
+            | Topology::Clique(n)
+            | Topology::StarChain { n, .. } => n,
+        }
+    }
+
+    /// Edge list as pairs of node indices (canonical: `a < b`).
+    pub fn edge_pairs(&self) -> Vec<(usize, usize)> {
+        match *self {
+            Topology::Chain(n) => {
+                assert!(n >= 2, "chain needs at least 2 relations");
+                (0..n - 1).map(|i| (i, i + 1)).collect()
+            }
+            Topology::Star(n) => {
+                assert!(n >= 2, "star needs at least 2 relations");
+                (1..n).map(|i| (0, i)).collect()
+            }
+            Topology::Cycle(n) => {
+                assert!(n >= 3, "cycle needs at least 3 relations");
+                let mut e: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+                e.push((0, n - 1));
+                e
+            }
+            Topology::Clique(n) => {
+                assert!(n >= 2, "clique needs at least 2 relations");
+                let mut e = Vec::with_capacity(n * (n - 1) / 2);
+                for a in 0..n {
+                    for b in a + 1..n {
+                        e.push((a, b));
+                    }
+                }
+                e
+            }
+            Topology::StarChain { n, spokes } => {
+                assert!(
+                    spokes >= 2 && spokes < n,
+                    "star-chain needs 2 ≤ spokes < n (got spokes={spokes}, n={n})"
+                );
+                // Hub = 0, spokes = 1..=spokes, chain continues from
+                // node `spokes` through n-1.
+                let mut e: Vec<(usize, usize)> = (1..=spokes).map(|i| (0, i)).collect();
+                for i in spokes..n - 1 {
+                    e.push((i, i + 1));
+                }
+                e
+            }
+        }
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_pairs().len()
+    }
+
+    /// Nodes that are hubs of this topology (degree ≥ 3).
+    pub fn hub_nodes(&self) -> Vec<usize> {
+        let n = self.n();
+        let mut degree = vec![0usize; n];
+        for (a, b) in self.edge_pairs() {
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        (0..n).filter(|&i| degree[i] >= 3).collect()
+    }
+
+    /// A short label used in experiment output, matching the paper's
+    /// naming (e.g. `Star-Chain-15`).
+    pub fn label(&self) -> String {
+        match *self {
+            Topology::Chain(n) => format!("Chain-{n}"),
+            Topology::Star(n) => format!("Star-{n}"),
+            Topology::Cycle(n) => format!("Cycle-{n}"),
+            Topology::Clique(n) => format!("Clique-{n}"),
+            Topology::StarChain { n, .. } => format!("Star-Chain-{n}"),
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_edges() {
+        let t = Topology::Chain(5);
+        assert_eq!(t.edge_pairs(), vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert!(t.hub_nodes().is_empty());
+    }
+
+    #[test]
+    fn star_edges_and_hub() {
+        let t = Topology::Star(5);
+        assert_eq!(t.edge_count(), 4);
+        assert_eq!(t.hub_nodes(), vec![0]);
+    }
+
+    #[test]
+    fn cycle_closes_the_ring() {
+        let t = Topology::Cycle(4);
+        assert_eq!(t.edge_count(), 4);
+        assert!(t.hub_nodes().is_empty());
+    }
+
+    #[test]
+    fn clique_has_all_pairs() {
+        let t = Topology::Clique(5);
+        assert_eq!(t.edge_count(), 10);
+        assert_eq!(t.hub_nodes().len(), 5); // everyone has degree 4
+    }
+
+    #[test]
+    fn star_chain_15_matches_paper_figure_1_1() {
+        // Paper: R1 star-joins R2..R11 (10 spokes), R11..R15 chain.
+        let t = Topology::star_chain(15);
+        let Topology::StarChain { n, spokes } = t else {
+            panic!("wrong variant")
+        };
+        assert_eq!(n, 15);
+        assert_eq!(spokes, 10);
+        // Hub has 10 edges; chain tail nodes have degree ≤ 2.
+        assert_eq!(t.hub_nodes(), vec![0]);
+        assert_eq!(t.edge_count(), 14); // tree: n - 1 edges
+    }
+
+    #[test]
+    fn star_chain_scales_proportionally() {
+        let t20 = Topology::star_chain(20);
+        let t23 = Topology::star_chain(23);
+        let spokes = |t: Topology| match t {
+            Topology::StarChain { spokes, .. } => spokes,
+            _ => unreachable!(),
+        };
+        assert_eq!(spokes(t20), 13);
+        assert_eq!(spokes(t23), 15);
+    }
+
+    #[test]
+    fn star_chain_connects_chain_to_last_spoke() {
+        let t = Topology::StarChain { n: 8, spokes: 4 };
+        let e = t.edge_pairs();
+        // Chain hangs off node 4 (the last spoke).
+        assert!(e.contains(&(4, 5)));
+        assert!(e.contains(&(5, 6)));
+        assert!(e.contains(&(6, 7)));
+        assert_eq!(e.len(), 7);
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        assert_eq!(Topology::star_chain(15).label(), "Star-Chain-15");
+        assert_eq!(Topology::Star(23).label(), "Star-23");
+        assert_eq!(Topology::Chain(28).to_string(), "Chain-28");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_chain_rejected() {
+        let _ = Topology::Chain(1).edge_pairs();
+    }
+}

@@ -1,0 +1,91 @@
+//! Abstract syntax for the supported SQL fragment.
+
+/// `table.column` (via alias or table name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualifiedColumn {
+    /// Table alias or name.
+    pub qualifier: String,
+    /// Column name.
+    pub column: String,
+}
+
+/// A `FROM`-list entry: a table with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Catalog table name.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: String,
+}
+
+/// A comparison operator in a `WHERE` condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// One conjunct of the `WHERE` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Condition {
+    /// Equi-join `a.x = b.y` (distinct qualifiers).
+    Join {
+        /// Left column.
+        left: QualifiedColumn,
+        /// Right column.
+        right: QualifiedColumn,
+    },
+    /// Constant comparison `a.x ⊕ 42`.
+    Filter {
+        /// Filtered column.
+        column: QualifiedColumn,
+        /// Operator.
+        op: Comparison,
+        /// Constant operand.
+        value: i64,
+    },
+}
+
+/// `ORDER BY a.x`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderByItem {
+    /// Ordering column.
+    pub column: QualifiedColumn,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectStatement {
+    /// `FROM` list, in order.
+    pub from: Vec<TableRef>,
+    /// `WHERE` conjuncts (empty when absent).
+    pub conditions: Vec<Condition>,
+    /// Optional `ORDER BY`.
+    pub order_by: Option<OrderByItem>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_types_are_value_types() {
+        let c = Condition::Filter {
+            column: QualifiedColumn {
+                qualifier: "a".into(),
+                column: "c0".into(),
+            },
+            op: Comparison::Le,
+            value: 9,
+        };
+        assert_eq!(c.clone(), c);
+    }
+}

@@ -1,0 +1,203 @@
+//! Tokenizer for the supported SQL fragment.
+
+use crate::SqlError;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Keyword or identifier (keywords are recognized by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Integer literal.
+    Number(i64),
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input (always the final token).
+    Eof,
+}
+
+/// A token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub at: usize,
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    at: i,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    at: i,
+                });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    at: i,
+                });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    at: i,
+                });
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        at: i,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        at: i,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        at: i,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        at: i,
+                    });
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value = text.parse::<i64>().map_err(|_| SqlError::Lex {
+                    at: start,
+                    message: format!("integer literal `{text}` out of range"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    at: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    at: start,
+                });
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    at: i,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        at: input.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_the_full_vocabulary() {
+        let ks = kinds("SELECT * FROM r1 a WHERE a.c0 <= 42, >= < > =");
+        assert!(ks.contains(&TokenKind::Star));
+        assert!(ks.contains(&TokenKind::Comma));
+        assert!(ks.contains(&TokenKind::Dot));
+        assert!(ks.contains(&TokenKind::Le));
+        assert!(ks.contains(&TokenKind::Ge));
+        assert!(ks.contains(&TokenKind::Lt));
+        assert!(ks.contains(&TokenKind::Gt));
+        assert!(ks.contains(&TokenKind::Eq));
+        assert!(ks.contains(&TokenKind::Number(42)));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn identifiers_keep_case_and_underscores() {
+        let ks = kinds("My_Table");
+        assert_eq!(ks[0], TokenKind::Ident("My_Table".into()));
+    }
+
+    #[test]
+    fn offsets_point_at_tokens() {
+        let ts = tokenize("ab  cd").unwrap();
+        assert_eq!(ts[0].at, 0);
+        assert_eq!(ts[1].at, 4);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = tokenize("a ; b").unwrap_err();
+        assert!(matches!(err, SqlError::Lex { at: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_overflowing_numbers() {
+        let err = tokenize("99999999999999999999999999").unwrap_err();
+        assert!(matches!(err, SqlError::Lex { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+}

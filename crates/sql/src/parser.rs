@@ -1,0 +1,281 @@
+//! Recursive-descent parser for the supported fragment:
+//!
+//! ```text
+//! select    := SELECT '*' FROM tables [WHERE condition (AND condition)*]
+//!              [ORDER BY qualified] EOF
+//! tables    := table (',' table)*
+//! table     := ident [[AS] ident]
+//! condition := qualified cmp (qualified | number)
+//! qualified := ident '.' ident
+//! cmp       := '=' | '<' | '<=' | '>' | '>='
+//! ```
+
+use crate::ast::{Comparison, Condition, OrderByItem, QualifiedColumn, SelectStatement, TableRef};
+use crate::lexer::{Token, TokenKind};
+use crate::SqlError;
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+/// Parse a token stream into a [`SelectStatement`].
+pub fn parse(tokens: &[Token]) -> Result<SelectStatement, SqlError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.peek().clone();
+        self.pos += 1;
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, SqlError> {
+        Err(SqlError::Parse {
+            at: self.peek().at,
+            message: message.into(),
+        })
+    }
+
+    /// Consume an identifier, any case.
+    fn ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => self.error(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    /// Consume a specific keyword (case-insensitive).
+    fn keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => self.error(format!("expected `{kw}`, found {other:?}")),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SqlError> {
+        if self.peek().kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            self.error("trailing input after statement")
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStatement, SqlError> {
+        self.keyword("SELECT")?;
+        if self.peek().kind != TokenKind::Star {
+            return self.error("only `SELECT *` is supported");
+        }
+        self.pos += 1;
+        self.keyword("FROM")?;
+
+        let mut from = vec![self.table_ref()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.pos += 1;
+            from.push(self.table_ref()?);
+        }
+
+        let mut conditions = Vec::new();
+        if self.peek_keyword("WHERE") {
+            self.pos += 1;
+            conditions.push(self.condition()?);
+            while self.peek_keyword("AND") {
+                self.pos += 1;
+                conditions.push(self.condition()?);
+            }
+        }
+
+        let order_by = if self.peek_keyword("ORDER") {
+            self.pos += 1;
+            self.keyword("BY")?;
+            let column = self.qualified()?;
+            // Optional ASC (the only direction the optimizer models).
+            if self.peek_keyword("ASC") {
+                self.pos += 1;
+            }
+            Some(OrderByItem { column })
+        } else {
+            None
+        };
+
+        Ok(SelectStatement {
+            from,
+            conditions,
+            order_by,
+        })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let table = self.ident("table name")?;
+        if Self::is_reserved(&table) {
+            return self.error(format!("`{table}` is a keyword, not a table name"));
+        }
+        // Optional [AS] alias — but stop before keywords.
+        let alias = if self.peek_keyword("AS") {
+            self.pos += 1;
+            self.ident("alias")?
+        } else if let TokenKind::Ident(s) = &self.peek().kind {
+            if Self::is_reserved(s) {
+                table.clone()
+            } else {
+                self.ident("alias")?
+            }
+        } else {
+            table.clone()
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn is_reserved(s: &str) -> bool {
+        ["SELECT", "FROM", "WHERE", "AND", "ORDER", "BY", "AS", "ASC"]
+            .iter()
+            .any(|k| s.eq_ignore_ascii_case(k))
+    }
+
+    fn qualified(&mut self) -> Result<QualifiedColumn, SqlError> {
+        let qualifier = self.ident("table alias")?;
+        if self.peek().kind != TokenKind::Dot {
+            return self.error("expected `.` after qualifier (columns must be qualified)");
+        }
+        self.pos += 1;
+        let column = self.ident("column name")?;
+        Ok(QualifiedColumn { qualifier, column })
+    }
+
+    fn comparison(&mut self) -> Result<Comparison, SqlError> {
+        let op = match self.peek().kind {
+            TokenKind::Eq => Comparison::Eq,
+            TokenKind::Lt => Comparison::Lt,
+            TokenKind::Le => Comparison::Le,
+            TokenKind::Gt => Comparison::Gt,
+            TokenKind::Ge => Comparison::Ge,
+            _ => return self.error("expected a comparison operator"),
+        };
+        self.pos += 1;
+        Ok(op)
+    }
+
+    fn condition(&mut self) -> Result<Condition, SqlError> {
+        let left = self.qualified()?;
+        let op = self.comparison()?;
+        match self.peek().kind.clone() {
+            TokenKind::Number(value) => {
+                self.pos += 1;
+                Ok(Condition::Filter {
+                    column: left,
+                    op,
+                    value,
+                })
+            }
+            TokenKind::Ident(_) => {
+                let right = self.qualified()?;
+                if op != Comparison::Eq {
+                    return self.error("only equi-joins between columns are supported");
+                }
+                Ok(Condition::Join { left, right })
+            }
+            other => {
+                let _ = self.advance();
+                self.error(format!(
+                    "expected a column or integer after comparison, found {other:?}"
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse_str(sql: &str) -> Result<SelectStatement, SqlError> {
+        parse(&tokenize(sql).unwrap())
+    }
+
+    #[test]
+    fn minimal_select() {
+        let s = parse_str("SELECT * FROM t").unwrap();
+        assert_eq!(s.from.len(), 1);
+        assert_eq!(s.from[0].alias, "t");
+        assert!(s.conditions.is_empty());
+        assert!(s.order_by.is_none());
+    }
+
+    #[test]
+    fn aliases_with_and_without_as() {
+        let s = parse_str("select * from t1 a, t2 AS b, t3").unwrap();
+        assert_eq!(s.from[0].alias, "a");
+        assert_eq!(s.from[1].alias, "b");
+        assert_eq!(s.from[2].alias, "t3");
+    }
+
+    #[test]
+    fn joins_filters_and_order_by() {
+        let s = parse_str(
+            "SELECT * FROM t1 a, t2 b WHERE a.x = b.y AND a.z <= 10 AND b.w > 3 ORDER BY b.y ASC",
+        )
+        .unwrap();
+        assert_eq!(s.conditions.len(), 3);
+        assert!(matches!(s.conditions[0], Condition::Join { .. }));
+        assert!(matches!(
+            s.conditions[1],
+            Condition::Filter {
+                op: Comparison::Le,
+                value: 10,
+                ..
+            }
+        ));
+        assert_eq!(s.order_by.as_ref().unwrap().column.column, "y");
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse_str("sElEcT * fRoM t1 WhErE t1.a = 5 oRdEr bY t1.a").is_ok());
+    }
+
+    #[test]
+    fn rejects_non_star_projection() {
+        assert!(parse_str("SELECT a FROM t").is_err());
+    }
+
+    #[test]
+    fn rejects_inequality_joins() {
+        let err = parse_str("SELECT * FROM t1 a, t2 b WHERE a.x < b.y").unwrap_err();
+        assert!(err.to_string().contains("equi-join"));
+    }
+
+    #[test]
+    fn rejects_unqualified_columns() {
+        assert!(parse_str("SELECT * FROM t WHERE x = 1").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_str("SELECT * FROM t WHERE t.x = 1 1").is_err());
+    }
+
+    #[test]
+    fn rejects_keyword_as_table() {
+        assert!(parse_str("SELECT * FROM where").is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: optimize one complex query with SDP and inspect the
+//! plan.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sdp::prelude::*;
+
+fn main() {
+    // The paper's benchmark schema: 25 relations, geometric
+    // cardinalities from 100 to 2.5M rows, 24 columns each, one
+    // random index per relation.
+    let catalog = Catalog::paper();
+    println!(
+        "catalog: {} relations, ~{:.1} GB of (virtual) data",
+        catalog.len(),
+        catalog.database_bytes() as f64 / (1 << 30) as f64
+    );
+
+    // A Star-Chain-15 query: the hub star-joins ten relations and a
+    // four-relation chain hangs off the last spoke (Figure 1.1; the
+    // shape of TPC-H Q8/Q9).
+    let query = QueryGenerator::new(&catalog, Topology::star_chain(15), 42).instance(0);
+    println!(
+        "query: {} relations, {} join predicates\n",
+        query.num_relations(),
+        query.graph.edges().len()
+    );
+
+    // Optimize with Skyline Dynamic Programming.
+    let optimizer = Optimizer::new(&catalog);
+    let plan = optimizer
+        .optimize(&query, Algorithm::Sdp(SdpConfig::paper()))
+        .expect("SDP always completes within the default budget");
+
+    println!("SDP plan (cost {:.0}, {:.0} rows):", plan.cost, plan.rows);
+    println!("{}", explain(&plan.root));
+    println!(
+        "overheads: {} plans costed, {} JCRs processed ({} pruned), {:.1} MB peak, {:?}",
+        plan.stats.plans_costed,
+        plan.stats.jcrs_processed,
+        plan.stats.jcrs_pruned,
+        plan.stats.peak_model_bytes as f64 / (1 << 20) as f64,
+        plan.stats.elapsed
+    );
+
+    // How good is it? Exhaustive DP is still feasible at 15 relations.
+    let dp = optimizer.optimize(&query, Algorithm::Dp).unwrap();
+    let ratio = plan.cost / dp.cost;
+    println!(
+        "\nDP optimum costs {:.0} → SDP ratio {:.4} ({})",
+        dp.cost,
+        ratio,
+        QualityClass::classify(ratio.max(1.0))
+    );
+    println!(
+        "DP needed {} plans costed — SDP explored {:.1}% of that",
+        dp.stats.plans_costed,
+        100.0 * plan.stats.plans_costed as f64 / dp.stats.plans_costed as f64
+    );
+}

@@ -1,0 +1,57 @@
+//! Drive the optimizer from SQL text: parse, bind, optimize with every
+//! algorithm, and print the winning plans.
+//!
+//! ```text
+//! cargo run --release --example sql_session ["SELECT ..."]
+//! ```
+
+use sdp::prelude::*;
+
+fn main() {
+    let catalog = Catalog::paper();
+    let sql = std::env::args().nth(1).unwrap_or_else(|| {
+        "SELECT * FROM R24 f, R3 a, R7 b, R12 c, R15 d \
+         WHERE f.c0 = a.c2 AND f.c1 = b.c5 AND f.c3 = c.c1 AND c.c4 = d.c2 \
+         AND a.c6 < 100 ORDER BY c.c1"
+            .to_string()
+    });
+    println!("SQL> {sql}\n");
+
+    let query = match parse_query(&catalog, &sql) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "bound: {} relations, {} joins, {} filters, order_by = {}\n",
+        query.num_relations(),
+        query.graph.edges().len(),
+        query.graph.filters().len(),
+        query.order_by.is_some()
+    );
+    // Round-trip check, for fun.
+    println!("canonical SQL: {}\n", render_sql(&catalog, &query));
+
+    let optimizer = Optimizer::new(&catalog);
+    for alg in [
+        Algorithm::Dp,
+        Algorithm::Idp { k: 7 },
+        Algorithm::Sdp(SdpConfig::paper()),
+        Algorithm::Goo,
+    ] {
+        match optimizer.optimize(&query, alg) {
+            Ok(plan) => {
+                println!(
+                    "-- {} — cost {:.0}, {} plans costed --",
+                    alg.label(),
+                    plan.cost,
+                    plan.stats.plans_costed
+                );
+                println!("{}", explain(&plan.root));
+            }
+            Err(e) => println!("-- {} — {e} --\n", alg.label()),
+        }
+    }
+}

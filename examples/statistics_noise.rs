@@ -1,0 +1,80 @@
+//! How robust is each optimizer to imperfect statistics?
+//!
+//! Materialize data, re-derive statistics from a deliberately small
+//! sample (a noisy `ANALYZE`), optimize under the noisy statistics,
+//! then evaluate the chosen plans under the exact analytic model.
+//!
+//! ```text
+//! cargo run --release --example statistics_noise [sample_rows]
+//! ```
+
+use sdp::core::recost;
+use sdp::engine::analyze_database;
+use sdp::metrics::geometric_mean_ratio;
+use sdp::prelude::*;
+use sdp::query::infer_transitive_edges;
+
+fn main() {
+    let sample_rows: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+
+    let analytic = scaled_catalog(12, 2000, 7);
+    let db = Database::generate(&analytic, 42);
+    let mut sampled = analytic.clone();
+    sampled.replace_stats(analyze_database(&analytic, &db, sample_rows, 99));
+    println!(
+        "statistics source: {sample_rows}-row sample per relation (PostgreSQL-era ANALYZE \
+         would use ~3000)\n"
+    );
+
+    let true_model = CostModel::with_defaults(&analytic);
+    let algorithms = [
+        Algorithm::Dp,
+        Algorithm::Idp { k: 4 },
+        Algorithm::Sdp(SdpConfig::paper()),
+        Algorithm::Goo,
+    ];
+    let instances = 25u64;
+    let generator = QueryGenerator::new(&analytic, Topology::star_chain(10), 0x5d9_2007)
+        .with_filter_probability(0.8);
+
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
+    for k in 0..instances {
+        let query = generator.instance(k);
+        let mut rewritten = query.clone();
+        infer_transitive_edges(&mut rewritten.graph);
+        let classes = rewritten.equiv_classes();
+        let truth = Optimizer::new(&analytic)
+            .optimize(&query, Algorithm::Dp)
+            .unwrap()
+            .cost;
+        for (i, &alg) in algorithms.iter().enumerate() {
+            let plan = Optimizer::new(&sampled).optimize(&query, alg).unwrap();
+            let true_cost = recost(&plan.root, &true_model, &rewritten.graph, &classes);
+            ratios[i].push((true_cost / truth).max(1.0));
+        }
+    }
+
+    println!(
+        "{:<8} {:>12} {:>8}   (true cost of noisy-stats plan / true optimum)",
+        "Tech", "rho(true)", "worst"
+    );
+    for (i, alg) in algorithms.iter().enumerate() {
+        println!(
+            "{:<8} {:>12.3} {:>8.2}",
+            alg.label(),
+            geometric_mean_ratio(&ratios[i]),
+            ratios[i].iter().copied().fold(1.0f64, f64::max)
+        );
+    }
+    println!(
+        "\nReading: even exhaustive DP degrades when its statistics lie — the\n\
+         interesting question is whether a pruning heuristic degrades *more*.\n\
+         SDP should track DP closely (its skyline keeps the plans that remain\n\
+         good under perturbation); cardinality-blind commitment (IDP) drifts\n\
+         further. Rerun with a larger sample (e.g. 3000) to watch all rows\n\
+         converge to 1.0."
+    );
+}

@@ -1,0 +1,154 @@
+//! Cross-crate integration: catalog → workload → optimizer → plan,
+//! for every algorithm and topology combination.
+
+use sdp::prelude::*;
+
+fn all_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Dp,
+        Algorithm::Idp { k: 4 },
+        Algorithm::Idp { k: 7 },
+        Algorithm::Sdp(SdpConfig::paper()),
+        Algorithm::Sdp(SdpConfig {
+            partitioning: Partitioning::ParentHub,
+            skyline: SkylineOption::PairwiseUnion,
+        }),
+        Algorithm::Sdp(SdpConfig {
+            partitioning: Partitioning::Global,
+            skyline: SkylineOption::PairwiseUnion,
+        }),
+        Algorithm::Sdp(SdpConfig {
+            partitioning: Partitioning::RootHub,
+            skyline: SkylineOption::FullVector,
+        }),
+        Algorithm::Sdp(SdpConfig {
+            partitioning: Partitioning::RootHub,
+            skyline: SkylineOption::KDominant(2),
+        }),
+        Algorithm::Goo,
+    ]
+}
+
+#[test]
+fn every_algorithm_handles_every_topology() {
+    let catalog = Catalog::paper();
+    let optimizer = Optimizer::new(&catalog);
+    for topology in [
+        Topology::Chain(7),
+        Topology::Star(7),
+        Topology::Cycle(7),
+        Topology::Clique(6),
+        Topology::star_chain(8),
+    ] {
+        let query = QueryGenerator::new(&catalog, topology, 5).instance(0);
+        for alg in all_algorithms() {
+            let plan = optimizer
+                .optimize(&query, alg)
+                .unwrap_or_else(|e| panic!("{topology} / {}: {e}", alg.label()));
+            assert_eq!(plan.root.set, query.graph.all_nodes(), "{topology}");
+            assert_eq!(
+                plan.root.join_count(),
+                query.num_relations() - 1,
+                "{topology} / {}",
+                alg.label()
+            );
+            plan.root.check_invariants().unwrap();
+            assert!(plan.cost.is_finite() && plan.cost > 0.0);
+        }
+    }
+}
+
+#[test]
+fn dp_lower_bounds_every_heuristic() {
+    let catalog = Catalog::paper();
+    let optimizer = Optimizer::new(&catalog);
+    for seed in 0..3 {
+        let query = QueryGenerator::new(&catalog, Topology::star_chain(9), seed).instance(0);
+        let dp = optimizer.optimize(&query, Algorithm::Dp).unwrap();
+        for alg in all_algorithms() {
+            let plan = optimizer.optimize(&query, alg).unwrap();
+            assert!(
+                plan.cost >= dp.cost * (1.0 - 1e-9),
+                "{} beat DP: {} < {}",
+                alg.label(),
+                plan.cost,
+                dp.cost
+            );
+        }
+    }
+}
+
+#[test]
+fn optimization_is_deterministic() {
+    let catalog = Catalog::paper();
+    let optimizer = Optimizer::new(&catalog);
+    let query = QueryGenerator::new(&catalog, Topology::star_chain(9), 11).instance(3);
+    for alg in all_algorithms() {
+        let a = optimizer.optimize(&query, alg).unwrap();
+        let b = optimizer.optimize(&query, alg).unwrap();
+        assert_eq!(a.cost, b.cost, "{}", alg.label());
+        assert_eq!(
+            a.stats.plans_costed,
+            b.stats.plans_costed,
+            "{}",
+            alg.label()
+        );
+        assert_eq!(
+            a.stats.jcrs_processed,
+            b.stats.jcrs_processed,
+            "{}",
+            alg.label()
+        );
+    }
+}
+
+#[test]
+fn ordered_queries_enforce_the_requested_order() {
+    let catalog = Catalog::paper();
+    let optimizer = Optimizer::new(&catalog);
+    for seed in 0..3 {
+        let query = QueryGenerator::new(&catalog, Topology::Star(7), seed).ordered_instance(0);
+        assert!(query.order_on_join_column());
+        for alg in all_algorithms() {
+            let plan = optimizer.optimize(&query, alg).unwrap();
+            assert!(
+                plan.root.ordering.is_some(),
+                "{}: unordered root for ordered query",
+                alg.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn skewed_catalog_full_pipeline() {
+    let catalog = Catalog::paper_skewed();
+    let optimizer = Optimizer::new(&catalog);
+    let query = QueryGenerator::new(&catalog, Topology::star_chain(9), 2).instance(0);
+    let dp = optimizer.optimize(&query, Algorithm::Dp).unwrap();
+    let sdp = optimizer
+        .optimize(&query, Algorithm::Sdp(SdpConfig::paper()))
+        .unwrap();
+    assert!(sdp.cost / dp.cost < 2.0, "SDP not good on skewed data");
+}
+
+#[test]
+fn plan_memory_is_reclaimed_after_runs() {
+    use sdp::core::live_plan_nodes;
+    let catalog = Catalog::paper();
+    let optimizer = Optimizer::new(&catalog);
+    let query = QueryGenerator::new(&catalog, Topology::Star(8), 4).instance(0);
+    let before = live_plan_nodes();
+    {
+        let plan = optimizer
+            .optimize(&query, Algorithm::Sdp(SdpConfig::paper()))
+            .unwrap();
+        assert!(live_plan_nodes() > before);
+        drop(plan);
+    }
+    assert_eq!(
+        live_plan_nodes(),
+        before,
+        "plan nodes leaked after dropping the result"
+    );
+}

@@ -1,0 +1,183 @@
+//! Optimizer ↔ executor integration on materialized data: plans from
+//! every enumerator must compute the same answer, ordered plans must
+//! deliver ordered output, and the cost model must track reality.
+
+use sdp::engine::{actual_vs_estimated, q_error};
+use sdp::prelude::*;
+
+fn scaled_world() -> (Catalog, Database) {
+    let catalog = scaled_catalog(10, 800, 3);
+    let db = Database::generate(&catalog, 5);
+    (catalog, db)
+}
+
+#[test]
+fn all_enumerators_compute_the_same_answer() {
+    let (catalog, db) = scaled_world();
+    let optimizer = Optimizer::new(&catalog);
+    for topo in [
+        Topology::Chain(5),
+        Topology::Star(5),
+        Topology::star_chain(7),
+    ] {
+        for seed in 0..2 {
+            let query = QueryGenerator::new(&catalog, topo, seed).instance(0);
+            let mut reference: Option<Vec<Vec<i64>>> = None;
+            for alg in [
+                Algorithm::Dp,
+                Algorithm::Sdp(SdpConfig::paper()),
+                Algorithm::Idp { k: 4 },
+                Algorithm::Goo,
+            ] {
+                let plan = optimizer.optimize(&query, alg).unwrap();
+                let mut rows = execute(&plan.root, &query, &catalog, &db).unwrap();
+                rows.sort();
+                match &reference {
+                    None => reference = Some(rows),
+                    Some(r) => {
+                        assert_eq!(r, &rows, "{topo} seed {seed}: {} disagrees", alg.label())
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ordered_plans_deliver_sorted_output() {
+    let (catalog, db) = scaled_world();
+    let optimizer = Optimizer::new(&catalog);
+    let query = QueryGenerator::new(&catalog, Topology::star_chain(6), 7).ordered_instance(0);
+    let target = query.order_by.unwrap().column;
+    // Canonical output layout: nodes ascending.
+    let mut offset = 0;
+    for n in 0..target.node {
+        offset += catalog
+            .relation(query.graph.relation(n))
+            .unwrap()
+            .columns
+            .len();
+    }
+    let col = offset + target.col.0 as usize;
+
+    for alg in [Algorithm::Dp, Algorithm::Sdp(SdpConfig::paper())] {
+        let plan = optimizer.optimize(&query, alg).unwrap();
+        let rows = execute(&plan.root, &query, &catalog, &db).unwrap();
+        for w in rows.windows(2) {
+            assert!(
+                w[0][col] <= w[1][col],
+                "{}: output not ordered",
+                alg.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn estimates_stay_correlated_with_actuals() {
+    let (catalog, db) = scaled_world();
+    let optimizer = Optimizer::new(&catalog);
+    let mut qerrors = Vec::new();
+    for seed in 0..3 {
+        let query = QueryGenerator::new(&catalog, Topology::Chain(4), seed).instance(0);
+        let plan = optimizer.optimize(&query, Algorithm::Dp).unwrap();
+        for (_, est, act) in actual_vs_estimated(&plan.root, &query, &catalog, &db).unwrap() {
+            qerrors.push(q_error(est, act));
+        }
+    }
+    qerrors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = qerrors[qerrors.len() / 2];
+    assert!(median < 10.0, "median q-error {median}");
+}
+
+#[test]
+fn skewed_data_execution_round_trip() {
+    // Generate a skewed scaled world and verify execution still
+    // agrees across enumerators.
+    let spec = SchemaSpec {
+        relations: 8,
+        columns_per_relation: 10,
+        min_cardinality: 10,
+        max_cardinality: 400,
+        min_domain: 10,
+        max_domain: 400,
+        skewed_fraction: 0.5,
+        ..SchemaSpec::paper()
+    };
+    let catalog = sdp::catalog::SchemaBuilder::new(spec).build().unwrap();
+    let db = Database::generate(&catalog, 23);
+    let optimizer = Optimizer::new(&catalog);
+    let query = QueryGenerator::new(&catalog, Topology::Star(5), 2).instance(0);
+    let a = optimizer.optimize(&query, Algorithm::Dp).unwrap();
+    let b = optimizer
+        .optimize(&query, Algorithm::Sdp(SdpConfig::paper()))
+        .unwrap();
+    let mut ra = execute(&a.root, &query, &catalog, &db).unwrap();
+    let mut rb = execute(&b.root, &query, &catalog, &db).unwrap();
+    ra.sort();
+    rb.sort();
+    assert_eq!(ra, rb);
+}
+
+#[test]
+fn filtered_queries_execute_correctly() {
+    // Filters are pushed into the scans by the optimizer and applied
+    // by the executor; every enumerator must agree, and the result
+    // must match a reference filter-then-join evaluation.
+    let (catalog, db) = scaled_world();
+    let optimizer = Optimizer::new(&catalog);
+    for seed in 0..3 {
+        let query = QueryGenerator::new(&catalog, Topology::Chain(3), seed)
+            .with_filter_probability(1.0)
+            .instance(0);
+        assert!(!query.graph.filters().is_empty());
+        let mut reference: Option<Vec<Vec<i64>>> = None;
+        for alg in [
+            Algorithm::Dp,
+            Algorithm::Sdp(SdpConfig::paper()),
+            Algorithm::Goo,
+        ] {
+            let plan = optimizer.optimize(&query, alg).unwrap();
+            let mut rows = execute(&plan.root, &query, &catalog, &db).unwrap();
+            rows.sort();
+            // Every output row satisfies every filter (columns are
+            // canonical: node-ascending blocks).
+            for f in query.graph.filters() {
+                let mut off = 0;
+                for n in 0..f.column.node {
+                    off += catalog
+                        .relation(query.graph.relation(n))
+                        .unwrap()
+                        .columns
+                        .len();
+                }
+                let col = off + f.column.col.0 as usize;
+                for row in &rows {
+                    assert!(f.matches(row[col]), "filter {f} violated");
+                }
+            }
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => assert_eq!(r, &rows, "{} disagrees", alg.label()),
+            }
+        }
+    }
+}
+
+#[test]
+fn filters_reduce_results_and_costs() {
+    let (catalog, db) = scaled_world();
+    let optimizer = Optimizer::new(&catalog);
+    let plain = QueryGenerator::new(&catalog, Topology::Star(4), 11).instance(0);
+    let filtered = QueryGenerator::new(&catalog, Topology::Star(4), 11)
+        .with_filter_probability(1.0)
+        .instance(0);
+    let p_plain = optimizer.optimize(&plain, Algorithm::Dp).unwrap();
+    let p_filt = optimizer.optimize(&filtered, Algorithm::Dp).unwrap();
+    assert!(p_filt.rows <= p_plain.rows);
+    let rows_plain = execute(&p_plain.root, &plain, &catalog, &db).unwrap().len();
+    let rows_filt = execute(&p_filt.root, &filtered, &catalog, &db)
+        .unwrap()
+        .len();
+    assert!(rows_filt <= rows_plain);
+}
