@@ -33,3 +33,17 @@ pub fn optimize(catalog: &Catalog, query: &Query, algorithm: Algorithm) -> Optim
         .optimize(query, algorithm)
         .expect("bench configuration must be feasible")
 }
+
+/// [`optimize`] with an explicit enumeration thread count, for the
+/// thread scale-up benchmark.
+pub fn optimize_with_threads(
+    catalog: &Catalog,
+    query: &Query,
+    algorithm: Algorithm,
+    threads: usize,
+) -> OptimizedPlan {
+    Optimizer::new(catalog)
+        .with_parallelism(threads)
+        .optimize(query, algorithm)
+        .expect("bench configuration must be feasible")
+}

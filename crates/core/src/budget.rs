@@ -9,9 +9,18 @@
 //! paper (DP feasible at Star-15/16, infeasible at Star-20; see
 //! DESIGN.md) is reproduced. The harness additionally reports real
 //! allocator bytes; the model is what decides feasibility.
+//!
+//! The node count comes from the run's shared [`NodeCounter`] (an
+//! atomic), so plan nodes allocated by parallel level workers are
+//! charged against the same budget. Workers cannot hold the mutable
+//! [`MemoryModel`], so they probe a read-only [`BudgetProbe`] snapshot
+//! instead; the coordinating thread performs the exact check at every
+//! level barrier.
 
 use std::fmt;
 use std::time::{Duration, Instant};
+
+use crate::plan::NodeCounter;
 
 /// Paper-equivalent bytes charged per live memo group.
 ///
@@ -123,20 +132,20 @@ impl Budget {
 pub struct MemoryModel {
     budget: Budget,
     start: Instant,
-    baseline_nodes: u64,
+    nodes: NodeCounter,
     live_groups: u64,
     peak_bytes: u64,
 }
 
 impl MemoryModel {
-    /// Start tracking. `baseline_nodes` is the live-node count at
-    /// start (so concurrent plans owned by the caller are not
-    /// charged).
-    pub fn new(budget: Budget, baseline_nodes: u64) -> Self {
+    /// Start tracking. `nodes` is the run's live-node counter — fresh
+    /// per run, so plans owned by the caller (from earlier runs) are
+    /// not charged.
+    pub fn new(budget: Budget, nodes: NodeCounter) -> Self {
         MemoryModel {
             budget,
             start: Instant::now(),
-            baseline_nodes,
+            nodes,
             live_groups: 0,
             peak_bytes: 0,
         }
@@ -154,8 +163,7 @@ impl MemoryModel {
 
     /// Current model bytes in use.
     pub fn used_bytes(&self) -> u64 {
-        let nodes = crate::plan::live_plan_nodes().saturating_sub(self.baseline_nodes);
-        self.live_groups * GROUP_MODEL_BYTES + nodes * NODE_MODEL_BYTES
+        self.live_groups * GROUP_MODEL_BYTES + self.nodes.live() * NODE_MODEL_BYTES
     }
 
     /// Peak model bytes observed so far.
@@ -188,6 +196,53 @@ impl MemoryModel {
         }
         Ok(())
     }
+
+    /// Snapshot a read-only probe for worker threads. The probe's
+    /// group count is frozen at snapshot time (groups only change at
+    /// level barriers, where the exact [`MemoryModel::check`] runs);
+    /// the node count stays live through the shared atomic counter.
+    pub fn probe(&self) -> BudgetProbe {
+        BudgetProbe {
+            budget: self.budget,
+            start: self.start,
+            base_groups: self.live_groups,
+            nodes: self.nodes.clone(),
+        }
+    }
+}
+
+/// A read-only budget view for parallel enumeration workers: checks
+/// the live (atomic) node count and the wall clock against the budget
+/// without needing `&mut MemoryModel`. Slightly conservative on
+/// memory — shard groups under construction are not yet counted — so
+/// the coordinating thread repeats the exact check at the barrier.
+#[derive(Debug, Clone)]
+pub struct BudgetProbe {
+    budget: Budget,
+    start: Instant,
+    base_groups: u64,
+    nodes: NodeCounter,
+}
+
+impl BudgetProbe {
+    /// Return the budget violation in force, if any.
+    pub fn over_budget(&self) -> Option<OptError> {
+        let used = self.base_groups * GROUP_MODEL_BYTES + self.nodes.live() * NODE_MODEL_BYTES;
+        if used > self.budget.max_model_bytes {
+            return Some(OptError::MemoryExhausted {
+                used_bytes: used,
+                budget_bytes: self.budget.max_model_bytes,
+            });
+        }
+        let elapsed = self.start.elapsed();
+        if elapsed > self.budget.max_elapsed {
+            return Some(OptError::TimedOut {
+                elapsed,
+                limit: self.budget.max_elapsed,
+            });
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -202,7 +257,7 @@ mod tests {
 
     #[test]
     fn memory_model_counts_groups() {
-        let mut m = MemoryModel::new(Budget::unlimited(), crate::plan::live_plan_nodes());
+        let mut m = MemoryModel::new(Budget::unlimited(), NodeCounter::new());
         assert_eq!(m.used_bytes(), 0);
         m.add_groups(10);
         assert_eq!(m.used_bytes(), 10 * GROUP_MODEL_BYTES);
@@ -213,11 +268,32 @@ mod tests {
     }
 
     #[test]
-    fn budget_trips_on_memory() {
-        let mut m = MemoryModel::new(
-            Budget::with_memory(GROUP_MODEL_BYTES),
-            crate::plan::live_plan_nodes(),
+    fn memory_model_counts_live_nodes() {
+        use crate::plan::{PlanNode, PlanOp};
+        use sdp_catalog::RelId;
+        use sdp_query::RelSet;
+        let counter = NodeCounter::new();
+        let m = MemoryModel::new(Budget::unlimited(), counter.clone());
+        let plan = PlanNode::new(
+            &counter,
+            PlanOp::SeqScan {
+                rel: RelId(0),
+                node: 0,
+            },
+            RelSet::single(0),
+            1.0,
+            1.0,
+            None,
+            vec![],
         );
+        assert_eq!(m.used_bytes(), NODE_MODEL_BYTES);
+        drop(plan);
+        assert_eq!(m.used_bytes(), 0);
+    }
+
+    #[test]
+    fn budget_trips_on_memory() {
+        let mut m = MemoryModel::new(Budget::with_memory(GROUP_MODEL_BYTES), NodeCounter::new());
         m.add_groups(2);
         match m.check() {
             Err(OptError::MemoryExhausted { used_bytes, .. }) => {
@@ -234,10 +310,21 @@ mod tests {
                 max_model_bytes: u64::MAX,
                 max_elapsed: Duration::from_nanos(1),
             },
-            0,
+            NodeCounter::new(),
         );
         std::thread::sleep(Duration::from_millis(2));
         assert!(matches!(m.check(), Err(OptError::TimedOut { .. })));
+    }
+
+    #[test]
+    fn probe_sees_budget_violations() {
+        let mut m = MemoryModel::new(Budget::with_memory(GROUP_MODEL_BYTES), NodeCounter::new());
+        assert!(m.probe().over_budget().is_none());
+        m.add_groups(2);
+        assert!(matches!(
+            m.probe().over_budget(),
+            Some(OptError::MemoryExhausted { .. })
+        ));
     }
 
     #[test]

@@ -1,20 +1,48 @@
 //! Shared enumeration state: memo, counters, budget, cached
 //! estimates — everything the DP/IDP/SDP enumerators thread through
 //! their level loops.
+//!
+//! The join-costing core (`EnumContext::join_pair_into`) takes
+//! `&self` and writes into a caller-supplied [`Group`], so it can run
+//! either on the coordinating thread (folding straight into the memo)
+//! or on parallel level workers (folding into private shards that the
+//! barrier merges back deterministically — see
+//! `EnumContext::merge_shard` and the "Threading model" section of
+//! DESIGN.md).
 
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use sdp_cost::{CostModel, InnerIndex, JoinInput, ScanKind};
 use sdp_query::{ClassId, EquivClasses, JoinGraph, Query, RelSet};
 
-use crate::budget::{Budget, MemoryModel, OptError};
+use crate::budget::{Budget, BudgetProbe, MemoryModel, OptError};
+use crate::fx::FxHashMap;
 use crate::memo::{Group, Memo};
-use crate::plan::{live_plan_nodes, PlanNode, PlanOp};
+use crate::plan::{NodeCounter, PlanNode, PlanOp};
 
 /// Ceiling on estimated rows, guarding incremental multiplication
 /// against `f64` overflow on extreme graphs.
 const MAX_ROWS: f64 = 1e299;
+
+/// Worker-side budget-probe cadence, in candidate pairs.
+const PROBE_INTERVAL: usize = 256;
+
+/// Resolve the default enumeration parallelism: the `SDP_THREADS`
+/// environment variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn default_parallelism() -> usize {
+    match std::env::var("SDP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
 
 /// Counters reported for every optimization run — the paper's three
 /// overhead metrics plus pruning diagnostics.
@@ -39,12 +67,31 @@ pub struct RunStats {
     pub completed_greedily: bool,
 }
 
+/// One worker's private slice of a level's enumeration results: new
+/// union groups keyed by `RelSet`, plus the order in which they were
+/// first created within the worker's (contiguous) chunk of the global
+/// pair sequence. Merging shards in chunk order therefore replays the
+/// exact creation order of the sequential run.
+#[derive(Debug, Default)]
+pub(crate) struct LevelShard {
+    /// Union set → shard-local group of retained candidate plans.
+    pub groups: FxHashMap<RelSet, Group>,
+    /// First-creation order of the union sets in this shard.
+    pub created_order: Vec<RelSet>,
+    /// Plans costed by this worker.
+    pub plans_costed: u64,
+    /// Budget violation observed by this worker, if any.
+    pub error: Option<OptError>,
+}
+
 /// Mutable state of one optimization run.
 pub struct EnumContext<'a> {
     query: &'a Query,
     model: &'a CostModel<'a>,
     classes: EquivClasses,
     order_target: Option<ClassId>,
+    nodes: NodeCounter,
+    parallelism: usize,
     /// The memo of JCR groups.
     pub memo: Memo,
     /// Memory model / budget tracking.
@@ -60,16 +107,21 @@ pub struct EnumContext<'a> {
 impl<'a> EnumContext<'a> {
     /// Start a run over `query` (whose graph should already carry any
     /// rewriter-inferred edges) with the given cost model and budget.
+    /// Enumeration parallelism defaults to [`default_parallelism`];
+    /// override with [`EnumContext::set_parallelism`].
     pub fn new(query: &'a Query, model: &'a CostModel<'a>, budget: Budget) -> Self {
         let classes = query.equiv_classes();
         let order_target = query.order_by.and_then(|o| classes.class_of(o.column));
+        let nodes = NodeCounter::new();
         EnumContext {
             query,
             model,
             classes,
             order_target,
+            memory: MemoryModel::new(budget, nodes.clone()),
+            nodes,
+            parallelism: default_parallelism(),
             memo: Memo::new(),
-            memory: MemoryModel::new(budget, live_plan_nodes()),
             plans_costed: 0,
             jcrs_pruned: 0,
             completed_greedily: false,
@@ -102,6 +154,22 @@ impl<'a> EnumContext<'a> {
     /// join column.
     pub fn order_target(&self) -> Option<ClassId> {
         self.order_target
+    }
+
+    /// The run's live plan-node counter.
+    pub fn node_counter(&self) -> NodeCounter {
+        self.nodes.clone()
+    }
+
+    /// Worker threads used by the level-wise enumerator and the SDP
+    /// skyline pruner (1 = fully sequential).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Set the enumeration parallelism (clamped to at least 1).
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallelism = threads.max(1);
     }
 
     /// PostgreSQL-style pathkey usefulness: an output ordering is only
@@ -156,6 +224,7 @@ impl<'a> EnumContext<'a> {
             match path.kind {
                 ScanKind::Seq => {
                     group.add_plan(PlanNode::new(
+                        &self.nodes,
                         PlanOp::SeqScan { rel, node },
                         set,
                         rows,
@@ -177,6 +246,7 @@ impl<'a> EnumContext<'a> {
                         .and_then(|c| self.useful_ordering(Some(c), set));
                     if class.is_some() || path.kind == ScanKind::IndexRange {
                         group.add_plan(PlanNode::new(
+                            &self.nodes,
                             PlanOp::IndexScan { rel, node, col },
                             set,
                             rows,
@@ -194,6 +264,29 @@ impl<'a> EnumContext<'a> {
         }
     }
 
+    /// Build the (empty) union group for `a ∪ b` with its canonical
+    /// estimated properties. Rows and selectivity are computed over
+    /// the whole set (not incrementally from this particular
+    /// decomposition): the ≥ 1-row clamp would otherwise make the
+    /// estimate depend on which pair reached the set first, and plans
+    /// for the same JCR must agree on its cardinality.
+    fn new_union_group(&self, a: RelSet, b: RelSet) -> Group {
+        let union = a | b;
+        let graph = self.graph();
+        let est = self.model.estimator();
+        let a_width = self.memo.get(a).expect("left group exists").width;
+        let b_width = self.memo.get(b).expect("right group exists").width;
+        let out_rows = est.rows_for_set(graph, union).min(MAX_ROWS);
+        let out_sel = est.selectivity_for_set(graph, union);
+        Group::new(
+            union,
+            out_rows,
+            out_sel,
+            a_width + b_width,
+            graph.neighbors(union),
+        )
+    }
+
     /// Enumerate and cost all join alternatives combining the memo
     /// groups of `a` and `b` (both orientations, every plan pair,
     /// every applicable method), folding survivors into the group for
@@ -203,21 +296,37 @@ impl<'a> EnumContext<'a> {
     pub fn join_pair(&mut self, a: RelSet, b: RelSet) -> bool {
         debug_assert!(a.is_disjoint(b));
         let union = a | b;
+        // Take the union group out of the memo (leaving a placeholder
+        // so the map structure — and hence its iteration order — is
+        // untouched), cost into it with the shared `&self` core, and
+        // put it back.
+        let (mut group, created) = match self.memo.get_mut(union) {
+            Some(g) => (
+                std::mem::replace(g, Group::new(union, 0.0, 0.0, 0.0, RelSet::EMPTY)),
+                false,
+            ),
+            None => (self.new_union_group(a, b), true),
+        };
+        let mut costed = 0u64;
+        self.join_pair_into(a, b, &mut group, &mut costed);
+        self.plans_costed += costed;
+        if created {
+            self.memo.insert(group);
+            self.memory.add_groups(1);
+        } else {
+            *self.memo.get_mut(union).expect("placeholder present") = group;
+        }
+        created
+    }
+
+    /// The costing core shared by the sequential and parallel paths:
+    /// cost every join alternative for `a ⋈ b` and offer the survivors
+    /// to `group` (which covers `a ∪ b` but is *not* in the memo).
+    fn join_pair_into(&self, a: RelSet, b: RelSet, group: &mut Group, plans_costed: &mut u64) {
+        debug_assert!(a.is_disjoint(b));
         let graph = self.graph();
         let est = self.model.estimator();
-
-        let a_width = self.memo.get(a).expect("left group exists").width;
-        let b_width = self.memo.get(b).expect("right group exists").width;
-
         let crossing_sel = est.crossing_selectivity(graph, a, b);
-        // Rows and selectivity are computed canonically over the whole
-        // set (not incrementally from this particular decomposition):
-        // the ≥ 1-row clamp would otherwise make the estimate depend
-        // on which pair reached the set first, and plans for the same
-        // JCR must agree on its cardinality.
-        let out_rows = est.rows_for_set(graph, union).min(MAX_ROWS);
-        let out_sel = est.selectivity_for_set(graph, union);
-        let out_width = a_width + b_width;
 
         // Distinct order classes of the crossing edges (drive merge
         // join alternatives).
@@ -228,40 +337,35 @@ impl<'a> EnumContext<'a> {
         crossing_classes.sort_unstable();
         crossing_classes.dedup();
 
-        let created = if self.memo.get(union).is_none() {
-            let neighbors = graph.neighbors(union);
-            self.memo
-                .insert(Group::new(union, out_rows, out_sel, out_width, neighbors));
-            self.memory.add_groups(1);
-            true
-        } else {
-            false
-        };
-
         for (outer_set, inner_set) in [(a, b), (b, a)] {
-            self.join_oriented(
+            self.cost_orientation(
                 outer_set,
                 inner_set,
-                union,
+                group,
                 crossing_sel,
-                out_rows,
+                group.rows,
                 &crossing_classes,
+                plans_costed,
             );
         }
-        created
     }
 
-    /// Cost all methods for a fixed (outer, inner) orientation.
-    fn join_oriented(
-        &mut self,
+    /// Cost all methods for a fixed (outer, inner) orientation,
+    /// offering candidates to `group` as they are produced (so the
+    /// dominance early-skip sees every plan retained so far).
+    #[allow(clippy::too_many_arguments)]
+    fn cost_orientation(
+        &self,
         outer_set: RelSet,
         inner_set: RelSet,
-        union: RelSet,
+        group: &mut Group,
         crossing_sel: f64,
         out_rows: f64,
         crossing_classes: &[ClassId],
+        plans_costed: &mut u64,
     ) {
         let graph = self.graph();
+        let union = group.set;
 
         // Index nested-loop applicability: inner is a single base
         // relation whose indexed column is one of the crossing join
@@ -286,38 +390,19 @@ impl<'a> EnumContext<'a> {
             })
         });
 
-        // Snapshot the plan entries (cheap Rc clones) so we can borrow
-        // the memo mutably while inserting results.
-        let outer_entries: Vec<Rc<PlanNode>> = self
-            .memo
-            .get(outer_set)
-            .expect("outer group exists")
-            .entries()
-            .to_vec();
-        let inner_entries: Vec<Rc<PlanNode>> = self
-            .memo
-            .get(inner_set)
-            .expect("inner group exists")
-            .entries()
-            .to_vec();
-        let (outer_rows, outer_width) = {
-            let g = self.memo.get(outer_set).expect("outer group exists");
-            (g.rows, g.width)
-        };
-        let (inner_rows, inner_width) = {
-            let g = self.memo.get(inner_set).expect("inner group exists");
-            (g.rows, g.width)
-        };
+        let outer_group = self.memo.get(outer_set).expect("outer group exists");
+        let inner_group = self.memo.get(inner_set).expect("inner group exists");
+        let (outer_rows, outer_width) = (outer_group.rows, outer_group.width);
+        let (inner_rows, inner_width) = (inner_group.rows, inner_group.width);
 
-        let mut new_plans: Vec<Rc<PlanNode>> = Vec::new();
-        for (oi, outer) in outer_entries.iter().enumerate() {
+        for outer in outer_group.entries() {
             let outer_input = JoinInput {
                 rows: outer_rows,
                 cost: outer.cost,
                 width: outer_width,
                 ordering: outer.ordering,
             };
-            for (ii, inner) in inner_entries.iter().enumerate() {
+            for (ii, inner) in inner_group.entries().iter().enumerate() {
                 let inner_input = JoinInput {
                     rows: inner_rows,
                     cost: inner.cost,
@@ -350,18 +435,13 @@ impl<'a> EnumContext<'a> {
                         if ci > 0 && !is_merge {
                             continue; // already costed under ci == 0
                         }
-                        self.plans_costed += 1;
+                        *plans_costed += 1;
                         let ordering = self.useful_ordering(c.ordering, union);
-                        let retained_possible = {
-                            let g = self.memo.get(union).expect("union group exists");
-                            !g.entries().iter().any(|e| {
-                                e.cost <= c.cost && (ordering.is_none() || e.ordering == ordering)
-                            })
-                        };
-                        if !retained_possible {
+                        if !group.would_retain(c.cost, ordering) {
                             continue;
                         }
-                        new_plans.push(PlanNode::new(
+                        group.add_plan(PlanNode::new(
+                            &self.nodes,
                             PlanOp::Join { method: c.method },
                             union,
                             out_rows,
@@ -371,18 +451,80 @@ impl<'a> EnumContext<'a> {
                         ));
                     }
                 }
-                let _ = oi;
             }
         }
-        let group = self.memo.get_mut(union).expect("union group exists");
-        for p in new_plans {
-            group.add_plan(p);
+    }
+
+    /// Run one parallel level worker over a contiguous chunk of the
+    /// level's candidate pairs, accumulating results in a private
+    /// shard. Periodically probes the budget and the shared abort
+    /// flag; on violation, records the error, raises the flag and
+    /// stops early (the barrier discards partial results on error).
+    pub(crate) fn level_worker(
+        &self,
+        pairs: &[(RelSet, RelSet)],
+        probe: &BudgetProbe,
+        abort: &AtomicBool,
+    ) -> LevelShard {
+        let mut shard = LevelShard::default();
+        for (k, &(a, b)) in pairs.iter().enumerate() {
+            if k % PROBE_INTERVAL == 0 {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Some(e) = probe.over_budget() {
+                    abort.store(true, Ordering::Relaxed);
+                    shard.error = Some(e);
+                    break;
+                }
+            }
+            let union = a | b;
+            if !shard.groups.contains_key(&union) {
+                shard.created_order.push(union);
+                shard.groups.insert(union, self.new_union_group(a, b));
+            }
+            let group = shard.groups.get_mut(&union).expect("just ensured");
+            let mut costed = 0u64;
+            self.join_pair_into(a, b, group, &mut costed);
+            shard.plans_costed += costed;
+        }
+        shard
+    }
+
+    /// Fold one worker's shard into the memo. Shards must be merged in
+    /// chunk order (the chunks partition the sequential pair order
+    /// contiguously), which makes the result bit-identical to the
+    /// sequential run: groups are inserted in first-creation order,
+    /// and re-offering each shard's retained entries in offer order
+    /// reconstructs the same Pareto frontier — dominance is
+    /// transitive, so dropping shard-locally dominated offers never
+    /// changes the final retained set.
+    pub(crate) fn merge_shard(&mut self, mut shard: LevelShard, new_sets: &mut Vec<RelSet>) {
+        self.plans_costed += shard.plans_costed;
+        for set in std::mem::take(&mut shard.created_order) {
+            let group = shard.groups.remove(&set).expect("created in this shard");
+            match self.memo.get_mut(set) {
+                Some(existing) => {
+                    for plan in group.entries() {
+                        existing.add_plan(plan.clone());
+                    }
+                }
+                None => {
+                    // First shard (in chunk order) to create this set:
+                    // the shard group's entries already form a Pareto
+                    // frontier in offer order, exactly what offering
+                    // them one-by-one to an empty group would retain.
+                    self.memo.insert(group);
+                    self.memory.add_groups(1);
+                    new_sets.push(set);
+                }
+            }
         }
     }
 
     /// Best complete plan for `full`, enforcing the `ORDER BY` with an
     /// explicit sort when no suitably-ordered plan is cheaper.
-    pub fn finalize(&mut self, full: RelSet) -> Result<Rc<PlanNode>, OptError> {
+    pub fn finalize(&mut self, full: RelSet) -> Result<Arc<PlanNode>, OptError> {
         let group = self.memo.get(full).ok_or(OptError::DisconnectedJoinGraph)?;
         let best = group.best().clone();
         let Some(target) = self.order_target else {
@@ -396,6 +538,7 @@ impl<'a> EnumContext<'a> {
             _ => {
                 let rows = group.rows;
                 Ok(PlanNode::new(
+                    &self.nodes,
                     PlanOp::Sort { class: target },
                     full,
                     rows,
@@ -495,6 +638,50 @@ mod tests {
             .entries()
         {
             e.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn level_worker_matches_sequential_join_pair() {
+        // The same pair costed through the worker shard must retain
+        // exactly the plans the sequential path retains.
+        let cat = Catalog::paper();
+        let model = CostModel::with_defaults(&cat);
+        let q = QueryGenerator::new(&cat, Topology::Star(5), 4).instance(0);
+
+        let mut seq = ctx_fixture(&q, &model);
+        for i in 0..5 {
+            seq.ensure_base_group(i);
+        }
+        let pairs: Vec<(RelSet, RelSet)> = (1..5)
+            .map(|i| (RelSet::single(0), RelSet::single(i)))
+            .collect();
+        for &(a, b) in &pairs {
+            seq.join_pair(a, b);
+        }
+
+        let mut par = ctx_fixture(&q, &model);
+        for i in 0..5 {
+            par.ensure_base_group(i);
+        }
+        let probe = par.memory.probe();
+        let abort = AtomicBool::new(false);
+        let shard = par.level_worker(&pairs, &probe, &abort);
+        assert!(shard.error.is_none());
+        let mut new_sets = Vec::new();
+        par.merge_shard(shard, &mut new_sets);
+
+        assert_eq!(new_sets.len(), 4);
+        assert_eq!(seq.plans_costed, par.plans_costed);
+        for &(a, b) in &pairs {
+            let (sg, pg) = (seq.memo.get(a | b).unwrap(), par.memo.get(a | b).unwrap());
+            let frontier = |g: &Group| {
+                g.entries()
+                    .iter()
+                    .map(|e| (e.cost.to_bits(), e.ordering))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(frontier(sg), frontier(pg));
         }
     }
 

@@ -6,7 +6,7 @@
 //! costing only `O(n²)` plans, and typically lands well above DP cost
 //! on hub-bearing graphs.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sdp_query::RelSet;
 
@@ -15,7 +15,7 @@ use crate::context::EnumContext;
 use crate::plan::PlanNode;
 
 /// Optimize with greedy operator ordering (MinRows merge criterion).
-pub fn optimize_goo(ctx: &mut EnumContext<'_>) -> Result<Rc<PlanNode>, OptError> {
+pub fn optimize_goo(ctx: &mut EnumContext<'_>) -> Result<Arc<PlanNode>, OptError> {
     let n = ctx.graph().len();
     if n == 0 {
         return Err(OptError::EmptyQuery);

@@ -24,7 +24,7 @@
 //! count is fixed at `⌈(r−1)/(k−1)⌉` and the per-iteration block size
 //! re-derived from it.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sdp_query::RelSet;
 
@@ -89,7 +89,7 @@ pub fn balanced_block_size(r: usize, k: usize) -> usize {
 pub fn optimize_idp(
     ctx: &mut EnumContext<'_>,
     config: IdpConfig,
-) -> Result<Rc<PlanNode>, OptError> {
+) -> Result<Arc<PlanNode>, OptError> {
     let n = ctx.graph().len();
     if n == 0 {
         return Err(OptError::EmptyQuery);
@@ -114,7 +114,7 @@ pub fn optimize_idp(
         }
 
         // --- candidate selection: top 5 % by MinRows -------------------
-        let mut candidates = table.sets_at(bk);
+        let mut candidates: Vec<RelSet> = table.sets_at(bk).collect();
         debug_assert!(!candidates.is_empty(), "connected graph has full blocks");
         candidates.sort_by(|&a, &b| {
             let ra = ctx.memo.get(a).expect("live").rows;

@@ -39,10 +39,10 @@ pub mod random;
 pub mod recost;
 pub mod sdp;
 
-pub use budget::{Budget, OptError};
-pub use context::{EnumContext, RunStats};
+pub use budget::{Budget, BudgetProbe, OptError};
+pub use context::{default_parallelism, EnumContext, RunStats};
 pub use memo::{Group, Memo};
 pub use optimizer::{Algorithm, OptimizedPlan, Optimizer};
-pub use plan::{live_plan_nodes, PlanNode, PlanOp};
+pub use plan::{NodeCounter, PlanNode, PlanOp};
 pub use recost::recost;
 pub use sdp::{Partitioning, SdpConfig, SkylineOption};

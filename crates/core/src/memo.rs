@@ -12,7 +12,7 @@
 //! `[Rows, Cost, Selectivity]` that SDP's skyline pruning consumes
 //! (paper Figure 2.3).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sdp_query::{ClassId, RelSet};
 
@@ -33,7 +33,7 @@ pub struct Group {
     pub width: f64,
     /// Cached external neighbourhood in the join graph.
     pub neighbors: RelSet,
-    entries: Vec<Rc<PlanNode>>,
+    entries: Vec<Arc<PlanNode>>,
 }
 
 impl Group {
@@ -58,7 +58,7 @@ impl Group {
 
     /// Offer a plan to the group. Returns `true` if it was retained
     /// (and any newly-dominated entries were evicted).
-    pub fn add_plan(&mut self, plan: Rc<PlanNode>) -> bool {
+    pub fn add_plan(&mut self, plan: Arc<PlanNode>) -> bool {
         debug_assert_eq!(plan.set, self.set, "plan covers a different JCR");
         if self.entries.iter().any(|e| Self::entry_dominates(e, &plan)) {
             return false;
@@ -68,12 +68,23 @@ impl Group {
         true
     }
 
+    /// Whether a plan with the given cost and ordering would be
+    /// retained if offered — the dominance test of [`Group::add_plan`]
+    /// without constructing the node. The enumerator uses this to skip
+    /// allocating candidates that are already dominated.
+    pub fn would_retain(&self, cost: f64, ordering: Option<ClassId>) -> bool {
+        !self
+            .entries
+            .iter()
+            .any(|e| e.cost <= cost && (ordering.is_none() || e.ordering == ordering))
+    }
+
     /// The cheapest plan in the group.
     ///
     /// # Panics
     /// Panics if the group is empty (groups are always populated
     /// before being published to the memo).
-    pub fn best(&self) -> &Rc<PlanNode> {
+    pub fn best(&self) -> &Arc<PlanNode> {
         self.entries
             .iter()
             .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
@@ -86,7 +97,7 @@ impl Group {
     }
 
     /// Cheapest plan whose output carries the given order class.
-    pub fn best_for_order(&self, class: ClassId) -> Option<&Rc<PlanNode>> {
+    pub fn best_for_order(&self, class: ClassId) -> Option<&Arc<PlanNode>> {
         self.entries
             .iter()
             .filter(|e| e.ordering == Some(class))
@@ -94,7 +105,7 @@ impl Group {
     }
 
     /// All retained plans.
-    pub fn entries(&self) -> &[Rc<PlanNode>] {
+    pub fn entries(&self) -> &[Arc<PlanNode>] {
         &self.entries
     }
 
@@ -181,11 +192,12 @@ impl Memo {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::PlanOp;
+    use crate::plan::{NodeCounter, PlanOp};
     use sdp_catalog::RelId;
 
-    fn plan(set: RelSet, cost: f64, ordering: Option<ClassId>) -> Rc<PlanNode> {
+    fn plan(set: RelSet, cost: f64, ordering: Option<ClassId>) -> Arc<PlanNode> {
         PlanNode::new(
+            &NodeCounter::new(),
             PlanOp::SeqScan {
                 rel: RelId(0),
                 node: set.min_index().unwrap(),
@@ -280,12 +292,13 @@ mod tests {
 #[cfg(test)]
 mod property_tests {
     use super::*;
-    use crate::plan::PlanOp;
+    use crate::plan::{NodeCounter, PlanOp};
     use proptest::prelude::*;
     use sdp_catalog::RelId;
 
-    fn plan(cost: f64, ordering: Option<ClassId>) -> Rc<PlanNode> {
+    fn plan(cost: f64, ordering: Option<ClassId>) -> Arc<PlanNode> {
         PlanNode::new(
+            &NodeCounter::new(),
             PlanOp::SeqScan {
                 rel: RelId(0),
                 node: 0,
@@ -314,7 +327,7 @@ mod property_tests {
             // (1) mutual non-dominance among retained entries
             for a in g.entries() {
                 for b in g.entries() {
-                    if Rc::ptr_eq(a, b) {
+                    if Arc::ptr_eq(a, b) {
                         continue;
                     }
                     let dominates = a.cost <= b.cost

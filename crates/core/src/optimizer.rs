@@ -12,14 +12,14 @@
 //! assert!(plan.cost > 0.0);
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sdp_catalog::Catalog;
 use sdp_cost::{CostModel, CostParams};
 use sdp_query::{infer_transitive_edges, Query};
 
 use crate::budget::{Budget, OptError};
-use crate::context::{EnumContext, RunStats};
+use crate::context::{default_parallelism, EnumContext, RunStats};
 use crate::dp::optimize_complete;
 use crate::goo::optimize_goo;
 use crate::idp::{optimize_idp, IdpConfig};
@@ -84,7 +84,7 @@ impl Algorithm {
 #[derive(Debug, Clone)]
 pub struct OptimizedPlan {
     /// Root of the chosen physical plan.
-    pub root: Rc<PlanNode>,
+    pub root: Arc<PlanNode>,
     /// Estimated cost of the plan (the paper's plan-quality
     /// currency).
     pub cost: f64,
@@ -103,18 +103,22 @@ pub struct Optimizer<'a> {
     params: CostParams,
     budget: Budget,
     infer_closure: bool,
+    parallelism: usize,
 }
 
 impl<'a> Optimizer<'a> {
     /// Optimizer with PostgreSQL-default cost constants, the paper's
-    /// 1 GB memory budget, and the transitive-closure rewriter
-    /// enabled (as in PostgreSQL).
+    /// 1 GB memory budget, the transitive-closure rewriter enabled
+    /// (as in PostgreSQL), and enumeration parallelism from
+    /// [`default_parallelism`] (`SDP_THREADS` env override, else the
+    /// machine's available parallelism).
     pub fn new(catalog: &'a Catalog) -> Self {
         Optimizer {
             catalog,
             params: CostParams::default(),
             budget: Budget::default(),
             infer_closure: true,
+            parallelism: default_parallelism(),
         }
     }
 
@@ -137,9 +141,23 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Set the number of worker threads for level-wise enumeration
+    /// and skyline pruning (clamped to at least 1). The chosen plan
+    /// is bit-identical at every thread count; parallelism only
+    /// changes wall-clock time.
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads.max(1);
+        self
+    }
+
     /// The budget in force.
     pub fn budget(&self) -> Budget {
         self.budget
+    }
+
+    /// The enumeration parallelism in force.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Optimize `query` with the chosen algorithm.
@@ -154,6 +172,7 @@ impl<'a> Optimizer<'a> {
         }
         let model = CostModel::new(self.catalog, self.params);
         let mut ctx = EnumContext::new(&rewritten, &model, self.budget);
+        ctx.set_parallelism(self.parallelism);
         let root = match algorithm {
             Algorithm::Dp => optimize_complete(&mut ctx, None),
             Algorithm::Idp { k } => optimize_idp(&mut ctx, IdpConfig::paper(k)),
@@ -255,6 +274,23 @@ mod tests {
         assert!(p.stats.jcrs_processed > 9);
         assert!(p.stats.peak_model_bytes > 0);
         assert!(p.rows >= 1.0);
+    }
+
+    #[test]
+    fn parallelism_does_not_change_the_plan() {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Star(11), 7).instance(0);
+        let base = Optimizer::new(&cat)
+            .with_parallelism(1)
+            .optimize(&q, Algorithm::Dp)
+            .unwrap();
+        let par = Optimizer::new(&cat)
+            .with_parallelism(4)
+            .optimize(&q, Algorithm::Dp)
+            .unwrap();
+        assert_eq!(base.cost.to_bits(), par.cost.to_bits());
+        assert_eq!(base.stats.plans_costed, par.stats.plans_costed);
+        assert_eq!(base.stats.jcrs_processed, par.stats.jcrs_processed);
     }
 
     #[test]

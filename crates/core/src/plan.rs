@@ -1,29 +1,55 @@
 //! Physical plan trees.
 //!
-//! Plans are immutable `Rc` trees: subplans are shared between every
+//! Plans are immutable `Arc` trees: subplans are shared between every
 //! memo group that references them, and pruning a group (SDP's whole
-//! point) drops its `Rc`s, transparently freeing any node no longer
+//! point) drops its `Arc`s, transparently freeing any node no longer
 //! reachable — which is what makes the memory-overhead measurements
-//! (paper Tables 1.2, 1.4, 2.1, 3.2, 3.3) meaningful.
+//! (paper Tables 1.2, 1.4, 2.1, 3.2, 3.3) meaningful. `Arc` (rather
+//! than `Rc`) makes plans `Send + Sync`, so the level-wise enumerator
+//! can build candidate plans on worker threads and merge them at the
+//! level barrier.
 //!
-//! A thread-local live-node counter tracks exactly how many plan nodes
-//! are alive at any instant; [`crate::budget::MemoryModel`] converts
-//! that (plus the group count) into paper-equivalent megabytes.
+//! A per-run [`NodeCounter`] tracks exactly how many plan nodes of
+//! that run are alive at any instant; [`crate::budget::MemoryModel`]
+//! converts that (plus the group count) into paper-equivalent
+//! megabytes. The counter is a shared atomic, so nodes created on
+//! worker threads charge the same budget as nodes created on the
+//! coordinating thread.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use sdp_catalog::{ColId, RelId};
 use sdp_cost::JoinMethod;
 use sdp_query::{ClassId, RelSet};
 
-thread_local! {
-    static LIVE_PLAN_NODES: Cell<u64> = const { Cell::new(0) };
-}
+/// Shared live-node counter for one optimization run.
+///
+/// Every [`PlanNode`] holds a handle to the counter it was created
+/// under and decrements it on drop, so the count is exact regardless
+/// of which thread allocates or frees a node. Cloning the handle
+/// shares the underlying atomic.
+#[derive(Debug, Clone, Default)]
+pub struct NodeCounter(Arc<AtomicU64>);
 
-/// Number of plan nodes currently alive on this thread.
-pub fn live_plan_nodes() -> u64 {
-    LIVE_PLAN_NODES.with(|c| c.get())
+impl NodeCounter {
+    /// A fresh counter starting at zero.
+    pub fn new() -> Self {
+        NodeCounter::default()
+    }
+
+    /// Number of plan nodes currently alive under this counter.
+    pub fn live(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn increment(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn decrement(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// The operator at a plan node.
@@ -73,30 +99,41 @@ pub struct PlanNode {
     pub ordering: Option<ClassId>,
     /// Children (empty for scans, `[outer, inner]` for joins,
     /// `[input]` for sorts).
-    pub children: Vec<Rc<PlanNode>>,
+    pub children: Vec<Arc<PlanNode>>,
+    counter: NodeCounter,
 }
 
 impl PlanNode {
-    /// Construct a node (increments the live-node counter).
+    /// Construct a node (increments `counter`; the node decrements it
+    /// again when dropped).
     pub fn new(
+        counter: &NodeCounter,
         op: PlanOp,
         set: RelSet,
         rows: f64,
         cost: f64,
         ordering: Option<ClassId>,
-        children: Vec<Rc<PlanNode>>,
-    ) -> Rc<Self> {
+        children: Vec<Arc<PlanNode>>,
+    ) -> Arc<Self> {
         debug_assert!(rows.is_finite() && rows >= 0.0, "rows = {rows}");
         debug_assert!(cost.is_finite() && cost >= 0.0, "cost = {cost}");
-        LIVE_PLAN_NODES.with(|c| c.set(c.get() + 1));
-        Rc::new(PlanNode {
+        counter.increment();
+        Arc::new(PlanNode {
             op,
             set,
             rows,
             cost,
             ordering,
             children,
+            counter: counter.clone(),
         })
+    }
+
+    /// The live-node counter this node charges. Useful for asserting
+    /// that a run's plans were fully reclaimed: clone the handle, drop
+    /// the plan, and check [`NodeCounter::live`] returns to zero.
+    pub fn counter(&self) -> NodeCounter {
+        self.counter.clone()
     }
 
     /// Number of nodes in this subtree.
@@ -183,7 +220,7 @@ impl PlanNode {
 
 impl Drop for PlanNode {
     fn drop(&mut self) {
-        LIVE_PLAN_NODES.with(|c| c.set(c.get().saturating_sub(1)));
+        self.counter.decrement();
     }
 }
 
@@ -191,8 +228,9 @@ impl Drop for PlanNode {
 mod tests {
     use super::*;
 
-    fn scan(node: usize, cost: f64) -> Rc<PlanNode> {
+    fn scan(counter: &NodeCounter, node: usize, cost: f64) -> Arc<PlanNode> {
         PlanNode::new(
+            counter,
             PlanOp::SeqScan {
                 rel: RelId(node as u32),
                 node,
@@ -205,10 +243,11 @@ mod tests {
         )
     }
 
-    fn join(l: Rc<PlanNode>, r: Rc<PlanNode>) -> Rc<PlanNode> {
+    fn join(counter: &NodeCounter, l: Arc<PlanNode>, r: Arc<PlanNode>) -> Arc<PlanNode> {
         let set = l.set | r.set;
         let cost = l.cost + r.cost + 1.0;
         PlanNode::new(
+            counter,
             PlanOp::Join {
                 method: JoinMethod::Hash,
             },
@@ -222,55 +261,80 @@ mod tests {
 
     #[test]
     fn live_counter_tracks_creation_and_drop() {
-        let before = live_plan_nodes();
+        let counter = NodeCounter::new();
         {
-            let a = scan(0, 1.0);
-            let b = scan(1, 1.0);
-            let j = join(a, b);
-            assert_eq!(live_plan_nodes(), before + 3);
+            let a = scan(&counter, 0, 1.0);
+            let b = scan(&counter, 1, 1.0);
+            let j = join(&counter, a, b);
+            assert_eq!(counter.live(), 3);
             drop(j); // drops all three (children moved into the join)
         }
-        assert_eq!(live_plan_nodes(), before);
+        assert_eq!(counter.live(), 0);
     }
 
     #[test]
     fn shared_subplans_freed_only_when_unreachable() {
-        let before = live_plan_nodes();
-        let shared = scan(0, 1.0);
-        let j1 = join(shared.clone(), scan(1, 1.0));
-        let j2 = join(shared.clone(), scan(2, 1.0));
+        let counter = NodeCounter::new();
+        let shared = scan(&counter, 0, 1.0);
+        let j1 = join(&counter, shared.clone(), scan(&counter, 1, 1.0));
+        let j2 = join(&counter, shared.clone(), scan(&counter, 2, 1.0));
         drop(shared);
-        assert_eq!(live_plan_nodes(), before + 5);
+        assert_eq!(counter.live(), 5);
         drop(j1);
-        assert_eq!(live_plan_nodes(), before + 3); // shared survives via j2
+        assert_eq!(counter.live(), 3); // shared survives via j2
         drop(j2);
-        assert_eq!(live_plan_nodes(), before);
+        assert_eq!(counter.live(), 0);
+    }
+
+    #[test]
+    fn counter_is_shared_across_threads() {
+        let counter = NodeCounter::new();
+        let plans: Vec<Arc<PlanNode>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let counter = &counter;
+                    scope.spawn(move || scan(counter, t, 1.0))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(counter.live(), 4);
+        drop(plans);
+        assert_eq!(counter.live(), 0);
     }
 
     #[test]
     fn tree_shape_metrics() {
-        let left = join(scan(0, 1.0), scan(1, 1.0));
-        let right = join(scan(2, 1.0), scan(3, 1.0));
-        let bushy = join(left, right);
+        let c = NodeCounter::new();
+        let left = join(&c, scan(&c, 0, 1.0), scan(&c, 1, 1.0));
+        let right = join(&c, scan(&c, 2, 1.0), scan(&c, 3, 1.0));
+        let bushy = join(&c, left, right);
         assert_eq!(bushy.node_count(), 7);
         assert_eq!(bushy.join_count(), 3);
         assert_eq!(bushy.depth(), 3);
         assert!(bushy.is_bushy());
 
-        let ld = join(join(scan(0, 1.0), scan(1, 1.0)), scan(2, 1.0));
+        let ld = join(
+            &c,
+            join(&c, scan(&c, 0, 1.0), scan(&c, 1, 1.0)),
+            scan(&c, 2, 1.0),
+        );
         assert!(!ld.is_bushy());
     }
 
     #[test]
     fn invariants_accept_valid_trees() {
-        let t = join(scan(0, 1.0), scan(1, 2.0));
+        let c = NodeCounter::new();
+        let t = join(&c, scan(&c, 0, 1.0), scan(&c, 1, 2.0));
         assert!(t.check_invariants().is_ok());
     }
 
     #[test]
     fn invariants_reject_overlapping_join() {
-        let a = scan(0, 1.0);
+        let c = NodeCounter::new();
+        let a = scan(&c, 0, 1.0);
         let bad = PlanNode::new(
+            &c,
             PlanOp::Join {
                 method: JoinMethod::Hash,
             },
@@ -285,9 +349,11 @@ mod tests {
 
     #[test]
     fn invariants_reject_cost_regression() {
-        let a = scan(0, 10.0);
-        let b = scan(1, 10.0);
+        let c = NodeCounter::new();
+        let a = scan(&c, 0, 10.0);
+        let b = scan(&c, 1, 10.0);
         let bad = PlanNode::new(
+            &c,
             PlanOp::Join {
                 method: JoinMethod::Hash,
             },

@@ -28,7 +28,7 @@ use sdp_query::{ClassId, RelSet};
 use crate::budget::OptError;
 use crate::context::EnumContext;
 use crate::plan::PlanNode;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Tuning parameters for the randomized searches.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -197,7 +197,7 @@ fn search(
     ctx: &mut EnumContext<'_>,
     config: RandomConfig,
     anneal: bool,
-) -> Result<Rc<PlanNode>, OptError> {
+) -> Result<Arc<PlanNode>, OptError> {
     let n = ctx.graph().len();
     if n == 0 {
         return Err(OptError::EmptyQuery);
@@ -275,7 +275,7 @@ fn search(
 pub fn optimize_ii(
     ctx: &mut EnumContext<'_>,
     config: RandomConfig,
-) -> Result<Rc<PlanNode>, OptError> {
+) -> Result<Arc<PlanNode>, OptError> {
     search(ctx, config, false)
 }
 
@@ -283,7 +283,7 @@ pub fn optimize_ii(
 pub fn optimize_sa(
     ctx: &mut EnumContext<'_>,
     config: RandomConfig,
-) -> Result<Rc<PlanNode>, OptError> {
+) -> Result<Arc<PlanNode>, OptError> {
     search(ctx, config, true)
 }
 

@@ -33,11 +33,16 @@
 //!    reachable (Section 2.1.4).
 
 use sdp_query::{hubs, RelSet};
-use sdp_skyline::{k_dominant_skyline, pairwise_union_skyline, skyline_sfs};
+use sdp_skyline::{k_dominant_skyline, pairwise_union_skyline_threaded, skyline_sfs};
 
 use crate::context::EnumContext;
 use crate::dp::LevelPruner;
 use crate::fx::FxHashMap;
+
+/// Minimum level size (in JCRs) before the per-partition skylines are
+/// fanned out to worker threads; below this the scans are too cheap
+/// to amortize thread startup.
+const PARALLEL_PARTITION_THRESHOLD: usize = 64;
 
 /// How the PruneGroup is partitioned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -134,10 +139,12 @@ impl SdpPruner {
     }
 
     /// Apply the configured skyline function within one partition,
-    /// returning the indices of the surviving members.
-    fn skyline(&self, features: &[Vec<f64>]) -> Vec<usize> {
+    /// returning the indices of the surviving members. `threads > 1`
+    /// lets the pairwise-union option compute its RC/CS/RS projection
+    /// skylines concurrently (the result is identical either way).
+    fn skyline(&self, features: &[Vec<f64>], threads: usize) -> Vec<usize> {
         match self.config.skyline {
-            SkylineOption::PairwiseUnion => pairwise_union_skyline(features),
+            SkylineOption::PairwiseUnion => pairwise_union_skyline_threaded(features, threads),
             SkylineOption::FullVector => skyline_sfs(features),
             SkylineOption::KDominant(k) => {
                 let s = k_dominant_skyline(features, k.clamp(1, 3));
@@ -220,11 +227,54 @@ impl SdpPruner {
         let mut survived_in = vec![0u32; level_sets.len()];
         let mut keys: Vec<RelSet> = partitions.keys().copied().collect();
         keys.sort_unstable(); // deterministic partition order
-        for key in keys {
-            let members = &partitions[&key];
-            let part_features: Vec<Vec<f64>> =
-                members.iter().map(|&i| features[i].clone()).collect();
-            let mut winners = self.skyline(&part_features);
+
+        // Per-partition skylines are independent reads, so large
+        // levels fan them out across worker threads; the survivor
+        // marks are merged in sorted key order either way, so the
+        // outcome never depends on the thread count. When partitions
+        // run sequentially, the pairwise-union projections themselves
+        // run threaded instead (no nested oversubscription).
+        let threads = ctx.parallelism();
+        let this: &SdpPruner = self;
+        let winner_lists: Vec<Vec<usize>> =
+            if threads > 1 && keys.len() > 1 && level_sets.len() >= PARALLEL_PARTITION_THRESHOLD {
+                let workers = threads.min(keys.len());
+                let chunk = keys.len().div_ceil(workers);
+                let (partitions, features) = (&partitions, &features);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = keys
+                        .chunks(chunk)
+                        .map(|chunk_keys| {
+                            scope.spawn(move || {
+                                chunk_keys
+                                    .iter()
+                                    .map(|key| {
+                                        let members = &partitions[key];
+                                        let part_features: Vec<Vec<f64>> =
+                                            members.iter().map(|&i| features[i].clone()).collect();
+                                        this.skyline(&part_features, 1)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("partition skyline panicked"))
+                        .collect()
+                })
+            } else {
+                keys.iter()
+                    .map(|key| {
+                        let members = &partitions[key];
+                        let part_features: Vec<Vec<f64>> =
+                            members.iter().map(|&i| features[i].clone()).collect();
+                        this.skyline(&part_features, threads)
+                    })
+                    .collect()
+            };
+        for (key, mut winners) in keys.iter().zip(winner_lists) {
+            let members = &partitions[key];
             if winners.is_empty() && !members.is_empty() {
                 // Completeness safeguard: never let a partition lose
                 // everything (cannot happen with the built-in skyline
@@ -253,7 +303,7 @@ impl SdpPruner {
             }
             let part_features: Vec<Vec<f64>> =
                 members.iter().map(|&i| features[i].clone()).collect();
-            for w in self.skyline(&part_features) {
+            for w in self.skyline(&part_features, threads) {
                 keep[members[w]] = true;
             }
         }
@@ -314,7 +364,7 @@ impl LevelPruner for SdpPruner {
 pub fn optimize_sdp(
     ctx: &mut EnumContext<'_>,
     config: SdpConfig,
-) -> Result<std::rc::Rc<crate::plan::PlanNode>, crate::budget::OptError> {
+) -> Result<std::sync::Arc<crate::plan::PlanNode>, crate::budget::OptError> {
     let mut pruner = SdpPruner::new(ctx, config);
     crate::dp::optimize_complete(ctx, Some(&mut pruner))
 }
@@ -463,6 +513,31 @@ mod tests {
             let (sdp_cost, _, dp_cost) = run(Topology::Star(7), seed, SdpConfig::paper(), true);
             assert!(sdp_cost / dp_cost < 2.0, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn sdp_parallel_matches_sequential() {
+        // Parallel level enumeration + parallel partition skylines
+        // must leave every observable counter and the chosen plan
+        // bit-identical to the sequential run.
+        let cat = Catalog::paper();
+        let model = CostModel::with_defaults(&cat);
+        let q = QueryGenerator::new(&cat, Topology::star_chain(13), 3).instance(0);
+        let run_threads = |threads: usize| {
+            let mut ctx = EnumContext::new(&q, &model, Budget::unlimited());
+            ctx.set_parallelism(threads);
+            let plan = optimize_sdp(&mut ctx, SdpConfig::paper()).unwrap();
+            let s = ctx.stats();
+            (
+                plan.cost.to_bits(),
+                s.plans_costed,
+                s.jcrs_processed,
+                s.jcrs_pruned,
+            )
+        };
+        let sequential = run_threads(1);
+        assert_eq!(sequential, run_threads(2));
+        assert_eq!(sequential, run_threads(4));
     }
 
     #[test]

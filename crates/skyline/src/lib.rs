@@ -37,7 +37,7 @@ pub mod sfs;
 pub use bnl::skyline_bnl;
 pub use dnc::skyline_dnc;
 pub use kdominant::k_dominant_skyline;
-pub use multiway::{pairwise_union_skyline, projected_skyline};
+pub use multiway::{pairwise_union_skyline, pairwise_union_skyline_threaded, projected_skyline};
 pub use sfs::skyline_sfs;
 
 /// Dominance under minimization: `a` dominates `b` iff `a[i] ≤ b[i]`

@@ -63,6 +63,45 @@ pub fn pairwise_union_skyline(points: &[Vec<f64>]) -> Vec<usize> {
     (0..points.len()).filter(|&i| survivor[i]).collect()
 }
 
+/// Number of points below which [`pairwise_union_skyline_threaded`]
+/// falls back to the sequential scan — spawning threads costs more
+/// than the window scans save on small partitions.
+const PARALLEL_POINT_THRESHOLD: usize = 64;
+
+/// [`pairwise_union_skyline`] with the independent two-attribute
+/// projections computed on concurrent threads (for the paper's d = 3,
+/// the RC, CS and RS skylines run in parallel). The survivor union is
+/// order-independent, so the result is identical to the sequential
+/// function for every input. Falls back to the sequential scan when
+/// `threads <= 1`, the input is small, or `d <= 2` (a single
+/// projection — nothing to overlap).
+pub fn pairwise_union_skyline_threaded(points: &[Vec<f64>], threads: usize) -> Vec<usize> {
+    let d = points.first().map_or(0, |p| p.len());
+    if threads <= 1 || d <= 2 || points.len() < PARALLEL_POINT_THRESHOLD {
+        return pairwise_union_skyline(points);
+    }
+    let projections: Vec<[usize; 2]> = (0..d)
+        .flat_map(|a| (a + 1..d).map(move |b| [a, b]))
+        .collect();
+    let per_projection: Vec<Vec<usize>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = projections
+            .iter()
+            .map(|dims| scope.spawn(move || projected_skyline(points, dims)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("projection skyline panicked"))
+            .collect()
+    });
+    let mut survivor = vec![false; points.len()];
+    for winners in per_projection {
+        for i in winners {
+            survivor[i] = true;
+        }
+    }
+    (0..points.len()).filter(|&i| survivor[i]).collect()
+}
+
 /// Which pairwise skylines each object belongs to, for the paper's
 /// Table 2.2-style reporting. Returns, for each projection (in
 /// lexicographic `(a, b)` order), the ascending member indices.
@@ -139,6 +178,34 @@ mod tests {
                 assert!(union.contains(&m));
             }
         }
+    }
+
+    #[test]
+    fn threaded_union_matches_sequential() {
+        // Deterministic pseudo-random cloud (xorshift), large enough
+        // to clear the parallel threshold.
+        let mut state = 0x2545F491_4F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![next() * 1e6, next() * 1e5, next()])
+            .collect();
+        assert_eq!(
+            pairwise_union_skyline_threaded(&pts, 4),
+            pairwise_union_skyline(&pts)
+        );
+        // Small inputs and single-thread requests take the sequential
+        // path but must agree as well.
+        let small = table_2_2();
+        assert_eq!(pairwise_union_skyline_threaded(&small, 4), vec![0, 1, 3, 4]);
+        assert_eq!(
+            pairwise_union_skyline_threaded(&pts, 1),
+            pairwise_union_skyline(&pts)
+        );
     }
 
     #[test]

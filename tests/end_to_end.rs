@@ -134,21 +134,20 @@ fn skewed_catalog_full_pipeline() {
 
 #[test]
 fn plan_memory_is_reclaimed_after_runs() {
-    use sdp::core::live_plan_nodes;
     let catalog = Catalog::paper();
     let optimizer = Optimizer::new(&catalog);
     let query = QueryGenerator::new(&catalog, Topology::Star(8), 4).instance(0);
-    let before = live_plan_nodes();
-    {
-        let plan = optimizer
-            .optimize(&query, Algorithm::Sdp(SdpConfig::paper()))
-            .unwrap();
-        assert!(live_plan_nodes() > before);
-        drop(plan);
-    }
+    let plan = optimizer
+        .optimize(&query, Algorithm::Sdp(SdpConfig::paper()))
+        .unwrap();
+    // The run's node counter outlives the plan; once the returned
+    // tree is dropped, every node of the run must be gone.
+    let counter = plan.root.counter();
+    assert!(counter.live() > 0, "returned plan holds live nodes");
+    drop(plan);
     assert_eq!(
-        live_plan_nodes(),
-        before,
+        counter.live(),
+        0,
         "plan nodes leaked after dropping the result"
     );
 }

@@ -98,6 +98,50 @@ proptest! {
         prop_assert!(rel < 1e-6, "rows {} vs {}", dp.rows, other.rows);
     }
 
+    /// Parallel enumeration is invisible: for any topology, seed and
+    /// enumeration algorithm, running with 1 worker thread and with
+    /// several produces the identical chosen plan — bit-identical
+    /// cost and the same join order — and identical effort counters.
+    #[test]
+    fn parallelism_is_deterministic(
+        topo in prop_oneof![
+            (5usize..10).prop_map(Topology::Star),
+            (5usize..9).prop_map(Topology::Chain),
+            (6usize..11).prop_map(Topology::star_chain),
+        ],
+        seed in 0u64..500,
+        alg in prop_oneof![
+            Just(Algorithm::Dp),
+            Just(Algorithm::Sdp(SdpConfig::paper())),
+            (3usize..6).prop_map(|k| Algorithm::Idp { k }),
+        ],
+        threads in 2usize..5,
+    ) {
+        fn join_order(p: &sdp::core::PlanNode, out: &mut Vec<(Vec<usize>, String)>) {
+            out.push((p.set.iter().collect(), format!("{:?}", p.op)));
+            for c in &p.children {
+                join_order(c, out);
+            }
+        }
+        let catalog = Catalog::paper();
+        let query = QueryGenerator::new(&catalog, topo, seed).instance(0);
+        let run = |n: usize| {
+            Optimizer::new(&catalog)
+                .with_parallelism(n)
+                .optimize(&query, alg)
+                .unwrap()
+        };
+        let (seq, par) = (run(1), run(threads));
+        prop_assert_eq!(seq.cost.to_bits(), par.cost.to_bits());
+        prop_assert_eq!(seq.stats.plans_costed, par.stats.plans_costed);
+        prop_assert_eq!(seq.stats.jcrs_processed, par.stats.jcrs_processed);
+        prop_assert_eq!(seq.stats.jcrs_pruned, par.stats.jcrs_pruned);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        join_order(&seq.root, &mut a);
+        join_order(&par.root, &mut b);
+        prop_assert_eq!(a, b, "join order differs at {} threads", threads);
+    }
+
     /// Chains and cycles are never pruned by paper-config SDP,
     /// whatever the seed.
     #[test]

@@ -1,0 +1,201 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the API surface this workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, `Bencher::iter` — with a straightforward
+//! median-of-samples timing loop instead of criterion's statistics
+//! engine. Results print as `group/name  median  (min … max)` lines.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value barrier.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// New id from a function name and a displayable parameter.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the measured closure.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, once per sample after warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~50 ms or 3 iterations, whichever first.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters < 3 && warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        self.durations.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(routine());
+            self.durations.push(t.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Reduce measurement time — accepted for compatibility, unused.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            durations: Vec::new(),
+        };
+        f(&mut b);
+        let mut ds = b.durations;
+        if ds.is_empty() {
+            println!("{}/{label}: no samples recorded", self.name);
+            return;
+        }
+        ds.sort_unstable();
+        let median = ds[ds.len() / 2];
+        println!(
+            "{}/{label}  time: {}  (min {} … max {}; {} samples)",
+            self.name,
+            fmt_duration(median),
+            fmt_duration(ds[0]),
+            fmt_duration(ds[ds.len() - 1]),
+            ds.len(),
+        );
+    }
+
+    /// Benchmark a closure under a string label.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(&label.to_string(), f);
+        self
+    }
+
+    /// Benchmark a closure receiving a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a closure directly on the driver.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(label, f);
+        self
+    }
+}
+
+/// Collect bench functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = <$crate::Criterion as ::core::default::Default>::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

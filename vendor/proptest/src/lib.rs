@@ -1,0 +1,554 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate
+//! provides the subset of proptest this workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_filter`,
+//! numeric-range / tuple / `Just` strategies, `prop::collection::vec`,
+//! `prop::option::of`, `any::<T>()`, the `proptest!`, `prop_oneof!`,
+//! `prop_assert*!` and `prop_assume!` macros, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Semantics differ from real proptest in two deliberate ways: inputs
+//! are sampled from a per-test deterministic PRNG rather than an
+//! entropy-seeded one (every CI run exercises the identical corpus),
+//! and there is **no shrinking** — a failing case panics with the
+//! sampled inputs left to the assertion message.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic test PRNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed directly.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Deterministic seed derived from a test name.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Run-count configuration (the only knob this stand-in honors).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test inputs.
+///
+/// Combinator methods require `Self: Sized` so the trait stays object
+/// safe (`prop_oneof!` boxes its arms).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discard samples failing `pred` (resampling, up to a bounded
+    /// number of attempts).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            reason,
+        }
+    }
+
+    /// Box the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive samples",
+            self.reason
+        );
+    }
+}
+
+/// Constant strategy.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty range strategy");
+                if s == <$t>::MIN && e == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = e.wrapping_sub(s) as u64 + 1;
+                s.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty range strategy");
+                s + (rng.unit_f64() as $t) * (e - s)
+            }
+        }
+    )*};
+}
+
+float_strategies!(f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy behind `any::<bool>()`.
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniform choice among boxed alternatives — backing for
+/// `prop_oneof!`.
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+/// Build a [`OneOf`] from boxed arms.
+pub fn one_of<T>(arms: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    OneOf { arms }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+/// Sub-strategies namespaced like the real crate's `prop::` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// Inclusive length bounds for collection strategies, like the
+        /// real crate's `SizeRange`. Taking a concrete conversion (not
+        /// a generic `Strategy<Value = usize>` bound) pins untyped
+        /// integer literals such as `0..400` to `usize`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty collection size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        /// Strategy for `Vec<T>` with sampled length.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: SizeRange,
+        }
+
+        /// `Vec` strategy: `len` is a `usize`, `Range<usize>`, or
+        /// `RangeInclusive<usize>`.
+        pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                len: len.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.len.hi - self.len.lo) as u64 + 1;
+                let n = self.len.lo + rng.below(span) as usize;
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy for `Option<T>`.
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `Some` with probability ¾, `None` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.next_u64() & 3 == 0 {
+                    None
+                } else {
+                    Some(self.inner.sample(rng))
+                }
+            }
+        }
+    }
+}
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Uniform choice among strategy expressions producing a common value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Assert within a property (panics; no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current case when an assumption does not hold.
+///
+/// The property body runs inside a `Result`-returning closure (as in
+/// the real crate), so this expands to an early `return Ok(())` —
+/// the case is counted but trivially passes.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Define property tests. Syntax-compatible with the real crate for
+/// bodies of the form
+/// `fn name(binding in strategy, ...) { ... }` with an optional
+/// leading `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($binding:pat in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut proptest_rng = $crate::TestRng::from_name(stringify!($name));
+            for _proptest_case in 0..config.cases {
+                let ($($binding,)+) =
+                    ($($crate::Strategy::sample(&($strategy), &mut proptest_rng),)+);
+                // The body runs in a `Result`-returning closure so
+                // `return Ok(())` and `prop_assume!` can end a case
+                // early, as in the real crate.
+                #[allow(unreachable_code)]
+                let mut case = move || -> ::core::result::Result<(), ::std::string::String> {
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                if let ::core::result::Result::Err(e) = case() {
+                    panic!("property {} failed: {}", stringify!($name), e);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        let s = (1.0f64..1000.0, prop::option::of(0u32..3));
+        for _ in 0..1000 {
+            let (f, o) = s.sample(&mut rng);
+            assert!((1.0..1000.0).contains(&f));
+            if let Some(v) = o {
+                assert!(v < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = crate::TestRng::new(2);
+        let s = prop_oneof![Just(0u32), Just(1u32), Just(2u32)];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = crate::TestRng::new(3);
+        let s = prop::collection::vec(0i64..10, 2..=4);
+        for _ in 0..500 {
+            let v = s.sample(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_runnable_tests(
+            x in 0u64..100,
+            mut v in prop::collection::vec(0i64..50, 0..10),
+            flag in any::<bool>(),
+        ) {
+            prop_assume!(x != 99);
+            v.sort_unstable();
+            prop_assert!(x < 99);
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+            let _ = flag;
+        }
+    }
+}
