@@ -14,6 +14,8 @@
 //! | `table_3_6_local_vs_global` | Table 3.6 — local vs global pruning effort |
 //! | `figure_1_2_quality_vs_effort` | Figure 1.2 — effort axis per technique |
 //! | `skyline_kernels` | substrate: BNL vs SFS vs pairwise union vs k-dominant |
+//! | `scaleup_threads` | extension: enumeration thread scale-up on large stars |
+//! | `plan_cache` | extension: service-layer cold miss vs warm hit vs coalesced requests |
 
 #![warn(missing_docs)]
 

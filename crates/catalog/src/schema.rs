@@ -88,6 +88,12 @@ pub struct Catalog {
     spec: SchemaSpec,
     relations: Vec<Relation>,
     analyzed: Vec<AnalyzedRelation>,
+    /// Statistics epoch: incremented whenever the derived statistics
+    /// change ([`Catalog::replace_stats`], [`Catalog::bump_stats_epoch`]).
+    /// Long-running services key cached plans on this so a statistics
+    /// refresh atomically invalidates every plan optimized under the
+    /// old estimates.
+    stats_epoch: u64,
 }
 
 impl Catalog {
@@ -159,6 +165,7 @@ impl Catalog {
 
     /// Replace the derived statistics with externally computed ones —
     /// e.g. `sdp-engine`'s sampled re-analysis of materialized data.
+    /// Bumps the [statistics epoch](Catalog::stats_epoch).
     ///
     /// # Panics
     /// Panics unless exactly one `AnalyzedRelation` per relation is
@@ -170,6 +177,22 @@ impl Catalog {
             "one AnalyzedRelation per relation required"
         );
         self.analyzed = analyzed;
+        self.stats_epoch += 1;
+    }
+
+    /// The current statistics epoch. Starts at 0 for a freshly built
+    /// catalog and increases monotonically on every statistics change;
+    /// two equal epochs on the same catalog instance guarantee the
+    /// optimizer would see identical estimates.
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch
+    }
+
+    /// Advance the statistics epoch without changing the statistics —
+    /// for forcing downstream caches to re-optimize (e.g. after
+    /// tweaking cost parameters that live outside the catalog).
+    pub fn bump_stats_epoch(&mut self) {
+        self.stats_epoch += 1;
     }
 
     /// Total size of the database in bytes (heap pages only), for
@@ -268,6 +291,7 @@ impl SchemaBuilder {
             spec,
             relations,
             analyzed,
+            stats_epoch: 0,
         })
     }
 }
@@ -404,6 +428,23 @@ mod tests {
             assert_eq!(ra.indexed_column, rb.indexed_column);
             assert_eq!(ra.cardinality, rb.cardinality);
         }
+    }
+
+    #[test]
+    fn stats_epoch_tracks_statistics_changes() {
+        let mut c = Catalog::paper();
+        assert_eq!(c.stats_epoch(), 0);
+        c.bump_stats_epoch();
+        assert_eq!(c.stats_epoch(), 1);
+        let analyzed = c
+            .relations()
+            .iter()
+            .map(AnalyzedRelation::analyze)
+            .collect();
+        c.replace_stats(analyzed);
+        assert_eq!(c.stats_epoch(), 2);
+        // Fresh builds always start at epoch 0.
+        assert_eq!(Catalog::paper().stats_epoch(), 0);
     }
 
     #[test]

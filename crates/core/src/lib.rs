@@ -40,6 +40,28 @@ pub mod recost;
 pub mod sdp;
 
 pub use budget::{Budget, BudgetProbe, OptError};
+
+// Compile-time guarantee for the service layer: everything a resident
+// optimizer daemon shares across worker threads — the optimizer
+// facade, its inputs and its outputs — is `Send + Sync`. A regression
+// (say, an `Rc` or `RefCell` sneaking back into a plan tree) fails
+// this function's type-check rather than surfacing as a distant
+// trait-bound error in `sdp-service`.
+#[allow(dead_code)]
+fn _assert_service_types_are_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Optimizer<'static>>();
+    check::<optimizer::Algorithm>();
+    check::<OptimizedPlan>();
+    check::<PlanNode>();
+    check::<NodeCounter>();
+    check::<Budget>();
+    check::<RunStats>();
+    check::<OptError>();
+    check::<Memo>();
+    check::<sdp_catalog::Catalog>();
+    check::<sdp_query::Query>();
+}
 pub use context::{default_parallelism, EnumContext, RunStats};
 pub use memo::{Group, Memo};
 pub use optimizer::{Algorithm, OptimizedPlan, Optimizer};

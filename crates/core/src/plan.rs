@@ -160,6 +160,46 @@ impl PlanNode {
         here || self.children.iter().any(|c| c.is_bushy())
     }
 
+    /// Stable structural digest of the plan tree: operator identity,
+    /// relation sets, estimated rows/cost (as exact bit patterns) and
+    /// orderings, folded bottom-up with a platform-independent hash.
+    /// Two plans digest equal iff a recursive field-by-field
+    /// comparison would find them identical, so the service layer and
+    /// the determinism tests use it to assert "bit-identical plan"
+    /// without walking two trees in lockstep.
+    pub fn structural_digest(&self) -> u64 {
+        let op_words: [u64; 4] = match self.op {
+            PlanOp::SeqScan { rel, node } => [1, rel.0 as u64, node as u64, 0],
+            PlanOp::IndexScan { rel, node, col } => [2, rel.0 as u64, node as u64, col.0 as u64],
+            PlanOp::Join { method } => {
+                let m = match method {
+                    JoinMethod::NestedLoop => 1,
+                    JoinMethod::IndexNestedLoop => 2,
+                    JoinMethod::Hash => 3,
+                    JoinMethod::Merge => 4,
+                };
+                [3, m, 0, 0]
+            }
+            PlanOp::Sort { class } => [4, class as u64, 0, 0],
+        };
+        let mut h = sdp_query::canon::StableHasher::new(0x70_6c_61_6e);
+        for w in op_words {
+            h.write_u64(w);
+        }
+        h.write_u64(self.set.0);
+        h.write_u64(self.rows.to_bits());
+        h.write_u64(self.cost.to_bits());
+        h.write_u64(match self.ordering {
+            None => u64::MAX,
+            Some(c) => c as u64,
+        });
+        h.write_u64(self.children.len() as u64);
+        for c in &self.children {
+            h.write_u64(c.structural_digest());
+        }
+        h.finish()
+    }
+
     /// Validate structural invariants of the subtree; returns a
     /// description of the first violation. Used by integration tests
     /// and debug assertions.
@@ -345,6 +385,37 @@ mod tests {
             vec![a.clone(), a],
         );
         assert!(bad.check_invariants().is_err());
+    }
+
+    #[test]
+    fn structural_digest_separates_equal_from_different() {
+        let c = NodeCounter::new();
+        let a = join(&c, scan(&c, 0, 1.0), scan(&c, 1, 2.0));
+        let b = join(&c, scan(&c, 0, 1.0), scan(&c, 1, 2.0));
+        assert_eq!(a.structural_digest(), b.structural_digest());
+
+        // A different child cost propagates into the root digest.
+        let costlier = join(&c, scan(&c, 0, 1.0), scan(&c, 1, 3.0));
+        assert_ne!(a.structural_digest(), costlier.structural_digest());
+
+        // A different join method changes the digest even with
+        // identical sets, rows and costs.
+        let merge = PlanNode::new(
+            &c,
+            PlanOp::Join {
+                method: JoinMethod::Merge,
+            },
+            a.set,
+            a.rows,
+            a.cost,
+            None,
+            vec![scan(&c, 0, 1.0), scan(&c, 1, 2.0)],
+        );
+        assert_ne!(a.structural_digest(), merge.structural_digest());
+
+        // Child order matters (join inputs are positional).
+        let swapped = join(&c, scan(&c, 1, 2.0), scan(&c, 0, 1.0));
+        assert_ne!(a.structural_digest(), swapped.structural_digest());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 pub mod calibration;
 pub mod extensions;
+pub mod service;
 pub mod skyline_demo;
 pub mod star;
 pub mod star_chain;
@@ -101,6 +102,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "extra-topologies",
     "extra-idp-variants",
     "extra-robustness",
+    "extra-service-replay",
 ];
 
 /// Dispatch one experiment by id.
@@ -124,6 +126,7 @@ pub fn run_experiment(session: &Session, id: &str) -> Option<ExperimentReport> {
         "extra-topologies" => extensions::extra_topologies(session),
         "extra-idp-variants" => extensions::extra_idp_variants(session),
         "extra-robustness" => extensions::extra_robustness(session),
+        "extra-service-replay" => service::extra_service_replay(session),
         _ => return None,
     })
 }
@@ -156,7 +159,7 @@ mod tests {
         for id in ALL_EXPERIMENTS {
             // Only run the cheap ones end-to-end; for the rest, just
             // verify the id is known (dispatch would run them).
-            if *id == "table-2-2" {
+            if *id == "table-2-2" || *id == "extra-service-replay" {
                 let report = run_experiment(&s, id).expect("known id");
                 assert_eq!(report.id, *id);
                 assert!(!report.text.is_empty());

@@ -12,7 +12,9 @@
 //!
 //! Plus a byte-counting global allocator ([`alloc`]) the harness
 //! installs to report *real* process allocation peaks alongside the
-//! deterministic memory model.
+//! deterministic memory model, and the [`service`] module's request
+//! counters (hit/miss/coalesced/evicted) and per-strategy latency
+//! table consumed by the `sdp-service` optimizer daemon.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -20,6 +22,8 @@
 pub mod alloc;
 pub mod overhead;
 pub mod quality;
+pub mod service;
 
 pub use overhead::{OverheadSample, OverheadSummary};
 pub use quality::{geometric_mean_ratio, QualityClass, QualitySummary};
+pub use service::{CountersSnapshot, LatencyStats, ServiceCounters, StrategyLatencies};

@@ -1,0 +1,249 @@
+//! Service-side observability: cache/coalescing counters and
+//! per-strategy latency aggregation for the resident optimizer daemon.
+//!
+//! Everything here is `Send + Sync` and lock-light — counters are
+//! relaxed atomics bumped on every request, latencies a mutex-guarded
+//! map touched only on cache misses (an actual enumeration ran, so the
+//! lock is noise against its cost).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Monotonic counters for one service instance.
+#[derive(Debug, Default)]
+pub struct ServiceCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evicted: AtomicU64,
+    stale_evicted: AtomicU64,
+    enumerations: AtomicU64,
+    plans_costed: AtomicU64,
+}
+
+impl ServiceCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        ServiceCounters::default()
+    }
+
+    /// A request was served from the plan cache.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request missed the cache (and triggered or joined an
+    /// enumeration as its leader).
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was coalesced onto another request's in-flight
+    /// enumeration.
+    pub fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` entries were evicted by LRU capacity pressure.
+    pub fn add_evicted(&self, n: u64) {
+        self.evicted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` entries were invalidated by a statistics-epoch change.
+    pub fn add_stale_evicted(&self, n: u64) {
+        self.stale_evicted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// An actual optimizer enumeration ran, costing `plans` plan
+    /// alternatives.
+    pub fn record_enumeration(&self, plans: u64) {
+        self.enumerations.fetch_add(1, Ordering::Relaxed);
+        self.plans_costed.fetch_add(plans, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot of all counters (each counter is
+    /// read atomically; the set is not a single atomic transaction).
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            stale_evicted: self.stale_evicted.load(Ordering::Relaxed),
+            enumerations: self.enumerations.load(Ordering::Relaxed),
+            plans_costed: self.plans_costed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`ServiceCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that led an enumeration.
+    pub misses: u64,
+    /// Requests coalesced onto an in-flight enumeration.
+    pub coalesced: u64,
+    /// Entries evicted by LRU capacity pressure.
+    pub evicted: u64,
+    /// Entries invalidated by statistics-epoch changes.
+    pub stale_evicted: u64,
+    /// Optimizer enumerations actually run.
+    pub enumerations: u64,
+    /// Total plan alternatives costed across all enumerations.
+    pub plans_costed: u64,
+}
+
+impl CountersSnapshot {
+    /// Total requests observed.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses + self.coalesced
+    }
+
+    /// Fraction of requests that avoided running an enumeration
+    /// themselves (hits + coalesced); 0 when no requests were seen.
+    pub fn amortized_rate(&self) -> f64 {
+        let total = self.requests();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.hits + self.coalesced) as f64 / total as f64
+    }
+}
+
+/// Latency aggregate for one enumeration strategy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub total: Duration,
+    /// Largest sample.
+    pub max: Duration,
+}
+
+impl LatencyStats {
+    /// Fold in one sample.
+    pub fn record(&mut self, sample: Duration) {
+        self.count += 1;
+        self.total += sample;
+        self.max = self.max.max(sample);
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// Per-strategy latency table, keyed by the strategy's display label
+/// (e.g. `"SDP"`, `"DP"`, `"IDP(4)"`).
+#[derive(Debug, Default)]
+pub struct StrategyLatencies {
+    inner: Mutex<BTreeMap<String, LatencyStats>>,
+}
+
+impl StrategyLatencies {
+    /// Fresh empty table.
+    pub fn new() -> Self {
+        StrategyLatencies::default()
+    }
+
+    /// Record one enumeration's wall-clock time under its strategy
+    /// label.
+    pub fn record(&self, strategy: &str, sample: Duration) {
+        let mut inner = self.inner.lock().expect("latency table poisoned");
+        inner
+            .entry(strategy.to_string())
+            .or_default()
+            .record(sample);
+    }
+
+    /// Copy of the table, ordered by strategy label.
+    pub fn snapshot(&self) -> BTreeMap<String, LatencyStats> {
+        self.inner.lock().expect("latency table poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = ServiceCounters::new();
+        c.record_miss();
+        c.record_enumeration(120);
+        c.record_hit();
+        c.record_hit();
+        c.record_coalesced();
+        c.add_evicted(3);
+        c.add_stale_evicted(2);
+        let s = c.snapshot();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.coalesced, 1);
+        assert_eq!(s.evicted, 3);
+        assert_eq!(s.stale_evicted, 2);
+        assert_eq!(s.enumerations, 1);
+        assert_eq!(s.plans_costed, 120);
+        assert_eq!(s.requests(), 4);
+        assert!((s.amortized_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_has_zero_rate() {
+        let s = ServiceCounters::new().snapshot();
+        assert_eq!(s.requests(), 0);
+        assert_eq!(s.amortized_rate(), 0.0);
+    }
+
+    #[test]
+    fn latency_stats_track_mean_and_max() {
+        let mut l = LatencyStats::default();
+        assert_eq!(l.mean(), Duration::ZERO);
+        l.record(Duration::from_millis(10));
+        l.record(Duration::from_millis(30));
+        assert_eq!(l.count, 2);
+        assert_eq!(l.mean(), Duration::from_millis(20));
+        assert_eq!(l.max, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn strategy_table_is_keyed_by_label() {
+        let t = StrategyLatencies::new();
+        t.record("SDP", Duration::from_millis(5));
+        t.record("SDP", Duration::from_millis(7));
+        t.record("DP", Duration::from_millis(50));
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap["SDP"].count, 2);
+        assert_eq!(snap["DP"].count, 1);
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        let c = std::sync::Arc::new(ServiceCounters::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.record_hit();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().hits, 4000);
+    }
+}

@@ -1,0 +1,420 @@
+//! Order-independent canonical hashing of join graphs.
+//!
+//! The service layer keys its plan cache on a structural
+//! **fingerprint** of the query: two requests whose join graphs are
+//! isomorphic under a relabelling of the query-local node indices —
+//! the same relations, joined on the same columns, filtered by the
+//! same predicates — must collide, no matter in which order the
+//! relations were declared in the `FROM` list or the conjuncts were
+//! written in the `WHERE` clause.
+//!
+//! This module implements the graph side of that contract with a
+//! Weisfeiler–Leman (colour-refinement) hash: every node starts from a
+//! caller-supplied label, then repeatedly absorbs the sorted multiset
+//! of its neighbours' signatures tagged with the per-direction edge
+//! labels. After `n` rounds the sorted multiset of node signatures
+//! (plus a canonical per-edge digest) is itself order-independent, so
+//! hashing it yields a permutation-invariant fingerprint. WL refinement
+//! distinguishes all the tree/cycle/clique-shaped graphs the workload
+//! generator emits; as with any hash, distinct graphs colliding is
+//! possible in principle but needs an adversarial construction.
+//!
+//! All hashing is built on a seeded FNV-1a mixer ([`StableHasher`]) so
+//! fingerprints are stable across platforms and processes — they must
+//! be, because cache keys outlive any single `DefaultHasher` instance
+//! and may be logged or compared across daemon restarts.
+
+use crate::graph::JoinGraph;
+
+/// Seeded FNV-1a 64-bit hasher over `u64` words.
+///
+/// Deliberately *not* [`std::hash::Hasher`]: the std trait hashes
+/// byte streams with an unspecified, process-local initial state
+/// (`RandomState`), while fingerprints need a fixed, documented
+/// function of the input words alone.
+#[derive(Debug, Clone, Copy)]
+pub struct StableHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StableHasher {
+    /// Start a hash chain from a domain-separation seed.
+    pub fn new(seed: u64) -> Self {
+        let mut h = StableHasher(FNV_OFFSET);
+        h.write_u64(seed);
+        h
+    }
+
+    /// Absorb one word (byte-at-a-time FNV-1a, little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Final avalanche (splitmix64 finalizer) so nearby inputs spread
+    /// across the whole output space.
+    pub fn finish(&self) -> u64 {
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Hash a short word sequence under a seed.
+pub fn stable_hash(seed: u64, words: &[u64]) -> u64 {
+    let mut h = StableHasher::new(seed);
+    for &w in words {
+        h.write_u64(w);
+    }
+    h.finish()
+}
+
+/// Per-node / per-edge labelling of a join graph for [`wl_hash`].
+///
+/// `node_labels[v]` encodes everything the caller knows about node `v`
+/// besides its edges (bound relation, statistics, filters, order
+/// marker). `edge_labels[i]` corresponds to `graph.edges()[i]` and
+/// carries one label per direction: `.0` is the edge as seen from its
+/// `left` endpoint, `.1` as seen from `right` — for an equi-join this
+/// is typically a hash of (own column, peer column, per-side
+/// statistics), which keeps the fingerprint sensitive to *which way*
+/// an asymmetric predicate is attached.
+#[derive(Debug, Clone)]
+pub struct WlLabels {
+    /// One label per graph node.
+    pub node_labels: Vec<u64>,
+    /// One `(from-left, from-right)` label pair per graph edge.
+    pub edge_labels: Vec<(u64, u64)>,
+}
+
+impl WlLabels {
+    /// Labels derived purely from the graph itself: node label = bound
+    /// relation id + sorted multiset of local filter digests, edge
+    /// label = the two column ids. Enough for structural
+    /// (statistics-free) hashing and for tests.
+    pub fn structural(graph: &JoinGraph) -> Self {
+        let node_labels = (0..graph.len())
+            .map(|v| {
+                let mut filters: Vec<u64> = graph
+                    .filters_on(v)
+                    .map(|f| {
+                        stable_hash(
+                            0x66_69_6c_74,
+                            &[f.column.col.0 as u64, pred_op_tag(f.op), f.value as u64],
+                        )
+                    })
+                    .collect();
+                filters.sort_unstable();
+                let mut h = StableHasher::new(0x6e_6f_64_65);
+                h.write_u64(graph.relation(v).0 as u64);
+                for f in filters {
+                    h.write_u64(f);
+                }
+                h.finish()
+            })
+            .collect();
+        let edge_labels = graph
+            .edges()
+            .iter()
+            .map(|e| {
+                (
+                    stable_hash(0x65_64_67, &[e.left.col.0 as u64, e.right.col.0 as u64]),
+                    stable_hash(0x65_64_67, &[e.right.col.0 as u64, e.left.col.0 as u64]),
+                )
+            })
+            .collect();
+        WlLabels {
+            node_labels,
+            edge_labels,
+        }
+    }
+}
+
+/// Stable discriminant for a predicate operator.
+pub fn pred_op_tag(op: crate::predicate::PredOp) -> u64 {
+    use crate::predicate::PredOp::*;
+    match op {
+        Eq => 1,
+        Lt => 2,
+        Le => 3,
+        Gt => 4,
+        Ge => 5,
+    }
+}
+
+/// Permutation-invariant 128-bit hash of a labelled join graph.
+///
+/// # Panics
+/// Panics if the label vectors do not match the graph's node and edge
+/// counts.
+pub fn wl_hash(graph: &JoinGraph, labels: &WlLabels) -> u128 {
+    let n = graph.len();
+    assert_eq!(labels.node_labels.len(), n, "one label per node required");
+    assert_eq!(
+        labels.edge_labels.len(),
+        graph.edges().len(),
+        "one label pair per edge required"
+    );
+
+    // Initial signatures.
+    let mut sigs: Vec<u64> = labels
+        .node_labels
+        .iter()
+        .map(|&l| stable_hash(0x77_6c_30, &[l]))
+        .collect();
+
+    // `n` refinement rounds: enough for information to cross any
+    // graph of `n` nodes (diameter < n).
+    let mut messages: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for round in 0..n {
+        for m in &mut messages {
+            m.clear();
+        }
+        for (e, &(from_left, from_right)) in graph.edges().iter().zip(&labels.edge_labels) {
+            let (l, r) = (e.left.node, e.right.node);
+            messages[l].push(stable_hash(0x6d_73_67, &[from_left, sigs[r]]));
+            messages[r].push(stable_hash(0x6d_73_67, &[from_right, sigs[l]]));
+        }
+        let prev = sigs.clone();
+        for v in 0..n {
+            messages[v].sort_unstable();
+            let mut h = StableHasher::new(0x77_6c_72);
+            h.write_u64(round as u64);
+            h.write_u64(prev[v]);
+            for &m in &messages[v] {
+                h.write_u64(m);
+            }
+            sigs[v] = h.finish();
+        }
+    }
+
+    // Canonical per-edge digests: the two (signature, directional
+    // label) halves sorted, so the digest ignores the edge's stored
+    // left/right orientation.
+    let mut edge_digests: Vec<u64> = graph
+        .edges()
+        .iter()
+        .zip(&labels.edge_labels)
+        .map(|(e, &(from_left, from_right))| {
+            let mut halves = [
+                (sigs[e.left.node], from_left),
+                (sigs[e.right.node], from_right),
+            ];
+            halves.sort_unstable();
+            stable_hash(
+                0x0065_6464,
+                &[halves[0].0, halves[0].1, halves[1].0, halves[1].1],
+            )
+        })
+        .collect();
+    edge_digests.sort_unstable();
+
+    let mut final_sigs = sigs;
+    final_sigs.sort_unstable();
+
+    let fold = |seed: u64| -> u64 {
+        let mut h = StableHasher::new(seed);
+        h.write_u64(n as u64);
+        h.write_u64(edge_digests.len() as u64);
+        for &s in &final_sigs {
+            h.write_u64(s);
+        }
+        for &d in &edge_digests {
+            h.write_u64(d);
+        }
+        h.finish()
+    };
+    ((fold(0x68_69) as u128) << 64) | fold(0x6c_6f) as u128
+}
+
+/// Structural (catalog-free) fingerprint of a bare join graph —
+/// [`wl_hash`] under [`WlLabels::structural`].
+pub fn graph_hash(graph: &JoinGraph) -> u128 {
+    wl_hash(graph, &WlLabels::structural(graph))
+}
+
+/// Rebuild `graph` with its nodes relabelled by `perm` (`perm[old] =
+/// new`): same relations, edges, and filters under new node indices,
+/// with edge and filter declaration order preserved modulo the
+/// mapping. Used by the fingerprint tests to construct isomorphic
+/// variants.
+///
+/// # Panics
+/// Panics unless `perm` is a permutation of `0..graph.len()`.
+pub fn permute_graph(graph: &JoinGraph, perm: &[usize]) -> JoinGraph {
+    use crate::graph::{ColRef, JoinEdge};
+    let n = graph.len();
+    assert_eq!(perm.len(), n, "permutation length mismatch");
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!(p < n && !seen[p], "not a permutation");
+        seen[p] = true;
+    }
+    let mut relations = vec![graph.relation(0); n];
+    for (old, &new) in perm.iter().enumerate() {
+        relations[new] = graph.relation(old);
+    }
+    let edges = graph
+        .edges()
+        .iter()
+        .map(|e| {
+            JoinEdge::new(
+                ColRef::new(perm[e.left.node], e.left.col),
+                ColRef::new(perm[e.right.node], e.right.col),
+            )
+        })
+        .collect();
+    let mut out = JoinGraph::new(relations, edges);
+    for f in graph.filters() {
+        out.add_filter(crate::predicate::Predicate::new(
+            ColRef::new(perm[f.column.node], f.column.col),
+            f.op,
+            f.value,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ColRef, JoinEdge};
+    use crate::predicate::{PredOp, Predicate};
+    use crate::topology::Topology;
+    use sdp_catalog::{ColId, RelId};
+
+    fn graph_for(topo: Topology) -> JoinGraph {
+        let rels = (0..topo.n()).map(|i| RelId(i as u32)).collect();
+        let edges = topo
+            .edge_pairs()
+            .into_iter()
+            .map(|(a, b)| {
+                JoinEdge::new(
+                    ColRef::new(a, ColId((b % 7) as u16)),
+                    ColRef::new(b, ColId((a % 5) as u16)),
+                )
+            })
+            .collect();
+        JoinGraph::new(rels, edges)
+    }
+
+    #[test]
+    fn stable_hasher_is_deterministic_and_seeded() {
+        assert_eq!(stable_hash(1, &[2, 3]), stable_hash(1, &[2, 3]));
+        assert_ne!(stable_hash(1, &[2, 3]), stable_hash(2, &[2, 3]));
+        assert_ne!(stable_hash(1, &[2, 3]), stable_hash(1, &[3, 2]));
+    }
+
+    #[test]
+    fn hash_is_invariant_under_node_permutation() {
+        for topo in [
+            Topology::Chain(6),
+            Topology::Star(6),
+            Topology::Cycle(5),
+            Topology::star_chain(8),
+            Topology::Clique(5),
+        ] {
+            let g = graph_for(topo);
+            let n = g.len();
+            // A fixed non-trivial permutation: rotate by 1, then swap
+            // the first two images.
+            let mut perm: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
+            perm.swap(0, 1);
+            let p = permute_graph(&g, &perm);
+            assert_eq!(graph_hash(&g), graph_hash(&p), "{topo}");
+        }
+    }
+
+    #[test]
+    fn hash_is_invariant_under_edge_declaration_order() {
+        let g = graph_for(Topology::Star(7));
+        let mut edges: Vec<JoinEdge> = g.edges().to_vec();
+        edges.reverse();
+        let r = JoinGraph::new(g.relations().to_vec(), edges);
+        assert_eq!(graph_hash(&g), graph_hash(&r));
+    }
+
+    #[test]
+    fn hash_distinguishes_topologies_and_labels() {
+        let chain = graph_for(Topology::Chain(6));
+        let star = graph_for(Topology::Star(6));
+        let cycle = graph_for(Topology::Cycle(6));
+        assert_ne!(graph_hash(&chain), graph_hash(&star));
+        assert_ne!(graph_hash(&chain), graph_hash(&cycle));
+        assert_ne!(graph_hash(&star), graph_hash(&cycle));
+
+        // Changing one join column changes the hash.
+        let mut edges: Vec<JoinEdge> = chain.edges().to_vec();
+        edges[0] = JoinEdge::new(
+            ColRef::new(0, ColId(23)),
+            ColRef::new(1, edges[0].right.col),
+        );
+        let relabelled = JoinGraph::new(chain.relations().to_vec(), edges);
+        assert_ne!(graph_hash(&chain), graph_hash(&relabelled));
+    }
+
+    #[test]
+    fn filters_contribute_order_independently() {
+        let mut a = graph_for(Topology::Chain(4));
+        let mut b = graph_for(Topology::Chain(4));
+        let p1 = Predicate::new(ColRef::new(1, ColId(9)), PredOp::Lt, 50);
+        let p2 = Predicate::new(ColRef::new(2, ColId(8)), PredOp::Eq, 7);
+        a.add_filter(p1);
+        a.add_filter(p2);
+        b.add_filter(p2);
+        b.add_filter(p1);
+        assert_eq!(graph_hash(&a), graph_hash(&b));
+
+        let mut c = graph_for(Topology::Chain(4));
+        c.add_filter(p1);
+        assert_ne!(graph_hash(&a), graph_hash(&c), "missing filter");
+
+        let mut d = graph_for(Topology::Chain(4));
+        d.add_filter(Predicate::new(ColRef::new(1, ColId(9)), PredOp::Lt, 51));
+        d.add_filter(p2);
+        assert_ne!(graph_hash(&a), graph_hash(&d), "different constant");
+    }
+
+    #[test]
+    fn directional_edge_labels_are_not_conflated() {
+        // a.c0 = b.c1 vs a.c1 = b.c0: same column multiset, different
+        // attachment — must hash differently.
+        let g1 = JoinGraph::new(
+            vec![RelId(0), RelId(1)],
+            vec![JoinEdge::new(
+                ColRef::new(0, ColId(0)),
+                ColRef::new(1, ColId(1)),
+            )],
+        );
+        let g2 = JoinGraph::new(
+            vec![RelId(0), RelId(1)],
+            vec![JoinEdge::new(
+                ColRef::new(0, ColId(1)),
+                ColRef::new(1, ColId(0)),
+            )],
+        );
+        assert_ne!(graph_hash(&g1), graph_hash(&g2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permute_rejects_non_permutations() {
+        let g = graph_for(Topology::Chain(3));
+        let _ = permute_graph(&g, &[0, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per node")]
+    fn wl_hash_validates_label_lengths() {
+        let g = graph_for(Topology::Chain(3));
+        let labels = WlLabels {
+            node_labels: vec![0; 2],
+            edge_labels: vec![(0, 0); 2],
+        };
+        let _ = wl_hash(&g, &labels);
+    }
+}

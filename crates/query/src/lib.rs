@@ -21,11 +21,15 @@
 //!   request sorted output on a join column;
 //! * join-column equivalence classes ([`EquivClasses`]) with the
 //!   transitive-closure edge inference the paper attributes to the
-//!   optimizer rewriter (`R.a = S.b ∧ R.a = T.c ⇒ S.b = T.c`).
+//!   optimizer rewriter (`R.a = S.b ∧ R.a = T.c ⇒ S.b = T.c`);
+//! * canonical graph hashing ([`canon`]) — permutation-invariant
+//!   Weisfeiler–Leman fingerprints of labelled join graphs, the
+//!   substrate of the service layer's plan-cache keys.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod canon;
 mod closure;
 pub mod dot;
 mod generator;

@@ -1,0 +1,275 @@
+//! `sdp-service` — the optimizer daemon's command-line front.
+//!
+//! ```text
+//! sdp-service replay [--shape star|chain|cycle|star-chain]
+//!                    [--relations N] [--distinct N] [--requests N]
+//!                    [--clients N] [--workers N] [--capacity N]
+//!                    [--shards N] [--threads N] [--seed N]
+//! ```
+//!
+//! `replay` generates a seeded workload of `--distinct` structurally
+//! different queries on the chosen topology, replays `--requests`
+//! requests drawn from it (alternating SQL-text and programmatic
+//! submissions) from `--clients` client threads through a
+//! `--workers`-thread daemon, and reports throughput, cache counters
+//! and per-strategy enumeration latencies.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sdp_catalog::Catalog;
+use sdp_query::canon::stable_hash;
+use sdp_query::{Query, QueryGenerator, Topology};
+use sdp_service::{Daemon, OptimizerService, ServiceConfig, ServiceRequest};
+
+struct ReplayArgs {
+    shape: String,
+    relations: usize,
+    distinct: usize,
+    requests: usize,
+    clients: usize,
+    workers: usize,
+    capacity: usize,
+    shards: usize,
+    threads: Option<usize>,
+    seed: u64,
+}
+
+impl Default for ReplayArgs {
+    fn default() -> Self {
+        ReplayArgs {
+            shape: "star-chain".into(),
+            relations: 9,
+            distinct: 8,
+            requests: 256,
+            clients: 4,
+            workers: 4,
+            capacity: 1024,
+            shards: 8,
+            threads: None,
+            seed: 42,
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: sdp-service replay [--shape star|chain|cycle|star-chain] \
+     [--relations N] [--distinct N] [--requests N] [--clients N] \
+     [--workers N] [--capacity N] [--shards N] [--threads N] [--seed N]"
+}
+
+fn parse_replay(args: &[String]) -> Result<ReplayArgs, String> {
+    let mut out = ReplayArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--shape" => out.shape = value("--shape")?.clone(),
+            "--relations" => {
+                out.relations = value("--relations")?
+                    .parse()
+                    .map_err(|e| format!("--relations: {e}"))?
+            }
+            "--distinct" => {
+                out.distinct = value("--distinct")?
+                    .parse()
+                    .map_err(|e| format!("--distinct: {e}"))?
+            }
+            "--requests" => {
+                out.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--clients" => {
+                out.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--workers" => {
+                out.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--capacity" => {
+                out.capacity = value("--capacity")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?
+            }
+            "--shards" => {
+                out.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--threads" => {
+                out.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--seed" => {
+                out.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if out.distinct == 0 || out.requests == 0 || out.clients == 0 {
+        return Err("--distinct, --requests and --clients must be positive".into());
+    }
+    Ok(out)
+}
+
+fn topology_for(shape: &str, n: usize) -> Result<Topology, String> {
+    let least = |min: usize| {
+        if n >= min {
+            Ok(())
+        } else {
+            Err(format!("--shape {shape} needs --relations >= {min}"))
+        }
+    };
+    match shape {
+        "star" => least(2).map(|()| Topology::Star(n)),
+        "chain" => least(2).map(|()| Topology::Chain(n)),
+        "cycle" => least(3).map(|()| Topology::Cycle(n)),
+        "star-chain" => least(3).map(|()| Topology::star_chain(n)),
+        other => Err(format!("unknown shape {other:?}\n{}", usage())),
+    }
+}
+
+fn replay(args: ReplayArgs) -> Result<(), String> {
+    let topology = topology_for(&args.shape, args.relations)?;
+    let catalog = if args.relations + 1 < 25 {
+        Catalog::paper()
+    } else {
+        Catalog::extended(args.relations * 2)
+    };
+    let generator = QueryGenerator::new(&catalog, topology, args.seed);
+    let queries: Vec<Query> = (0..args.distinct as u64)
+        .map(|k| generator.instance(k))
+        .collect();
+    let sql: Vec<String> = queries
+        .iter()
+        .map(|q| sdp_sql::render_sql(&catalog, q))
+        .collect();
+
+    let service = Arc::new(OptimizerService::new(
+        catalog.clone(),
+        ServiceConfig {
+            cache_capacity: args.capacity,
+            cache_shards: args.shards,
+            parallelism: args.threads,
+        },
+    ));
+    let daemon = Daemon::spawn(Arc::clone(&service), args.workers);
+
+    println!(
+        "replaying {} requests over {} distinct {} queries ({} relations) \
+         with {} clients, {} workers, cache {} x{} shards, seed {}",
+        args.requests,
+        args.distinct,
+        args.shape,
+        args.relations,
+        args.clients,
+        args.workers,
+        args.capacity,
+        args.shards,
+        args.seed,
+    );
+
+    let started = Instant::now();
+    let failures = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|c| {
+                let (daemon, queries, sql) = (&daemon, &queries, &sql);
+                let (seed, requests, clients) = (args.seed, args.requests, args.clients);
+                scope.spawn(move || {
+                    let mut failures = 0u64;
+                    // Client c issues every request with index ≡ c
+                    // (mod clients), drawn pseudo-randomly (seeded)
+                    // from the distinct pool, alternating SQL-text and
+                    // programmatic submissions.
+                    for i in (c..requests).step_by(clients) {
+                        let pick =
+                            stable_hash(seed ^ 0x72_65_70, &[i as u64]) as usize % queries.len();
+                        let request = if i % 2 == 0 {
+                            ServiceRequest::sql(sql[pick].clone())
+                        } else {
+                            ServiceRequest::query(queries[pick].clone())
+                        };
+                        if let Err(e) = daemon.execute(request) {
+                            eprintln!("request {i}: {e}");
+                            failures += 1;
+                        }
+                    }
+                    failures
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+    });
+    let elapsed = started.elapsed();
+
+    let snap = service.counters_snapshot();
+    let throughput = args.requests as f64 / elapsed.as_secs_f64();
+    println!();
+    println!(
+        "served {} requests in {:.3} s — {:.0} req/s ({} failed)",
+        args.requests,
+        elapsed.as_secs_f64(),
+        throughput,
+        failures,
+    );
+    println!(
+        "cache: {} hits, {} misses, {} coalesced ({:.1}% amortized), \
+         {} LRU-evicted, {} stale-evicted, {} plans resident",
+        snap.hits,
+        snap.misses,
+        snap.coalesced,
+        snap.amortized_rate() * 100.0,
+        snap.evicted,
+        snap.stale_evicted,
+        service.cached_plans(),
+    );
+    println!(
+        "enumerations: {} runs costing {} plans total",
+        snap.enumerations, snap.plans_costed
+    );
+    for (strategy, lat) in service.latencies().snapshot() {
+        println!(
+            "  {strategy:<10} {:>4} runs  mean {:>9.3?}  max {:>9.3?}",
+            lat.count,
+            lat.mean(),
+            lat.max
+        );
+    }
+
+    daemon.shutdown();
+    if failures > 0 {
+        return Err(format!("{failures} requests failed"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("replay") => parse_replay(&args[1..]).and_then(replay),
+        Some("--help") | Some("-h") | None => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Sharded LRU plan cache with statistics-epoch invalidation.
+//!
+//! The cache is a fixed number of independent shards (rounded up to a
+//! power of two), each a mutex-guarded slab-backed LRU list plus a
+//! hash index. A key is routed to its shard by a splitmix of the key
+//! itself, so contention scales with the shard count rather than the
+//! request rate, and no lock is ever held across an optimization.
+//!
+//! Every entry records the statistics epoch it was optimized under.
+//! Lookups carry the *current* epoch: an entry from an older epoch is
+//! removed on sight and reported as [`Lookup::Stale`], and
+//! [`ShardedLru::purge_stale`] sweeps whole shards eagerly after a
+//! statistics refresh so memory is not held by unreachable plans.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Result of a cache probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup<V> {
+    /// Present and optimized under the current statistics epoch.
+    Hit(V),
+    /// Present but optimized under an older epoch; the entry has been
+    /// evicted.
+    Stale,
+    /// Absent.
+    Miss,
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry<V> {
+    key: u128,
+    value: V,
+    epoch: u64,
+    prev: usize,
+    next: usize,
+}
+
+#[derive(Debug)]
+struct Shard<V> {
+    index: HashMap<u128, usize>,
+    slab: Vec<Entry<V>>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<V> Shard<V> {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            index: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slab[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn remove_slot(&mut self, i: usize) {
+        self.unlink(i);
+        let key = self.slab[i].key;
+        self.index.remove(&key);
+        self.free.push(i);
+    }
+}
+
+/// A sharded, epoch-aware LRU cache keyed by 128-bit fingerprint-
+/// derived keys.
+#[derive(Debug)]
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    mask: u64,
+}
+
+fn shard_of(key: u128) -> u64 {
+    // splitmix64 over the folded key: shard choice must not correlate
+    // with the WL hash's internal structure.
+    let mut z = (key as u64) ^ ((key >> 64) as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// Cache holding at most `capacity` entries spread over `shards`
+    /// shards (rounded up to a power of two; both floored at 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard = capacity.max(1).div_ceil(shards);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            mask: shards as u64 - 1,
+        }
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<Shard<V>> {
+        &self.shards[(shard_of(key) & self.mask) as usize]
+    }
+
+    /// Probe for `key` under the current statistics `epoch`, marking
+    /// it most recently used on a hit.
+    pub fn get(&self, key: u128, epoch: u64) -> Lookup<V> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let Some(&i) = shard.index.get(&key) else {
+            return Lookup::Miss;
+        };
+        if shard.slab[i].epoch != epoch {
+            shard.remove_slot(i);
+            return Lookup::Stale;
+        }
+        shard.unlink(i);
+        shard.push_front(i);
+        Lookup::Hit(shard.slab[i].value.clone())
+    }
+
+    /// Insert (or refresh) `key`, returning how many entries LRU
+    /// capacity pressure evicted.
+    pub fn insert(&self, key: u128, value: V, epoch: u64) -> u64 {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if let Some(&i) = shard.index.get(&key) {
+            shard.slab[i].value = value;
+            shard.slab[i].epoch = epoch;
+            shard.unlink(i);
+            shard.push_front(i);
+            return 0;
+        }
+        let i = match shard.free.pop() {
+            Some(i) => {
+                shard.slab[i] = Entry {
+                    key,
+                    value,
+                    epoch,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                shard.slab.push(Entry {
+                    key,
+                    value,
+                    epoch,
+                    prev: NIL,
+                    next: NIL,
+                });
+                shard.slab.len() - 1
+            }
+        };
+        shard.index.insert(key, i);
+        shard.push_front(i);
+        let mut evicted = 0;
+        while shard.index.len() > shard.capacity {
+            let lru = shard.tail;
+            debug_assert_ne!(lru, NIL, "over-capacity shard with empty LRU list");
+            shard.remove_slot(lru);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Evict every entry not optimized under `epoch`; returns the
+    /// number removed.
+    pub fn purge_stale(&self, epoch: u64) -> u64 {
+        let mut purged = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            let stale: Vec<usize> = shard
+                .index
+                .values()
+                .copied()
+                .filter(|&i| shard.slab[i].epoch != epoch)
+                .collect();
+            purged += stale.len() as u64;
+            for i in stale {
+                shard.remove_slot(i);
+            }
+        }
+        purged
+    }
+
+    /// Current number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").index.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards actually allocated.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_lru_order() {
+        // One shard, capacity 2, to make eviction order observable.
+        let cache: ShardedLru<&'static str> = ShardedLru::new(2, 1);
+        assert_eq!(cache.get(1, 0), Lookup::Miss);
+        assert_eq!(cache.insert(1, "one", 0), 0);
+        assert_eq!(cache.insert(2, "two", 0), 0);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(cache.get(1, 0), Lookup::Hit("one"));
+        assert_eq!(cache.insert(3, "three", 0), 1);
+        assert_eq!(cache.get(2, 0), Lookup::Miss, "LRU entry evicted");
+        assert_eq!(cache.get(1, 0), Lookup::Hit("one"));
+        assert_eq!(cache.get(3, 0), Lookup::Hit("three"));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn epoch_mismatch_is_stale_and_evicts() {
+        let cache: ShardedLru<u32> = ShardedLru::new(8, 2);
+        cache.insert(7, 70, 0);
+        assert_eq!(cache.get(7, 0), Lookup::Hit(70));
+        assert_eq!(cache.get(7, 1), Lookup::Stale);
+        assert_eq!(cache.get(7, 1), Lookup::Miss, "stale entry removed");
+        cache.insert(7, 71, 1);
+        assert_eq!(cache.get(7, 1), Lookup::Hit(71));
+    }
+
+    #[test]
+    fn purge_sweeps_only_stale_entries() {
+        let cache: ShardedLru<u32> = ShardedLru::new(64, 4);
+        for k in 0..10u128 {
+            cache.insert(k, k as u32, 0);
+        }
+        for k in 10..14u128 {
+            cache.insert(k, k as u32, 1);
+        }
+        assert_eq!(cache.purge_stale(1), 10);
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.get(12, 1), Lookup::Hit(12));
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place() {
+        let cache: ShardedLru<u32> = ShardedLru::new(4, 1);
+        cache.insert(5, 50, 0);
+        assert_eq!(cache.insert(5, 51, 0), 0);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(5, 0), Lookup::Hit(51));
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let cache: ShardedLru<u32> = ShardedLru::new(100, 3);
+        assert_eq!(cache.shard_count(), 4);
+        let cache: ShardedLru<u32> = ShardedLru::new(100, 0);
+        assert_eq!(cache.shard_count(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced_across_shards() {
+        let cache: ShardedLru<u32> = ShardedLru::new(16, 4);
+        for k in 0..200u128 {
+            cache.insert(k, k as u32, 0);
+        }
+        // Each of the 4 shards holds at most ceil(16/4) = 4 entries.
+        assert!(cache.len() <= 16, "len {} exceeds capacity", cache.len());
+        assert!(!cache.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! The multi-threaded daemon front: a worker pool draining a request
+//! queue into the shared [`OptimizerService`].
+//!
+//! Clients [`submit`](Daemon::submit) requests and hold a [`Ticket`]
+//! — a one-shot receiver for the response — or call
+//! [`execute`](Daemon::execute) to block inline. Workers are plain
+//! `std::thread`s sharing one `mpsc` receiver behind a mutex: the
+//! queue is the only coordination point, and the expensive part
+//! (enumeration) is already deduplicated downstream by the service's
+//! single-flight layer, so a fancier queue would buy nothing.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::service::{OptimizerService, ServiceError, ServiceRequest, ServiceResponse};
+
+type Reply = Result<ServiceResponse, ServiceError>;
+struct Job {
+    request: ServiceRequest,
+    reply: Sender<Reply>,
+}
+
+/// A running optimizer daemon: worker threads over a shared service.
+pub struct Daemon {
+    service: Arc<OptimizerService>,
+    queue: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Claim on a submitted request's eventual response.
+#[derive(Debug)]
+pub struct Ticket(Receiver<Reply>);
+
+impl Ticket {
+    /// Block until the daemon answers. [`ServiceError::Shutdown`] if
+    /// the daemon stopped before serving the request.
+    pub fn wait(self) -> Reply {
+        self.0.recv().unwrap_or(Err(ServiceError::Shutdown))
+    }
+}
+
+impl Daemon {
+    /// Start `workers` threads (floored at 1) over the shared
+    /// service.
+    pub fn spawn(service: Arc<OptimizerService>, workers: usize) -> Self {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let service = Arc::clone(&service);
+                std::thread::Builder::new()
+                    .name(format!("sdp-service-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let rx = rx.lock().expect("daemon queue poisoned");
+                            rx.recv()
+                        };
+                        let Ok(job) = job else {
+                            return; // queue closed: daemon shut down
+                        };
+                        // A client that dropped its ticket just
+                        // doesn't hear the answer.
+                        let _ = job.reply.send(service.get_plan(&job.request));
+                    })
+                    .expect("spawning daemon worker")
+            })
+            .collect();
+        Daemon {
+            service,
+            queue: Some(tx),
+            workers,
+        }
+    }
+
+    /// The shared service (for counters, statistics updates, …).
+    pub fn service(&self) -> &Arc<OptimizerService> {
+        &self.service
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a request; the returned [`Ticket`] resolves to its
+    /// response.
+    pub fn submit(&self, request: ServiceRequest) -> Ticket {
+        let (reply, rx) = channel();
+        let job = Job { request, reply };
+        self.queue
+            .as_ref()
+            .expect("daemon already shut down")
+            .send(job)
+            .expect("daemon workers all exited");
+        Ticket(rx)
+    }
+
+    /// Submit and block for the response.
+    pub fn execute(&self, request: ServiceRequest) -> Reply {
+        self.submit(request).wait()
+    }
+
+    /// Drain the queue and join every worker.
+    pub fn shutdown(mut self) {
+        self.queue = None; // close the channel; workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.queue = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::PlanSource;
+    use sdp_catalog::Catalog;
+    use sdp_query::{QueryGenerator, Topology};
+
+    #[test]
+    fn daemon_serves_submissions_across_workers() {
+        let catalog = Catalog::paper();
+        let service = Arc::new(OptimizerService::with_defaults(catalog.clone()));
+        let daemon = Daemon::spawn(service, 3);
+        assert_eq!(daemon.workers(), 3);
+
+        let gen = QueryGenerator::new(&catalog, Topology::Chain(4), 5);
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|k| daemon.submit(ServiceRequest::query(gen.instance(k % 2))))
+            .collect();
+        let responses: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        assert_eq!(responses.len(), 6);
+
+        // Two distinct queries → exactly two enumerations, however
+        // the six requests were interleaved.
+        let snap = daemon.service().counters_snapshot();
+        assert_eq!(snap.enumerations, 2);
+        assert_eq!(snap.requests(), 6);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn execute_blocks_inline_and_errors_propagate() {
+        let service = Arc::new(OptimizerService::with_defaults(Catalog::paper()));
+        let daemon = Daemon::spawn(service, 1);
+        let ok = daemon
+            .execute(ServiceRequest::sql(
+                "select * from R1 a, R2 b where a.c0 = b.c1",
+            ))
+            .unwrap();
+        assert_eq!(ok.source, PlanSource::Fresh);
+        let err = daemon
+            .execute(ServiceRequest::sql("select * from"))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Sql(_)), "{err}");
+    }
+
+    #[test]
+    fn shutdown_joins_workers() {
+        let service = Arc::new(OptimizerService::with_defaults(Catalog::paper()));
+        let daemon = Daemon::spawn(service, 2);
+        daemon.shutdown(); // must not hang
+    }
+}

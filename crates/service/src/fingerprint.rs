@@ -1,0 +1,179 @@
+//! Query fingerprinting: the plan cache's structural key.
+//!
+//! Two optimization requests must share a cache entry exactly when the
+//! optimizer would treat them identically: same multiset of relations
+//! with the same statistics, joined pairwise on the same columns,
+//! filtered by the same predicates, with the same interesting-order
+//! request. Declaration order — of the `FROM` list, the `WHERE`
+//! conjuncts, the filters — is presentation, not structure, so it must
+//! not influence the key.
+//!
+//! The fingerprint is a Weisfeiler–Leman hash ([`sdp_query::canon`])
+//! of the join graph under *semantic* labels:
+//!
+//! * **node label** — the bound relation id, its tuple count, the
+//!   sorted multiset of local filter digests (column statistics +
+//!   operator + constant), and an order marker when the query's
+//!   `ORDER BY` lands on this node;
+//! * **directional edge label** — per endpoint: own column, own
+//!   distinct count, peer column, peer distinct count. Distinct counts
+//!   are what the paper's equi-join selectivity `1/max(d₁,d₂)` is made
+//!   of, so "selectivities" are in the key without ever materializing
+//!   a float division.
+//!
+//! Statistics enter the labels from the catalog *snapshot* used for
+//! the request, so a statistics refresh changes the fingerprints of
+//! affected queries as well as the statistics epoch — stale entries
+//! are unreachable even before the epoch purge evicts them.
+
+use sdp_catalog::Catalog;
+use sdp_query::canon::{self, stable_hash, StableHasher, WlLabels};
+use sdp_query::Query;
+
+/// An order-independent 128-bit structural hash of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+fn column_distinct(catalog: &Catalog, rel: sdp_catalog::RelId, col: sdp_catalog::ColId) -> u64 {
+    catalog
+        .stats(rel)
+        .ok()
+        .and_then(|s| s.column(col))
+        .map(|c| c.n_distinct.to_bits())
+        .unwrap_or(0)
+}
+
+/// Compute the fingerprint of `query` under `catalog`'s current
+/// statistics.
+pub fn fingerprint_query(catalog: &Catalog, query: &Query) -> Fingerprint {
+    let graph = &query.graph;
+    let node_labels: Vec<u64> = (0..graph.len())
+        .map(|v| {
+            let rel = graph.relation(v);
+            let tuples = catalog
+                .stats(rel)
+                .map(|s| s.relation.tuples.to_bits())
+                .unwrap_or(0);
+            let mut filters: Vec<u64> = graph
+                .filters_on(v)
+                .map(|f| {
+                    stable_hash(
+                        0x66_70_66_6c,
+                        &[
+                            f.column.col.0 as u64,
+                            column_distinct(catalog, rel, f.column.col),
+                            canon::pred_op_tag(f.op),
+                            f.value as u64,
+                        ],
+                    )
+                })
+                .collect();
+            filters.sort_unstable();
+            let order_marker = match query.order_by {
+                Some(o) if o.column.node == v => 1 + o.column.col.0 as u64,
+                _ => 0,
+            };
+            let mut h = StableHasher::new(0x6670_6e64);
+            h.write_u64(rel.0 as u64);
+            h.write_u64(tuples);
+            h.write_u64(order_marker);
+            for f in filters {
+                h.write_u64(f);
+            }
+            h.finish()
+        })
+        .collect();
+
+    let edge_labels: Vec<(u64, u64)> = graph
+        .edges()
+        .iter()
+        .map(|e| {
+            let side = |own: sdp_query::ColRef, peer: sdp_query::ColRef| {
+                stable_hash(
+                    0x6670_6564,
+                    &[
+                        own.col.0 as u64,
+                        column_distinct(catalog, graph.relation(own.node), own.col),
+                        peer.col.0 as u64,
+                        column_distinct(catalog, graph.relation(peer.node), peer.col),
+                    ],
+                )
+            };
+            (side(e.left, e.right), side(e.right, e.left))
+        })
+        .collect();
+
+    Fingerprint(canon::wl_hash(
+        graph,
+        &WlLabels {
+            node_labels,
+            edge_labels,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_query::canon::permute_graph;
+    use sdp_query::{ColRef, QueryGenerator, Topology};
+
+    #[test]
+    fn fingerprint_ignores_declaration_order() {
+        let catalog = Catalog::paper();
+        let q = QueryGenerator::new(&catalog, Topology::star_chain(9), 3)
+            .with_filter_probability(0.5)
+            .ordered_instance(0);
+        let base = fingerprint_query(&catalog, &q);
+
+        // Rotate the node indices and remap the order column.
+        let n = q.graph.len();
+        let perm: Vec<usize> = (0..n).map(|i| (i + 3) % n).collect();
+        let mut permuted = sdp_query::Query::new(permute_graph(&q.graph, &perm));
+        if let Some(o) = q.order_by {
+            permuted = permuted.with_order_by(ColRef::new(perm[o.column.node], o.column.col));
+        }
+        assert_eq!(base, fingerprint_query(&catalog, &permuted));
+    }
+
+    #[test]
+    fn fingerprint_sees_orders_and_stats() {
+        let catalog = Catalog::paper();
+        let gen = QueryGenerator::new(&catalog, Topology::Star(7), 5);
+        let unordered = gen.instance(0);
+        let ordered = gen.ordered_instance(0);
+        assert_ne!(
+            fingerprint_query(&catalog, &unordered),
+            fingerprint_query(&catalog, &ordered),
+            "order marker must be part of the key"
+        );
+
+        // Doubling one relation's tuple count changes the key.
+        let mut restated = catalog.clone();
+        let mut analyzed: Vec<_> = restated
+            .relations()
+            .iter()
+            .map(sdp_catalog::AnalyzedRelation::analyze)
+            .collect();
+        let rel = unordered.graph.relation(0);
+        analyzed[rel.0 as usize].relation.tuples *= 2.0;
+        restated.replace_stats(analyzed);
+        assert_ne!(
+            fingerprint_query(&catalog, &unordered),
+            fingerprint_query(&restated, &unordered),
+            "tuple counts must be part of the key"
+        );
+    }
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        assert_eq!(Fingerprint(0).to_string().len(), 32);
+        assert_eq!(Fingerprint(0xff).to_string(), format!("{:032x}", 0xffu32));
+    }
+}

@@ -1,0 +1,60 @@
+//! # sdp-service — the resident optimizer daemon
+//!
+//! The paper's heuristics exist because real optimizers run inside
+//! long-lived server processes where optimization time is a tax on
+//! every query. This crate packages the `sdp-core` enumerators as such
+//! a process component:
+//!
+//! * [`fingerprint`] — canonicalizes each request into an
+//!   order-independent structural hash of its join graph, predicates,
+//!   statistics and interesting orders, so isomorphic queries collide
+//!   (a Weisfeiler–Leman hash over [`sdp_query::canon`]);
+//! * [`cache`] — a sharded LRU plan cache whose entries carry the
+//!   statistics epoch they were optimized under; bumping the catalog
+//!   epoch atomically invalidates stale plans;
+//! * [`singleflight`] — concurrent identical requests coalesce onto
+//!   one enumeration: a leader optimizes, waiters share its plan;
+//! * [`select`] — a topology-aware strategy selector (DP for small
+//!   queries, SDP for hub-bearing graphs, IDP for large hub-free
+//!   ones, GOO beyond that) driven by `sdp-query` hub detection;
+//! * [`service`] — [`OptimizerService`], the `Send + Sync` request
+//!   path tying the above together over a swappable catalog snapshot,
+//!   with counters and per-strategy latencies in `sdp-metrics`;
+//! * [`daemon`] — a worker-pool front ([`Daemon`]) that serves
+//!   requests from plain threads.
+//!
+//! The `sdp-service` binary's `replay` subcommand generates a
+//! workload, replays it through a daemon, and reports throughput plus
+//! cache behaviour.
+//!
+//! ```
+//! use sdp_catalog::Catalog;
+//! use sdp_service::{OptimizerService, PlanSource, ServiceRequest};
+//!
+//! let service = OptimizerService::with_defaults(Catalog::paper());
+//! let req = ServiceRequest::sql("SELECT * FROM R1 a, R2 b WHERE a.c0 = b.c1");
+//! let first = service.get_plan(&req).unwrap();
+//! assert_eq!(first.source, PlanSource::Fresh);
+//! let second = service.get_plan(&req).unwrap();
+//! assert_eq!(second.source, PlanSource::Cache);
+//! assert_eq!(second.plans_costed, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod daemon;
+pub mod fingerprint;
+pub mod select;
+pub mod service;
+pub mod singleflight;
+
+pub use cache::{Lookup, ShardedLru};
+pub use daemon::{Daemon, Ticket};
+pub use fingerprint::{fingerprint_query, Fingerprint};
+pub use service::{
+    CachedPlan, OptimizerService, PlanSource, ServiceConfig, ServiceError, ServiceRequest,
+    ServiceResponse,
+};
+pub use singleflight::{Flight, LeaderToken, SingleFlight};

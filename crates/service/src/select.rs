@@ -1,0 +1,98 @@
+//! Topology-aware enumeration-strategy selection.
+//!
+//! A resident optimizer cannot afford exhaustive DP on every request:
+//! the paper's Tables 1.2–1.4 show DP blowing the 1 GB memory wall
+//! between 15 and 20 relations while SDP stays within budget on
+//! hub-bearing graphs, and IDP degrades gracefully on hub-free chains
+//! and cycles where SDP's localized pruning has nothing to localize.
+//! The selector encodes exactly that evidence:
+//!
+//! * small queries — exhaustive DP, the optimum is cheap;
+//! * hub-bearing graphs (stars, star-chains) — SDP with the paper's
+//!   default configuration;
+//! * hub-free graphs (chains, cycles) — DP while it fits, then
+//!   IDP(4);
+//! * very large queries of either shape — GOO, the constant-overhead
+//!   fallback.
+
+use sdp_core::Algorithm;
+use sdp_core::SdpConfig;
+use sdp_query::{hubs, Query};
+
+/// Largest relation count optimized exhaustively regardless of shape.
+pub const SMALL_QUERY_MAX: usize = 9;
+/// Largest hub-free query still worth exhaustive DP.
+pub const DP_HUBFREE_MAX: usize = 13;
+/// Largest query optimized with a DP-quality heuristic (SDP/IDP)
+/// before falling back to greedy ordering.
+pub const HEURISTIC_MAX: usize = 32;
+
+/// Pick an enumeration strategy for `query` from its size and hub
+/// structure.
+pub fn choose(query: &Query) -> Algorithm {
+    let n = query.num_relations();
+    if n <= SMALL_QUERY_MAX {
+        return Algorithm::Dp;
+    }
+    if n > HEURISTIC_MAX {
+        return Algorithm::Goo;
+    }
+    if hubs::root_hubs(&query.graph).is_empty() {
+        if n <= DP_HUBFREE_MAX {
+            Algorithm::Dp
+        } else {
+            Algorithm::Idp { k: 4 }
+        }
+    } else {
+        Algorithm::Sdp(SdpConfig::paper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_catalog::Catalog;
+    use sdp_query::{QueryGenerator, Topology};
+
+    fn query_for(topo: Topology) -> Query {
+        QueryGenerator::new(&Catalog::paper(), topo, 1).instance(0)
+    }
+
+    #[test]
+    fn small_queries_get_exhaustive_dp() {
+        assert_eq!(choose(&query_for(Topology::Chain(5))), Algorithm::Dp);
+        assert_eq!(choose(&query_for(Topology::Star(9))), Algorithm::Dp);
+    }
+
+    #[test]
+    fn hubby_graphs_get_sdp() {
+        assert_eq!(
+            choose(&query_for(Topology::Star(15))),
+            Algorithm::Sdp(SdpConfig::paper())
+        );
+        assert_eq!(
+            choose(&query_for(Topology::star_chain(20))),
+            Algorithm::Sdp(SdpConfig::paper())
+        );
+    }
+
+    #[test]
+    fn hubfree_graphs_get_dp_then_idp() {
+        assert_eq!(choose(&query_for(Topology::Chain(12))), Algorithm::Dp);
+        assert_eq!(
+            choose(&query_for(Topology::Chain(20))),
+            Algorithm::Idp { k: 4 }
+        );
+        assert_eq!(
+            choose(&query_for(Topology::Cycle(20))),
+            Algorithm::Idp { k: 4 }
+        );
+    }
+
+    #[test]
+    fn oversized_queries_fall_back_to_goo() {
+        let cat = Catalog::extended(40);
+        let q = QueryGenerator::new(&cat, Topology::Star(36), 1).instance(0);
+        assert_eq!(choose(&q), Algorithm::Goo);
+    }
+}

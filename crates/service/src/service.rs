@@ -1,0 +1,443 @@
+//! The resident optimizer service: fingerprint → cache → single
+//! flight → enumeration.
+//!
+//! [`OptimizerService`] is the shared, `Send + Sync` heart of the
+//! daemon. Its request path holds no lock across an enumeration:
+//!
+//! 1. snapshot the catalog (`RwLock<Arc<Catalog>>` — statistics
+//!    refreshes swap a new `Arc` in without blocking in-flight
+//!    optimizations, which keep planning against their snapshot);
+//! 2. bind the request (SQL text through `sdp-sql`, or a programmatic
+//!    [`Query`]) and compute its [`Fingerprint`];
+//! 3. probe the sharded LRU under the snapshot's statistics epoch;
+//! 4. on a miss, join the single-flight for the key: the leader runs
+//!    the enumeration (strategy from [`crate::select::choose`] unless
+//!    the request pins one) and publishes; waiters block and receive
+//!    the same plan;
+//! 5. record hit/miss/coalesced/evicted counters and per-strategy
+//!    latency into `sdp-metrics`.
+
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use sdp_catalog::{AnalyzedRelation, Catalog};
+use sdp_core::{Algorithm, OptError, Optimizer, PlanNode};
+use sdp_metrics::{CountersSnapshot, ServiceCounters, StrategyLatencies};
+use sdp_query::canon::stable_hash;
+use sdp_query::Query;
+use sdp_sql::SqlError;
+
+use crate::cache::{Lookup, ShardedLru};
+use crate::fingerprint::{fingerprint_query, Fingerprint};
+use crate::select;
+use crate::singleflight::{Flight, SingleFlight};
+
+/// Tuning for one [`OptimizerService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum cached plans (spread over the shards).
+    pub cache_capacity: usize,
+    /// Number of cache shards (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Enumeration parallelism override; `None` inherits the
+    /// optimizer default (`SDP_THREADS` env or machine parallelism).
+    pub parallelism: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_capacity: 1024,
+            cache_shards: 8,
+            parallelism: None,
+        }
+    }
+}
+
+/// How a request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// The request led an enumeration.
+    Fresh,
+    /// Served from the plan cache.
+    Cache,
+    /// Coalesced onto another request's in-flight enumeration.
+    Coalesced,
+}
+
+/// A plan as stored in (and served from) the cache.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// Root of the chosen physical plan.
+    pub root: Arc<PlanNode>,
+    /// Estimated plan cost.
+    pub cost: f64,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Strategy that produced the plan (display label).
+    pub strategy: String,
+    /// The query's structural fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Statistics epoch the plan was optimized under.
+    pub stats_epoch: u64,
+}
+
+/// One optimization request: a query (by text or by value) plus an
+/// optional pinned strategy.
+#[derive(Debug, Clone)]
+pub struct ServiceRequest {
+    spec: QuerySpec,
+    algorithm: Option<Algorithm>,
+}
+
+#[derive(Debug, Clone)]
+enum QuerySpec {
+    Sql(String),
+    Query(Query),
+}
+
+impl ServiceRequest {
+    /// Request optimization of a SQL string.
+    pub fn sql(text: impl Into<String>) -> Self {
+        ServiceRequest {
+            spec: QuerySpec::Sql(text.into()),
+            algorithm: None,
+        }
+    }
+
+    /// Request optimization of an already-bound query.
+    pub fn query(query: Query) -> Self {
+        ServiceRequest {
+            spec: QuerySpec::Query(query),
+            algorithm: None,
+        }
+    }
+
+    /// Pin the enumeration strategy instead of letting the
+    /// topology-aware selector choose.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = Some(algorithm);
+        self
+    }
+}
+
+/// A served plan plus provenance.
+#[derive(Debug, Clone)]
+pub struct ServiceResponse {
+    /// The plan (shared with the cache).
+    pub plan: CachedPlan,
+    /// How the request was satisfied.
+    pub source: PlanSource,
+    /// Plan alternatives costed *by this request* — zero unless
+    /// [`PlanSource::Fresh`].
+    pub plans_costed: u64,
+}
+
+/// Request-path errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The SQL front-end rejected the request text.
+    Sql(SqlError),
+    /// The enumeration failed (budget, disconnected graph, …).
+    Opt(OptError),
+    /// The daemon shut down before answering.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Sql(e) => write!(f, "sql: {e}"),
+            ServiceError::Opt(e) => write!(f, "optimizer: {e}"),
+            ServiceError::Shutdown => write!(f, "service shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SqlError> for ServiceError {
+    fn from(e: SqlError) -> Self {
+        ServiceError::Sql(e)
+    }
+}
+
+impl From<OptError> for ServiceError {
+    fn from(e: OptError) -> Self {
+        ServiceError::Opt(e)
+    }
+}
+
+/// The shared optimizer service. `Arc` it and hand clones of the
+/// `Arc` to every worker thread.
+#[derive(Debug)]
+pub struct OptimizerService {
+    catalog: RwLock<Arc<Catalog>>,
+    cache: ShardedLru<CachedPlan>,
+    flights: SingleFlight<u128, CachedPlan>,
+    counters: ServiceCounters,
+    latencies: StrategyLatencies,
+    config: ServiceConfig,
+}
+
+/// Cache/flight key: the fingerprint folded with the strategy, so a
+/// pinned `Dp` request and the selector's `Sdp` choice for the same
+/// query occupy distinct entries. `Algorithm` carries `f64` tuning and
+/// is deliberately not `Hash`, so its `Debug` rendering (which shows
+/// every tuning field) stands in as the hashable identity.
+fn plan_key(fp: Fingerprint, algorithm: Algorithm) -> u128 {
+    let mut words = [0u64; 4];
+    let rendered = format!("{algorithm:?}");
+    for (i, chunk) in rendered.as_bytes().chunks(8).enumerate() {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        words[i % 4] ^= u64::from_le_bytes(w).rotate_left((i / 4) as u32);
+    }
+    let algo_hash = stable_hash(0x61_6c_67_6f, &words) as u128;
+    fp.0 ^ (algo_hash | (algo_hash << 64))
+}
+
+impl OptimizerService {
+    /// Service over an initial catalog with the given tuning.
+    pub fn new(catalog: Catalog, config: ServiceConfig) -> Self {
+        OptimizerService {
+            catalog: RwLock::new(Arc::new(catalog)),
+            cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
+            flights: SingleFlight::new(),
+            counters: ServiceCounters::new(),
+            latencies: StrategyLatencies::new(),
+            config,
+        }
+    }
+
+    /// Service with default tuning.
+    pub fn with_defaults(catalog: Catalog) -> Self {
+        OptimizerService::new(catalog, ServiceConfig::default())
+    }
+
+    /// The current catalog snapshot.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog.read().expect("catalog lock poisoned"))
+    }
+
+    /// Request counters (live handle).
+    pub fn counters(&self) -> &ServiceCounters {
+        &self.counters
+    }
+
+    /// Snapshot of the request counters.
+    pub fn counters_snapshot(&self) -> CountersSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Per-strategy enumeration latencies.
+    pub fn latencies(&self) -> &StrategyLatencies {
+        &self.latencies
+    }
+
+    /// Number of plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Serve one request: bind, fingerprint, probe the cache, and
+    /// enumerate (or coalesce) on a miss.
+    pub fn get_plan(&self, request: &ServiceRequest) -> Result<ServiceResponse, ServiceError> {
+        let catalog = self.catalog();
+        let query = match &request.spec {
+            QuerySpec::Sql(text) => sdp_sql::parse_query(&catalog, text)?,
+            QuerySpec::Query(q) => q.clone(),
+        };
+        let algorithm = request.algorithm.unwrap_or_else(|| select::choose(&query));
+        let fingerprint = fingerprint_query(&catalog, &query);
+        let key = plan_key(fingerprint, algorithm);
+        let epoch = catalog.stats_epoch();
+
+        loop {
+            match self.cache.get(key, epoch) {
+                Lookup::Hit(plan) => {
+                    self.counters.record_hit();
+                    return Ok(ServiceResponse {
+                        plan,
+                        source: PlanSource::Cache,
+                        plans_costed: 0,
+                    });
+                }
+                Lookup::Stale => {
+                    self.counters.add_stale_evicted(1);
+                }
+                Lookup::Miss => {}
+            }
+
+            match self.flights.join(key) {
+                Flight::Leader(token) => {
+                    let started = Instant::now();
+                    let mut optimizer = Optimizer::new(&catalog);
+                    if let Some(threads) = self.config.parallelism {
+                        optimizer = optimizer.with_parallelism(threads);
+                    }
+                    // An error drops the token, abandoning the flight
+                    // so waiters retry and surface it themselves.
+                    let optimized = optimizer.optimize(&query, algorithm)?;
+                    let plan = CachedPlan {
+                        cost: optimized.cost,
+                        rows: optimized.rows,
+                        root: optimized.root,
+                        strategy: algorithm.label(),
+                        fingerprint,
+                        stats_epoch: epoch,
+                    };
+                    self.counters.record_miss();
+                    self.counters
+                        .record_enumeration(optimized.stats.plans_costed);
+                    self.latencies.record(&plan.strategy, started.elapsed());
+                    let evicted = self.cache.insert(key, plan.clone(), epoch);
+                    self.counters.add_evicted(evicted);
+                    token.publish(plan.clone());
+                    return Ok(ServiceResponse {
+                        plan,
+                        source: PlanSource::Fresh,
+                        plans_costed: optimized.stats.plans_costed,
+                    });
+                }
+                Flight::Coalesced(Some(plan)) => {
+                    self.counters.record_coalesced();
+                    return Ok(ServiceResponse {
+                        plan,
+                        source: PlanSource::Coalesced,
+                        plans_costed: 0,
+                    });
+                }
+                // The leader abandoned (failed or panicked): retry
+                // from the cache probe; this caller typically becomes
+                // the next leader and observes the error directly.
+                Flight::Coalesced(None) => continue,
+            }
+        }
+    }
+
+    /// Install fresh statistics: swaps a new catalog snapshot in
+    /// (bumping the statistics epoch atomically with respect to new
+    /// requests) and eagerly purges plans optimized under older
+    /// epochs. Returns the new epoch.
+    pub fn update_stats(&self, analyzed: Vec<AnalyzedRelation>) -> u64 {
+        self.swap_catalog(|c| c.replace_stats(analyzed))
+    }
+
+    /// Bump the statistics epoch without changing the estimates —
+    /// forces re-optimization of everything (an `ANALYZE`-everything
+    /// barrier). Returns the new epoch.
+    pub fn bump_stats_epoch(&self) -> u64 {
+        self.swap_catalog(|c| c.bump_stats_epoch())
+    }
+
+    fn swap_catalog(&self, mutate: impl FnOnce(&mut Catalog)) -> u64 {
+        let epoch = {
+            let mut guard = self.catalog.write().expect("catalog lock poisoned");
+            let mut next = (**guard).clone();
+            mutate(&mut next);
+            let epoch = next.stats_epoch();
+            *guard = Arc::new(next);
+            epoch
+        };
+        let purged = self.cache.purge_stale(epoch);
+        self.counters.add_stale_evicted(purged);
+        epoch
+    }
+}
+
+// The whole point of the service is to be shared across worker
+// threads; keep that property machine-checked.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<OptimizerService>();
+    assert_send_sync::<ServiceRequest>();
+    assert_send_sync::<ServiceResponse>();
+    assert_send_sync::<ServiceError>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_query::{QueryGenerator, Topology};
+
+    #[test]
+    fn plan_key_separates_strategies_and_fingerprints() {
+        let fp1 = Fingerprint(0x1234_5678_9abc_def0);
+        let fp2 = Fingerprint(0x0fed_cba9_8765_4321);
+        assert_eq!(plan_key(fp1, Algorithm::Dp), plan_key(fp1, Algorithm::Dp));
+        assert_ne!(plan_key(fp1, Algorithm::Dp), plan_key(fp1, Algorithm::Goo));
+        assert_ne!(
+            plan_key(fp1, Algorithm::Idp { k: 4 }),
+            plan_key(fp1, Algorithm::Idp { k: 7 })
+        );
+        assert_ne!(plan_key(fp1, Algorithm::Dp), plan_key(fp2, Algorithm::Dp));
+    }
+
+    #[test]
+    fn sql_and_programmatic_requests_share_an_entry() {
+        let catalog = Catalog::paper();
+        let service = OptimizerService::with_defaults(catalog.clone());
+        let q = QueryGenerator::new(&catalog, Topology::Chain(4), 9).instance(0);
+        let sql = sdp_sql::render_sql(&catalog, &q);
+
+        let by_text = service.get_plan(&ServiceRequest::sql(&sql)).unwrap();
+        assert_eq!(by_text.source, PlanSource::Fresh);
+        let by_value = service.get_plan(&ServiceRequest::query(q)).unwrap();
+        assert_eq!(by_value.source, PlanSource::Cache);
+        assert_eq!(
+            by_text.plan.root.structural_digest(),
+            by_value.plan.root.structural_digest()
+        );
+        assert_eq!(by_value.plans_costed, 0);
+    }
+
+    #[test]
+    fn sql_errors_surface_without_touching_counters() {
+        let service = OptimizerService::with_defaults(Catalog::paper());
+        let err = service
+            .get_plan(&ServiceRequest::sql("select * from NOWHERE t"))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Sql(_)), "{err}");
+        assert_eq!(service.counters_snapshot().requests(), 0);
+    }
+
+    #[test]
+    fn optimizer_errors_abandon_the_flight() {
+        let catalog = Catalog::paper();
+        let service = OptimizerService::with_defaults(catalog.clone());
+        // Disconnected graph: two relations, no join edge.
+        let graph =
+            sdp_query::JoinGraph::new(vec![sdp_catalog::RelId(0), sdp_catalog::RelId(1)], vec![]);
+        let err = service
+            .get_plan(&ServiceRequest::query(Query::new(graph)))
+            .unwrap_err();
+        assert!(
+            matches!(err, ServiceError::Opt(OptError::DisconnectedJoinGraph)),
+            "{err}"
+        );
+        // The abandoned flight must not linger and block later
+        // requests for the same key.
+        assert_eq!(service.cached_plans(), 0);
+    }
+
+    #[test]
+    fn pinned_strategy_is_respected_and_keyed_separately() {
+        let catalog = Catalog::paper();
+        let service = OptimizerService::with_defaults(catalog.clone());
+        let q = QueryGenerator::new(&catalog, Topology::Star(6), 2).instance(0);
+
+        let goo = service
+            .get_plan(&ServiceRequest::query(q.clone()).with_algorithm(Algorithm::Goo))
+            .unwrap();
+        assert_eq!(goo.plan.strategy, "GOO");
+        assert_eq!(goo.source, PlanSource::Fresh);
+
+        // The selector's choice (DP for 6 relations) is a different
+        // key: fresh enumeration, not a hit on the GOO entry.
+        let auto = service.get_plan(&ServiceRequest::query(q)).unwrap();
+        assert_eq!(auto.plan.strategy, "DP");
+        assert_eq!(auto.source, PlanSource::Fresh);
+        assert_eq!(service.cached_plans(), 2);
+    }
+}

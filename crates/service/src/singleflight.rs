@@ -1,0 +1,264 @@
+//! Single-flight deduplication of concurrent identical requests.
+//!
+//! When several threads ask for the same (fingerprint, strategy) key
+//! at once, exactly one — the **leader** — runs the enumeration; the
+//! rest — **waiters** — block on the leader's flight and receive a
+//! clone of its result. The protocol:
+//!
+//! 1. [`SingleFlight::join`] locks the in-flight map. No entry → the
+//!    caller becomes leader and holds a [`LeaderToken`].
+//! 2. An existing entry → the caller clones the flight's `Arc` slot,
+//!    releases the map lock, and parks on the slot's condvar.
+//! 3. The leader publishes `Some(value)` via
+//!    [`LeaderToken::publish`], which wakes all waiters and retires
+//!    the key from the map.
+//! 4. If the leader's enumeration fails — or the leader panics — the
+//!    token's `Drop` publishes `None` instead. Waiters receiving
+//!    `None` know the flight was **abandoned** and retry from the top
+//!    (typically becoming the next leader and surfacing the error
+//!    themselves), so no thread ever hangs on a dead flight.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Debug)]
+enum SlotState<V> {
+    Pending,
+    Done(Option<V>),
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    cv: Condvar,
+}
+
+/// Coalesces concurrent calls with equal keys onto one execution.
+#[derive(Debug)]
+pub struct SingleFlight<K, V> {
+    inflight: Mutex<HashMap<K, Arc<Slot<V>>>>,
+}
+
+/// The caller's role for one [`SingleFlight::join`].
+#[derive(Debug)]
+pub enum Flight<'f, K: Eq + Hash + Clone, V> {
+    /// This caller runs the work and must publish (or drop) the
+    /// token.
+    Leader(LeaderToken<'f, K, V>),
+    /// Another caller ran the work; `Some` carries its result, `None`
+    /// means the flight was abandoned and the caller should retry.
+    Coalesced(Option<V>),
+}
+
+/// Proof of leadership for one key; publishing (or dropping) it
+/// completes the flight.
+#[derive(Debug)]
+pub struct LeaderToken<'f, K: Eq + Hash + Clone, V> {
+    owner: &'f SingleFlight<K, V>,
+    key: K,
+    slot: Arc<Slot<V>>,
+    published: bool,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
+    /// Fresh coalescer with no flights.
+    pub fn new() -> Self {
+        SingleFlight::default()
+    }
+
+    /// Join the flight for `key`: become its leader or wait for the
+    /// current leader's result.
+    pub fn join(&self, key: K) -> Flight<'_, K, V> {
+        let slot = {
+            let mut inflight = self.inflight.lock().expect("in-flight map poisoned");
+            match inflight.get(&key) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    let slot = Arc::new(Slot {
+                        state: Mutex::new(SlotState::Pending),
+                        cv: Condvar::new(),
+                    });
+                    inflight.insert(key.clone(), Arc::clone(&slot));
+                    return Flight::Leader(LeaderToken {
+                        owner: self,
+                        key,
+                        slot,
+                        published: false,
+                    });
+                }
+            }
+        };
+        let mut state = slot.state.lock().expect("flight slot poisoned");
+        while matches!(*state, SlotState::Pending) {
+            state = slot.cv.wait(state).expect("flight slot poisoned");
+        }
+        match &*state {
+            SlotState::Done(result) => Flight::Coalesced(result.clone()),
+            SlotState::Pending => unreachable!("waited out of Pending"),
+        }
+    }
+
+    /// Number of keys currently in flight (diagnostics/tests).
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.lock().expect("in-flight map poisoned").len()
+    }
+
+    fn complete(&self, key: &K, slot: &Slot<V>, result: Option<V>) {
+        // Retire the key first so late joiners start a fresh flight
+        // instead of reading this (possibly abandoned) one.
+        self.inflight
+            .lock()
+            .expect("in-flight map poisoned")
+            .remove(key);
+        let mut state = slot.state.lock().expect("flight slot poisoned");
+        *state = SlotState::Done(result);
+        slot.cv.notify_all();
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LeaderToken<'_, K, V> {
+    /// Hand the leader's result to every waiter and retire the
+    /// flight.
+    pub fn publish(mut self, value: V) {
+        self.published = true;
+        self.owner.complete(&self.key, &self.slot, Some(value));
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Drop for LeaderToken<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.published {
+            // Leader failed or panicked before publishing: abandon the
+            // flight so waiters retry instead of hanging.
+            let mut inflight = self.owner.inflight.lock().expect("in-flight map poisoned");
+            inflight.remove(&self.key);
+            drop(inflight);
+            let mut state = self.slot.state.lock().expect("flight slot poisoned");
+            *state = SlotState::Done(None);
+            self.slot.cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn sole_caller_leads_and_publishes() {
+        let sf: SingleFlight<u64, String> = SingleFlight::new();
+        match sf.join(1) {
+            Flight::Leader(token) => token.publish("done".into()),
+            Flight::Coalesced(_) => panic!("first caller must lead"),
+        }
+        assert_eq!(sf.inflight_len(), 0);
+        // The key is retired, so the next caller leads a new flight.
+        assert!(matches!(sf.join(1), Flight::Leader(_)));
+    }
+
+    #[test]
+    fn concurrent_joins_elect_one_leader() {
+        let sf: Arc<SingleFlight<u64, u64>> = Arc::new(SingleFlight::new());
+        let executions = Arc::new(AtomicU64::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (sf, executions, barrier) = (sf.clone(), executions.clone(), barrier.clone());
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    loop {
+                        match sf.join(42) {
+                            Flight::Leader(token) => {
+                                executions.fetch_add(1, Ordering::SeqCst);
+                                // Give waiters time to pile onto this
+                                // flight.
+                                std::thread::sleep(std::time::Duration::from_millis(20));
+                                token.publish(99);
+                                return 99;
+                            }
+                            Flight::Coalesced(Some(v)) => return v,
+                            Flight::Coalesced(None) => continue,
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 99);
+        }
+        assert_eq!(executions.load(Ordering::SeqCst), 1, "exactly one leader");
+        assert_eq!(sf.inflight_len(), 0);
+    }
+
+    #[test]
+    fn dropped_token_abandons_the_flight() {
+        let sf: Arc<SingleFlight<u64, u64>> = Arc::new(SingleFlight::new());
+        let token = match sf.join(7) {
+            Flight::Leader(t) => t,
+            Flight::Coalesced(_) => unreachable!(),
+        };
+        let waiter = {
+            let sf = sf.clone();
+            std::thread::spawn(move || match sf.join(7) {
+                Flight::Coalesced(result) => result,
+                Flight::Leader(_) => panic!("leader already elected"),
+            })
+        };
+        // Let the waiter park, then abandon.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(token);
+        assert_eq!(waiter.join().unwrap(), None, "abandonment wakes waiters");
+        assert_eq!(sf.inflight_len(), 0);
+    }
+
+    #[test]
+    fn panicking_leader_does_not_strand_waiters() {
+        let sf: Arc<SingleFlight<u64, u64>> = Arc::new(SingleFlight::new());
+        let leader = {
+            let sf = sf.clone();
+            std::thread::spawn(move || {
+                let _token = match sf.join(3) {
+                    Flight::Leader(t) => t,
+                    Flight::Coalesced(_) => unreachable!(),
+                };
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                panic!("leader dies mid-flight");
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let result = match sf.join(3) {
+            Flight::Coalesced(r) => r,
+            Flight::Leader(_) => panic!("flight should exist"),
+        };
+        assert_eq!(result, None);
+        assert!(leader.join().is_err(), "leader panicked as arranged");
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let sf: SingleFlight<u64, u64> = SingleFlight::new();
+        let t1 = match sf.join(1) {
+            Flight::Leader(t) => t,
+            Flight::Coalesced(_) => unreachable!(),
+        };
+        let t2 = match sf.join(2) {
+            Flight::Leader(t) => t,
+            Flight::Coalesced(_) => unreachable!(),
+        };
+        assert_eq!(sf.inflight_len(), 2);
+        t1.publish(10);
+        t2.publish(20);
+        assert_eq!(sf.inflight_len(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for fingerprint canonicalization: permuting relation
+//! declaration order, join-edge order or predicate order never changes
+//! the fingerprint; structurally different queries (different
+//! topology, constants or statistics) get different ones.
+
+use proptest::prelude::*;
+use sdp_catalog::Catalog;
+use sdp_query::canon::permute_graph;
+use sdp_query::{ColRef, JoinEdge, JoinGraph, Query, QueryGenerator, Topology};
+use sdp_service::fingerprint_query;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (2usize..12).prop_map(Topology::Chain),
+        (2usize..12).prop_map(Topology::Star),
+        (3usize..12).prop_map(Topology::Cycle),
+        (2usize..7).prop_map(Topology::Clique),
+        (3usize..12).prop_map(Topology::star_chain),
+    ]
+}
+
+/// Seeded Fisher–Yates permutation of `0..n` (splitmix-driven so the
+/// property inputs stay shrinkable integers).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, next() as usize % (i + 1));
+    }
+    perm
+}
+
+/// Restate `q` isomorphically: permute node indices, rotate + flip
+/// edges, reverse filter order, remap the order column.
+fn restate(q: &Query, perm: &[usize], rotate: usize, flip: bool) -> Query {
+    let permuted = permute_graph(&q.graph, perm);
+    let mut edges: Vec<JoinEdge> = permuted.edges().to_vec();
+    let k = if edges.is_empty() {
+        0
+    } else {
+        rotate % edges.len()
+    };
+    edges.rotate_left(k);
+    if flip {
+        // Swapping an edge's stored left/right endpoints is the SQL
+        // author writing `b.y = a.x` instead of `a.x = b.y`.
+        for e in edges.iter_mut() {
+            *e = JoinEdge::new(e.right, e.left);
+        }
+    }
+    let mut graph = JoinGraph::new(permuted.relations().to_vec(), edges);
+    for f in permuted.filters().iter().rev() {
+        graph.add_filter(*f);
+    }
+    let mut out = Query::new(graph);
+    if let Some(o) = q.order_by {
+        out = out.with_order_by(ColRef::new(perm[o.column.node], o.column.col));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Invariance: however the same query is declared, the
+    /// fingerprint is one value.
+    #[test]
+    fn fingerprint_is_declaration_order_independent(
+        topo in arb_topology(),
+        seed in 0u64..10_000,
+        perm_seed in 0u64..10_000,
+        rotate in 0usize..16,
+        flip in any::<bool>(),
+        ordered in any::<bool>(),
+    ) {
+        let catalog = Catalog::paper();
+        let gen = QueryGenerator::new(&catalog, topo, seed).with_filter_probability(0.5);
+        let q = if ordered { gen.ordered_instance(0) } else { gen.instance(0) };
+        let perm = permutation(q.graph.len(), perm_seed);
+        let restated = restate(&q, &perm, rotate, flip);
+        prop_assert_eq!(
+            fingerprint_query(&catalog, &q),
+            fingerprint_query(&catalog, &restated),
+            "isomorphic restatement changed the fingerprint ({:?}, seed {})",
+            topo, seed
+        );
+    }
+
+    /// Discrimination: two different draws from the workload
+    /// generator (different relations or join columns) fingerprint
+    /// differently.
+    #[test]
+    fn distinct_instances_get_distinct_fingerprints(
+        topo in arb_topology(),
+        seed in 0u64..10_000,
+    ) {
+        let catalog = Catalog::paper();
+        let gen = QueryGenerator::new(&catalog, topo, seed);
+        let a = gen.instance(0);
+        let b = gen.instance(1);
+        // The generator can (rarely) redraw the same combination; only
+        // structurally different queries must differ.
+        prop_assume!(
+            a.graph.relations() != b.graph.relations() || a.graph.edges() != b.graph.edges()
+        );
+        prop_assert_ne!(fingerprint_query(&catalog, &a), fingerprint_query(&catalog, &b));
+    }
+
+    /// Discrimination: changing one relation's statistics changes the
+    /// fingerprint of every query touching it (the "selectivity" part
+    /// of the key).
+    #[test]
+    fn changed_statistics_change_the_fingerprint(
+        topo in arb_topology(),
+        seed in 0u64..10_000,
+        scale in 2.0f64..64.0,
+    ) {
+        let catalog = Catalog::paper();
+        let q = QueryGenerator::new(&catalog, topo, seed).instance(0);
+
+        let mut rescaled = catalog.clone();
+        let mut analyzed: Vec<_> = rescaled
+            .relations()
+            .iter()
+            .map(sdp_catalog::AnalyzedRelation::analyze)
+            .collect();
+        let victim = q.graph.relation(0);
+        analyzed[victim.0 as usize].relation.tuples *= scale;
+        rescaled.replace_stats(analyzed);
+
+        prop_assert_ne!(
+            fingerprint_query(&catalog, &q),
+            fingerprint_query(&rescaled, &q),
+            "statistics change invisible to the fingerprint"
+        );
+    }
+
+    /// Discrimination: chain vs star vs cycle of the same size over
+    /// the same seed never collide.
+    #[test]
+    fn different_topologies_never_collide(
+        n in 4usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let catalog = Catalog::paper();
+        let shapes = [Topology::Chain(n), Topology::Star(n), Topology::Cycle(n)];
+        let prints: Vec<_> = shapes
+            .iter()
+            .map(|&t| fingerprint_query(&catalog, &QueryGenerator::new(&catalog, t, seed).instance(0)))
+            .collect();
+        prop_assert_ne!(prints[0], prints[1]);
+        prop_assert_ne!(prints[0], prints[2]);
+        prop_assert_ne!(prints[1], prints[2]);
+    }
+}

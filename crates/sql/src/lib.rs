@@ -43,7 +43,7 @@ pub use ast::{Comparison, Condition, OrderByItem, QualifiedColumn, SelectStateme
 pub use binder::bind;
 pub use lexer::{tokenize, Token, TokenKind};
 pub use parser::parse;
-pub use render::render_sql;
+pub use render::{render_sql, render_statement};
 
 use sdp_catalog::Catalog;
 use sdp_query::Query;

@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 use sdp_catalog::Catalog;
 use sdp_query::Query;
 
+use crate::ast::{Comparison, Condition, SelectStatement};
 use crate::binder::column_name;
 
 /// Render a query as a SQL string (aliases `t0`, `t1`, … by node).
@@ -61,6 +62,55 @@ pub fn render_sql(catalog: &Catalog, query: &Query) -> String {
     sql
 }
 
+/// Render a parsed [`SelectStatement`] back to SQL text, catalog-free.
+///
+/// The counterpart of [`crate::parse`]: for any statement in the
+/// supported fragment, `parse(render_statement(stmt)) == stmt` (the
+/// renderer always prints explicit aliases, which the parser defaults
+/// anyway). The service layer uses this to guarantee that a text-keyed
+/// request and its re-rendered form bind — and therefore fingerprint —
+/// identically.
+pub fn render_statement(stmt: &SelectStatement) -> String {
+    let mut sql = String::from("SELECT * FROM ");
+    for (i, t) in stmt.from.iter().enumerate() {
+        if i > 0 {
+            sql.push_str(", ");
+        }
+        let _ = write!(sql, "{} {}", t.table, t.alias);
+    }
+    let conjuncts: Vec<String> = stmt
+        .conditions
+        .iter()
+        .map(|c| match c {
+            Condition::Join { left, right } => format!(
+                "{}.{} = {}.{}",
+                left.qualifier, left.column, right.qualifier, right.column
+            ),
+            Condition::Filter { column, op, value } => {
+                let sym = match op {
+                    Comparison::Eq => "=",
+                    Comparison::Lt => "<",
+                    Comparison::Le => "<=",
+                    Comparison::Gt => ">",
+                    Comparison::Ge => ">=",
+                };
+                format!("{}.{} {sym} {value}", column.qualifier, column.column)
+            }
+        })
+        .collect();
+    if !conjuncts.is_empty() {
+        let _ = write!(sql, " WHERE {}", conjuncts.join(" AND "));
+    }
+    if let Some(ob) = &stmt.order_by {
+        let _ = write!(
+            sql,
+            " ORDER BY {}.{}",
+            ob.column.qualifier, ob.column.column
+        );
+    }
+    sql
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +126,46 @@ mod tests {
         assert!(sql.starts_with("SELECT * FROM "));
         assert!(sql.contains(" WHERE "));
         assert_eq!(sql.matches(" = ").count(), 2);
+    }
+
+    #[test]
+    fn ast_round_trip_is_exact_for_generator_shapes() {
+        // parse → render_statement → parse must reproduce the AST
+        // exactly, so a request keyed by SQL text and the same request
+        // re-rendered from its AST bind (and fingerprint) identically.
+        let catalog = Catalog::paper();
+        for topo in [
+            Topology::Chain(4),
+            Topology::Star(7),
+            Topology::star_chain(9),
+            Topology::Cycle(6),
+            Topology::Clique(4),
+        ] {
+            for seed in 0..3 {
+                let gen = QueryGenerator::new(&catalog, topo, seed).with_filter_probability(0.5);
+                for q in [gen.instance(0), gen.ordered_instance(1)] {
+                    let sql = render_sql(&catalog, &q);
+                    let tokens = crate::tokenize(&sql).unwrap();
+                    let stmt = crate::parse(&tokens)
+                        .unwrap_or_else(|e| panic!("{topo} seed {seed}: {e}\n{sql}"));
+                    let rendered = render_statement(&stmt);
+                    let tokens2 = crate::tokenize(&rendered).unwrap();
+                    let stmt2 = crate::parse(&tokens2)
+                        .unwrap_or_else(|e| panic!("{topo} seed {seed}: {e}\n{rendered}"));
+                    assert_eq!(stmt, stmt2, "{topo} seed {seed}\n{sql}\n{rendered}");
+                }
+            }
+        }
+
+        // And a hand-written statement exercising every operator and
+        // defaulted aliases.
+        let sql = "select * from R1, R2 b, R3 c \
+                   where R1.c0 = b.c1 and b.c2 = c.c3 \
+                   and R1.c4 < 10 and b.c5 <= 20 and c.c6 > 30 and c.c0 >= 40 and R1.c1 = 5 \
+                   order by b.c1";
+        let stmt = crate::parse(&crate::tokenize(sql).unwrap()).unwrap();
+        let stmt2 = crate::parse(&crate::tokenize(&render_statement(&stmt)).unwrap()).unwrap();
+        assert_eq!(stmt, stmt2);
     }
 
     #[test]

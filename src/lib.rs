@@ -40,7 +40,8 @@
 //! | [`core`] | the enumerators: DP, IDP(k), **SDP**, GOO; memo, plans, budgets |
 //! | [`sql`] | SQL front-end: lexer, parser, binder, renderer |
 //! | [`engine`] | synthetic tuples + Volcano executor for validation |
-//! | [`metrics`] | plan-quality classes, ρ, overhead aggregation |
+//! | [`metrics`] | plan-quality classes, ρ, overhead aggregation, service counters |
+//! | [`service`] | resident optimizer daemon: query fingerprints, sharded plan cache, single-flight coalescing |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -51,6 +52,7 @@ pub use sdp_cost as cost;
 pub use sdp_engine as engine;
 pub use sdp_metrics as metrics;
 pub use sdp_query as query;
+pub use sdp_service as service;
 pub use sdp_skyline as skyline;
 pub use sdp_sql as sql;
 
@@ -66,6 +68,9 @@ pub mod prelude {
     pub use sdp_metrics::{QualityClass, QualitySummary};
     pub use sdp_query::{
         ColRef, JoinEdge, JoinGraph, PredOp, Predicate, Query, QueryGenerator, RelSet, Topology,
+    };
+    pub use sdp_service::{
+        Daemon, Fingerprint, OptimizerService, PlanSource, ServiceConfig, ServiceRequest,
     };
     pub use sdp_sql::{parse_query, render_sql};
 }
@@ -83,5 +88,13 @@ mod tests {
             .unwrap();
         assert!(plan.cost > 0.0);
         assert!(!explain(&plan.root).is_empty());
+    }
+
+    #[test]
+    fn facade_exposes_the_service_layer() {
+        let service = OptimizerService::with_defaults(Catalog::paper());
+        let req = ServiceRequest::sql("SELECT * FROM R1 a, R2 b WHERE a.c0 = b.c1");
+        assert_eq!(service.get_plan(&req).unwrap().source, PlanSource::Fresh);
+        assert_eq!(service.get_plan(&req).unwrap().source, PlanSource::Cache);
     }
 }
