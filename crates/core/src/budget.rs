@@ -18,6 +18,8 @@
 //! level barrier.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::plan::NodeCounter;
@@ -57,6 +59,9 @@ pub enum OptError {
     DisconnectedJoinGraph,
     /// The query has no relations.
     EmptyQuery,
+    /// The caller cancelled the run through its governor's
+    /// [`CancelHandle`](crate::governor::CancelHandle).
+    Cancelled,
 }
 
 impl fmt::Display for OptError {
@@ -84,6 +89,7 @@ impl fmt::Display for OptError {
                 )
             }
             OptError::EmptyQuery => write!(f, "query joins zero relations"),
+            OptError::Cancelled => write!(f, "optimization cancelled by caller"),
         }
     }
 }
@@ -135,6 +141,16 @@ pub struct MemoryModel {
     nodes: NodeCounter,
     live_groups: u64,
     peak_bytes: u64,
+    /// Cooperative cancellation flag shared with the caller's
+    /// governor; polled by every budget check until acknowledged.
+    cancel: Option<Arc<AtomicBool>>,
+    cancel_acknowledged: bool,
+    /// Logical clock of level barriers passed so far. Ticks only on
+    /// the coordinating thread (see [`MemoryModel::barrier_check`]),
+    /// so it advances identically at every enumeration parallelism.
+    barriers: u64,
+    #[cfg(feature = "testkit")]
+    faults: Option<sdp_testkit::FaultPlan>,
 }
 
 impl MemoryModel {
@@ -148,6 +164,11 @@ impl MemoryModel {
             nodes,
             live_groups: 0,
             peak_bytes: 0,
+            cancel: None,
+            cancel_acknowledged: false,
+            barriers: 0,
+            #[cfg(feature = "testkit")]
+            faults: None,
         }
     }
 
@@ -176,11 +197,60 @@ impl MemoryModel {
         self.start.elapsed()
     }
 
+    /// The budget currently in force.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Replace the budget in force. The governor swaps per-rung
+    /// budgets in here between ladder attempts; elapsed time keeps
+    /// counting from the run's start, so a rung's deadline is a
+    /// fraction of the request's total deadline, not a fresh window.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Attach a caller cancellation flag; every subsequent budget
+    /// check reports [`OptError::Cancelled`] while it is set (until
+    /// [`MemoryModel::acknowledge_cancel`]).
+    pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.cancel = Some(flag);
+    }
+
+    /// Stop reporting a pending cancellation. The governor calls this
+    /// after observing [`OptError::Cancelled`] so its final, cheapest
+    /// rung can still produce a best-effort plan for the caller.
+    pub fn acknowledge_cancel(&mut self) {
+        self.cancel_acknowledged = true;
+    }
+
+    /// Number of level barriers passed so far.
+    pub fn barriers(&self) -> u64 {
+        self.barriers
+    }
+
+    /// Install a fault-injection schedule consulted at every barrier.
+    #[cfg(feature = "testkit")]
+    pub fn set_fault_plan(&mut self, faults: sdp_testkit::FaultPlan) {
+        self.faults = Some(faults);
+    }
+
+    fn cancelled(&self) -> bool {
+        !self.cancel_acknowledged
+            && self
+                .cancel
+                .as_ref()
+                .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
     /// Check the budget; updates the peak. Call once per enumeration
     /// batch (checking per-plan would be wasteful).
     pub fn check(&mut self) -> Result<(), OptError> {
         let used = self.used_bytes();
         self.peak_bytes = self.peak_bytes.max(used);
+        if self.cancelled() {
+            return Err(OptError::Cancelled);
+        }
         if used > self.budget.max_model_bytes {
             return Err(OptError::MemoryExhausted {
                 used_bytes: used,
@@ -197,6 +267,27 @@ impl MemoryModel {
         Ok(())
     }
 
+    /// [`MemoryModel::check`] at a level barrier: ticks the barrier
+    /// counter first, and (under the `testkit` feature) applies any
+    /// faults scheduled for the new tick before checking. Barriers
+    /// happen twice per DP level — after enumeration and after the
+    /// pruner — and only ever on the coordinating thread, so the
+    /// counter is a deterministic logical clock at every parallelism.
+    pub fn barrier_check(&mut self) -> Result<(), OptError> {
+        self.barriers += 1;
+        #[cfg(feature = "testkit")]
+        if let Some(faults) = &self.faults {
+            let fault = faults.at_barrier(self.barriers);
+            if let Some(bytes) = fault.shrink_memory_to {
+                self.budget.max_model_bytes = bytes;
+            }
+            if let Some(delay) = fault.delay {
+                std::thread::sleep(delay);
+            }
+        }
+        self.check()
+    }
+
     /// Snapshot a read-only probe for worker threads. The probe's
     /// group count is frozen at snapshot time (groups only change at
     /// level barriers, where the exact [`MemoryModel::check`] runs);
@@ -207,6 +298,11 @@ impl MemoryModel {
             start: self.start,
             base_groups: self.live_groups,
             nodes: self.nodes.clone(),
+            cancel: if self.cancel_acknowledged {
+                None
+            } else {
+                self.cancel.clone()
+            },
         }
     }
 }
@@ -222,11 +318,19 @@ pub struct BudgetProbe {
     start: Instant,
     base_groups: u64,
     nodes: NodeCounter,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl BudgetProbe {
     /// Return the budget violation in force, if any.
     pub fn over_budget(&self) -> Option<OptError> {
+        if self
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+        {
+            return Some(OptError::Cancelled);
+        }
         let used = self.base_groups * GROUP_MODEL_BYTES + self.nodes.live() * NODE_MODEL_BYTES;
         if used > self.budget.max_model_bytes {
             return Some(OptError::MemoryExhausted {
@@ -325,6 +429,57 @@ mod tests {
             m.probe().over_budget(),
             Some(OptError::MemoryExhausted { .. })
         ));
+    }
+
+    #[test]
+    fn cancel_flag_trips_checks_until_acknowledged() {
+        let mut m = MemoryModel::new(Budget::unlimited(), NodeCounter::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        m.set_cancel_flag(Arc::clone(&flag));
+        assert!(m.check().is_ok());
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(m.check(), Err(OptError::Cancelled));
+        assert_eq!(m.probe().over_budget(), Some(OptError::Cancelled));
+        m.acknowledge_cancel();
+        assert!(m.check().is_ok(), "acknowledged cancel no longer trips");
+        assert!(m.probe().over_budget().is_none());
+    }
+
+    #[test]
+    fn barrier_check_ticks_the_logical_clock() {
+        let mut m = MemoryModel::new(Budget::unlimited(), NodeCounter::new());
+        assert_eq!(m.barriers(), 0);
+        assert!(m.barrier_check().is_ok());
+        assert!(m.barrier_check().is_ok());
+        assert_eq!(m.barriers(), 2);
+        // Plain checks do not tick the clock.
+        assert!(m.check().is_ok());
+        assert_eq!(m.barriers(), 2);
+    }
+
+    #[test]
+    fn set_budget_swaps_limits_mid_run() {
+        let mut m = MemoryModel::new(Budget::unlimited(), NodeCounter::new());
+        m.add_groups(4);
+        assert!(m.check().is_ok());
+        m.set_budget(Budget::with_memory(GROUP_MODEL_BYTES));
+        assert!(matches!(m.check(), Err(OptError::MemoryExhausted { .. })));
+        m.set_budget(Budget::unlimited());
+        assert!(m.check().is_ok());
+        assert_eq!(m.budget().max_model_bytes, u64::MAX);
+    }
+
+    #[cfg(feature = "testkit")]
+    #[test]
+    fn fault_plan_shrinks_budget_at_its_barrier() {
+        let mut m = MemoryModel::new(Budget::unlimited(), NodeCounter::new());
+        m.set_fault_plan(sdp_testkit::FaultPlan::new().shrink_memory_at(2, 0));
+        m.add_groups(1);
+        assert!(m.barrier_check().is_ok(), "barrier 1 is unscheduled");
+        assert!(
+            matches!(m.barrier_check(), Err(OptError::MemoryExhausted { .. })),
+            "barrier 2 shrinks the budget to zero"
+        );
     }
 
     #[test]

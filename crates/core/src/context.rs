@@ -499,7 +499,13 @@ impl<'a> EnumContext<'a> {
     /// reconstructs the same Pareto frontier — dominance is
     /// transitive, so dropping shard-locally dominated offers never
     /// changes the final retained set.
-    pub(crate) fn merge_shard(&mut self, mut shard: LevelShard, new_sets: &mut Vec<RelSet>) {
+    pub(crate) fn merge_shard(
+        &mut self,
+        mut shard: LevelShard,
+        new_sets: &mut Vec<RelSet>,
+        created: &mut Vec<RelSet>,
+        recorded: &mut crate::fx::FxHashSet<RelSet>,
+    ) {
         self.plans_costed += shard.plans_costed;
         for set in std::mem::take(&mut shard.created_order) {
             let group = shard.groups.remove(&set).expect("created in this shard");
@@ -507,6 +513,14 @@ impl<'a> EnumContext<'a> {
                 Some(existing) => {
                     for plan in group.entries() {
                         existing.add_plan(plan.clone());
+                    }
+                    // A group that pre-existed the whole level was
+                    // retained from an earlier rung of a governed
+                    // descent: record it in the level row on first
+                    // visit (`recorded` already holds everything this
+                    // level created, so those are not re-recorded).
+                    if recorded.insert(set) {
+                        new_sets.push(set);
                     }
                 }
                 None => {
@@ -516,6 +530,8 @@ impl<'a> EnumContext<'a> {
                     // them one-by-one to an empty group would retain.
                     self.memo.insert(group);
                     self.memory.add_groups(1);
+                    recorded.insert(set);
+                    created.push(set);
                     new_sets.push(set);
                 }
             }
@@ -669,7 +685,9 @@ mod tests {
         let shard = par.level_worker(&pairs, &probe, &abort);
         assert!(shard.error.is_none());
         let mut new_sets = Vec::new();
-        par.merge_shard(shard, &mut new_sets);
+        let mut created = Vec::new();
+        let mut recorded = crate::fx::FxHashSet::default();
+        par.merge_shard(shard, &mut new_sets, &mut created, &mut recorded);
 
         assert_eq!(new_sets.len(), 4);
         assert_eq!(seq.plans_costed, par.plans_costed);

@@ -40,6 +40,7 @@ use sdp_query::RelSet;
 
 use crate::budget::OptError;
 use crate::context::EnumContext;
+use crate::fx::FxHashSet;
 use crate::plan::PlanNode;
 
 /// Budget-check cadence, in candidate pair visits (sequential path).
@@ -112,6 +113,8 @@ fn run_level_parallel(
     pairs: &[(RelSet, RelSet)],
     threads: usize,
     new_sets: &mut Vec<RelSet>,
+    created: &mut Vec<RelSet>,
+    recorded: &mut FxHashSet<RelSet>,
 ) -> Result<(), OptError> {
     let chunk = pairs.len().div_ceil(threads);
     let probe = ctx.memory.probe();
@@ -131,14 +134,71 @@ fn run_level_parallel(
         })
     };
     // A budget trip anywhere aborts the level; partial results are
-    // dropped (the run is over).
+    // dropped before anything is merged, so an aborted parallel level
+    // leaves the memo exactly at the previous level barrier.
     if let Some(e) = shards.iter().find_map(|s| s.error.clone()) {
         return Err(e);
     }
     for shard in shards {
-        ctx.merge_shard(shard, new_sets);
+        ctx.merge_shard(shard, new_sets, created, recorded);
     }
     Ok(())
+}
+
+/// Enumerate and prune one DP level. `new_sets` receives the level's
+/// surviving JCRs (including groups retained from an earlier governed
+/// rung, recorded on first visit so higher levels can build on them);
+/// `created` lists only the groups this level actually inserted, which
+/// is what the caller rolls back on error; `recorded` deduplicates the
+/// two. Barrier budget checks run after enumeration and after the
+/// pruner — the two deterministic per-level poll points of the
+/// governor.
+#[allow(clippy::too_many_arguments)]
+fn run_one_level<'p>(
+    ctx: &mut EnumContext<'_>,
+    pairs: &[(RelSet, RelSet)],
+    threads: usize,
+    level: usize,
+    visits: &mut u64,
+    new_sets: &mut Vec<RelSet>,
+    created: &mut Vec<RelSet>,
+    recorded: &mut FxHashSet<RelSet>,
+    mut pruner: Option<&mut (dyn LevelPruner + 'p)>,
+) -> Result<(), OptError> {
+    if threads > 1 && pairs.len() >= PARALLEL_PAIR_THRESHOLD {
+        run_level_parallel(ctx, pairs, threads, new_sets, created, recorded)?;
+    } else {
+        for &(a, b) in pairs {
+            *visits += 1;
+            if visits.is_multiple_of(CHECK_INTERVAL) {
+                ctx.memory.check()?;
+            }
+            let union = a | b;
+            if ctx.join_pair(a, b) {
+                created.push(union);
+                recorded.insert(union);
+                new_sets.push(union);
+            } else if recorded.insert(union) {
+                // The group pre-existed this level — retained from an
+                // earlier rung of a governed descent. Record it in the
+                // level row so higher levels can still reach it.
+                new_sets.push(union);
+            }
+        }
+    }
+    ctx.memory.barrier_check()?;
+
+    if let Some(p) = pruner.as_mut() {
+        let victims = p.prune(ctx, level, new_sets);
+        if !victims.is_empty() {
+            let victim_set: FxHashSet<RelSet> = victims.iter().copied().collect();
+            for v in victims {
+                ctx.prune_group(v);
+            }
+            new_sets.retain(|s| !victim_set.contains(s));
+        }
+    }
+    ctx.memory.barrier_check()
 }
 
 /// Run bottom-up DP over `atoms` (each must already have a memo
@@ -166,31 +226,30 @@ pub fn run_levels(
     for s in 2..=up_to {
         let pairs = collect_level_pairs(&table, s);
         let mut new_sets: Vec<RelSet> = Vec::new();
+        let mut created: Vec<RelSet> = Vec::new();
+        let mut recorded: FxHashSet<RelSet> = FxHashSet::default();
         let threads = ctx.parallelism().min(pairs.len().max(1));
-        if threads > 1 && pairs.len() >= PARALLEL_PAIR_THRESHOLD {
-            run_level_parallel(ctx, &pairs, threads, &mut new_sets)?;
-        } else {
-            for &(a, b) in &pairs {
-                visits += 1;
-                if visits.is_multiple_of(CHECK_INTERVAL) {
-                    ctx.memory.check()?;
-                }
-                if ctx.join_pair(a, b) {
-                    new_sets.push(a | b);
-                }
-            }
-        }
-        ctx.memory.check()?;
 
-        if let Some(p) = pruner.as_deref_mut() {
-            let victims = p.prune(ctx, s, &new_sets);
-            if !victims.is_empty() {
-                let victim_set: crate::fx::FxHashSet<RelSet> = victims.iter().copied().collect();
-                for v in victims {
-                    ctx.prune_group(v);
-                }
-                new_sets.retain(|s| !victim_set.contains(s));
+        if let Err(e) = run_one_level(
+            ctx,
+            &pairs,
+            threads,
+            s,
+            &mut visits,
+            &mut new_sets,
+            &mut created,
+            &mut recorded,
+            pruner.as_deref_mut(),
+        ) {
+            // Determinism-by-rollback: drop every group this level
+            // created, so the memo a governed descent inherits equals
+            // the last *completed* level — the same state the parallel
+            // path's whole-level discard leaves — regardless of where
+            // inside the level the budget tripped.
+            for set in created {
+                ctx.prune_group(set);
             }
+            return Err(e);
         }
 
         let graph = ctx.graph();

@@ -1,0 +1,488 @@
+//! The resource governor: per-request deadlines, memory budgets and
+//! the graceful-degradation ladder **DP → SDP → IDP(4) → GOO**.
+//!
+//! The paper's enumerators trade plan quality for robustness — SDP
+//! exists because exhaustive DP blows its time/space budget on
+//! 15–25-relation graphs. The governor makes that trade-off an
+//! explicit, observable *mechanism* instead of an operator guess: a
+//! request carries a deadline and a memory budget, the optimizer polls
+//! them cooperatively (at DP level barriers and through the worker
+//! [`BudgetProbe`](crate::BudgetProbe)), and when a strategy exhausts
+//! its slice of the budget the run **escalates down the ladder** to
+//! the next-cheaper strategy instead of failing. Memo state built by
+//! the failed rung is reused where the cheaper strategy permits (base
+//! groups always; two-relation groups when they fit the remaining
+//! memory), and the returned [`GovernedPlan`] records which rung
+//! produced the plan and why each degradation happened — deadline,
+//! memory, or caller cancellation.
+//!
+//! # Ladder semantics
+//!
+//! Each rung gets a *soft deadline* that is a fraction of the
+//! request's total deadline (measured from the start of the run, not
+//! per rung): DP may spend 40%, SDP up to 65%, IDP(4) up to 85%, and
+//! GOO the full 100%. A rung that trips its slice leaves the rest of
+//! the wall-clock to the cheaper strategies below it, which is what
+//! makes "a GOO-or-better plan within the deadline" achievable: GOO
+//! costs O(n) joins and virtually always fits the final slice.
+//! Memory budgets are absolute (the ladder's value is that cheaper
+//! rungs *retain fewer JCRs*, not that they get more memory).
+//!
+//! Caller cancellation is special: it jumps straight to GOO (the
+//! caller wants out *now*, so the governor produces the cheapest
+//! best-effort plan rather than walking the remaining rungs), and is
+//! acknowledged on the memory model so the final rung can run.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sdp_query::RelSet;
+
+use crate::budget::{Budget, OptError};
+use crate::context::EnumContext;
+use crate::idp::IdpConfig;
+use crate::optimizer::{Algorithm, OptimizedPlan};
+use crate::sdp::SdpConfig;
+
+/// One rung of the degradation ladder, ordered from the most thorough
+/// strategy to the cheapest (`Rung::Dp < Rung::Goo`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rung {
+    /// Exhaustive dynamic programming.
+    Dp,
+    /// Skyline DP (the paper's robust default).
+    Sdp,
+    /// Iterative DP with block size 4.
+    Idp,
+    /// Greedy operator ordering — the floor; always cheap enough.
+    Goo,
+}
+
+/// The full ladder, top to bottom.
+pub const LADDER: [Rung; 4] = [Rung::Dp, Rung::Sdp, Rung::Idp, Rung::Goo];
+
+impl Rung {
+    /// Display label, matching [`Algorithm::label`] for the rung's
+    /// canonical configuration.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Rung::Dp => "DP",
+            Rung::Sdp => "SDP",
+            Rung::Idp => "IDP(4)",
+            Rung::Goo => "GOO",
+        }
+    }
+
+    /// The ladder rung a requested algorithm starts on, or `None` for
+    /// off-ladder strategies (II/SA), which run single-shot under the
+    /// governor's full budget.
+    pub fn for_algorithm(algorithm: Algorithm) -> Option<Rung> {
+        match algorithm {
+            Algorithm::Dp => Some(Rung::Dp),
+            Algorithm::Sdp(_) => Some(Rung::Sdp),
+            Algorithm::Idp { .. } | Algorithm::IdpStandard { .. } => Some(Rung::Idp),
+            Algorithm::Goo => Some(Rung::Goo),
+            Algorithm::IterativeImprovement(_) | Algorithm::SimulatedAnnealing(_) => None,
+        }
+    }
+
+    /// The canonical algorithm the governor runs when it *descends to*
+    /// this rung (descents always use the paper-default configuration;
+    /// the originally requested configuration only applies to the
+    /// first attempt).
+    pub fn algorithm(&self) -> Algorithm {
+        match self {
+            Rung::Dp => Algorithm::Dp,
+            Rung::Sdp => Algorithm::Sdp(SdpConfig::paper()),
+            Rung::Idp => Algorithm::Idp {
+                k: IdpConfig::paper(4).k,
+            },
+            Rung::Goo => Algorithm::Goo,
+        }
+    }
+
+    /// The next-cheaper rung, or `None` at the bottom.
+    pub fn next_down(&self) -> Option<Rung> {
+        match self {
+            Rung::Dp => Some(Rung::Sdp),
+            Rung::Sdp => Some(Rung::Idp),
+            Rung::Idp => Some(Rung::Goo),
+            Rung::Goo => None,
+        }
+    }
+
+    /// Fraction of the request's total deadline this rung may consume
+    /// (cumulative from the start of the run): trips leave wall-clock
+    /// headroom for every cheaper rung below.
+    pub fn deadline_fraction(&self) -> f64 {
+        match self {
+            Rung::Dp => 0.40,
+            Rung::Sdp => 0.65,
+            Rung::Idp => 0.85,
+            Rung::Goo => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why the governor abandoned a rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradeReason {
+    /// The rung's slice of the request deadline expired.
+    Deadline,
+    /// The memory-model budget tripped.
+    Memory,
+    /// The caller cancelled through its [`CancelHandle`].
+    Cancelled,
+}
+
+impl DegradeReason {
+    /// The degradation reason a recoverable optimizer error maps to;
+    /// `None` for errors the ladder cannot recover from (empty or
+    /// disconnected queries).
+    pub fn for_error(error: &OptError) -> Option<DegradeReason> {
+        match error {
+            OptError::TimedOut { .. } => Some(DegradeReason::Deadline),
+            OptError::MemoryExhausted { .. } => Some(DegradeReason::Memory),
+            OptError::Cancelled => Some(DegradeReason::Cancelled),
+            OptError::DisconnectedJoinGraph | OptError::EmptyQuery => None,
+        }
+    }
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DegradeReason::Deadline => "deadline",
+            DegradeReason::Memory => "memory",
+            DegradeReason::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// One recorded descent of the ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeEvent {
+    /// The rung that was abandoned.
+    pub from: Rung,
+    /// The rung the run descended to.
+    pub to: Rung,
+    /// Why the descent happened.
+    pub reason: DegradeReason,
+    /// Wall-clock elapsed since the start of the run when the descent
+    /// was taken.
+    pub elapsed: Duration,
+}
+
+/// A caller-held handle that cancels an in-flight governed run.
+/// Cloning shares the underlying flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelHandle {
+    /// Request cancellation. The optimizer observes the flag at its
+    /// next cooperative budget poll; the governor then produces a
+    /// best-effort GOO plan rather than failing outright.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+}
+
+/// Per-request resource policy: deadline, memory budget, cancellation
+/// and (in test builds) an injected fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct Governor {
+    deadline: Option<Duration>,
+    memory_bytes: Option<u64>,
+    cancel: CancelHandle,
+    #[cfg(feature = "testkit")]
+    faults: Option<sdp_testkit::FaultPlan>,
+}
+
+impl Governor {
+    /// A governor with no deadline and the default memory budget.
+    pub fn new() -> Self {
+        Governor::default()
+    }
+
+    /// Set the request's total deadline. Rungs receive cumulative
+    /// slices of it (see [`Rung::deadline_fraction`]).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the memory-model budget in bytes (default: the paper's
+    /// 1 GB, [`Budget::default`]).
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Install a deterministic fault schedule (test builds only); the
+    /// optimizer consults it at every level barrier.
+    #[cfg(feature = "testkit")]
+    pub fn with_fault_plan(mut self, faults: sdp_testkit::FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The injected fault schedule, when one is installed.
+    #[cfg(feature = "testkit")]
+    pub fn fault_plan(&self) -> Option<sdp_testkit::FaultPlan> {
+        self.faults.clone()
+    }
+
+    /// The request's total deadline, when one is set.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The memory budget in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        self.memory_bytes
+            .unwrap_or_else(|| Budget::default().max_model_bytes)
+    }
+
+    /// A handle the caller can keep to cancel the run mid-flight.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        self.cancel.clone()
+    }
+
+    pub(crate) fn cancel_flag(&self) -> Arc<AtomicBool> {
+        self.cancel.flag()
+    }
+
+    /// The [`Budget`] in force while the given rung runs: the full
+    /// memory budget plus the rung's cumulative slice of the deadline.
+    pub fn rung_budget(&self, rung: Rung) -> Budget {
+        Budget {
+            max_model_bytes: self.memory_bytes(),
+            max_elapsed: match self.deadline {
+                Some(d) => d.mul_f64(rung.deadline_fraction()),
+                None => Budget::unlimited().max_elapsed,
+            },
+        }
+    }
+
+    /// The [`Budget`] for a single-shot (off-ladder) run: full memory
+    /// budget, full deadline.
+    pub fn full_budget(&self) -> Budget {
+        self.rung_budget(Rung::Goo)
+    }
+}
+
+/// The result of a governed optimization: the plan, the rung that
+/// produced it, and every descent taken on the way there.
+#[derive(Debug, Clone)]
+pub struct GovernedPlan {
+    /// The chosen plan with its run statistics (cumulative across all
+    /// rungs attempted).
+    pub plan: OptimizedPlan,
+    /// The strategy originally requested.
+    pub requested: Algorithm,
+    /// The strategy that actually produced the plan (equals
+    /// `requested` when nothing degraded).
+    pub produced: Algorithm,
+    /// The ladder rung that produced the plan; `None` for off-ladder
+    /// strategies (II/SA), which never degrade.
+    pub rung: Option<Rung>,
+    /// Every descent taken, in order.
+    pub degradations: Vec<DegradeEvent>,
+}
+
+impl GovernedPlan {
+    /// Whether the plan came from a cheaper rung than requested.
+    pub fn degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
+
+    /// The reason for the final descent, when any was taken.
+    pub fn reason(&self) -> Option<DegradeReason> {
+        self.degradations.last().map(|d| d.reason)
+    }
+
+    /// Display label of the strategy that produced the plan.
+    pub fn rung_label(&self) -> String {
+        self.produced.label()
+    }
+}
+
+/// Prepare the memo for a descent: keep what the next rung can afford
+/// and drop the rest. Base-relation groups are always retained (every
+/// strategy needs them and re-deriving access paths is pure waste);
+/// larger JCRs from the abandoned rung are dropped — two-relation
+/// groups first survive, but go too when the memo still exceeds the
+/// next rung's memory budget. The retained groups are *refined*, not
+/// trusted blindly: the next rung re-offers its own plans into them,
+/// and the memo's dominance rule makes identical re-offers no-ops, so
+/// reuse never changes which plan a rung would have found from
+/// scratch.
+pub fn prepare_handoff(ctx: &mut EnumContext<'_>, next_budget: Budget) {
+    let compound: Vec<RelSet> = ctx.memo.sets().filter(|s| s.len() > 2).collect();
+    for set in compound {
+        ctx.prune_group(set);
+    }
+    if ctx.memory.used_bytes() > next_budget.max_model_bytes {
+        let pairs: Vec<RelSet> = ctx.memo.sets().filter(|s| s.len() == 2).collect();
+        for set in pairs {
+            ctx.prune_group(set);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_catalog::Catalog;
+    use sdp_cost::CostModel;
+    use sdp_query::{QueryGenerator, Topology};
+
+    #[test]
+    fn ladder_descends_dp_to_goo() {
+        assert_eq!(LADDER.to_vec(), {
+            let mut walk = vec![Rung::Dp];
+            while let Some(next) = walk.last().unwrap().next_down() {
+                walk.push(next);
+            }
+            walk
+        });
+        assert!(Rung::Dp < Rung::Sdp && Rung::Sdp < Rung::Idp && Rung::Idp < Rung::Goo);
+        assert_eq!(Rung::Goo.next_down(), None);
+    }
+
+    #[test]
+    fn rung_labels_match_their_algorithms() {
+        for rung in LADDER {
+            assert_eq!(rung.label(), rung.algorithm().label(), "{rung:?}");
+            assert_eq!(Rung::for_algorithm(rung.algorithm()), Some(rung));
+        }
+        assert_eq!(Rung::for_algorithm(Algorithm::ii()), None);
+        assert_eq!(Rung::for_algorithm(Algorithm::sa()), None);
+        assert_eq!(
+            Rung::for_algorithm(Algorithm::IdpStandard { k: 7 }),
+            Some(Rung::Idp)
+        );
+    }
+
+    #[test]
+    fn deadline_fractions_are_cumulative_and_end_at_one() {
+        let fractions: Vec<f64> = LADDER.iter().map(|r| r.deadline_fraction()).collect();
+        assert!(fractions.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(fractions.last(), Some(&1.0));
+    }
+
+    #[test]
+    fn rung_budgets_slice_the_deadline() {
+        let gov = Governor::new()
+            .with_deadline(Duration::from_secs(10))
+            .with_memory_budget(1 << 20);
+        let dp = gov.rung_budget(Rung::Dp);
+        let goo = gov.rung_budget(Rung::Goo);
+        assert_eq!(dp.max_elapsed, Duration::from_secs(4));
+        assert_eq!(goo.max_elapsed, Duration::from_secs(10));
+        assert_eq!(dp.max_model_bytes, 1 << 20);
+        assert_eq!(goo.max_model_bytes, 1 << 20, "memory is absolute");
+        assert_eq!(gov.full_budget().max_elapsed, Duration::from_secs(10));
+    }
+
+    #[test]
+    fn no_deadline_means_effectively_unlimited_time() {
+        let gov = Governor::new();
+        assert_eq!(
+            gov.rung_budget(Rung::Dp).max_elapsed,
+            Budget::unlimited().max_elapsed
+        );
+        assert_eq!(gov.memory_bytes(), Budget::default().max_model_bytes);
+    }
+
+    #[test]
+    fn cancel_handle_shares_the_flag() {
+        let gov = Governor::new();
+        let handle = gov.cancel_handle();
+        assert!(!handle.is_cancelled());
+        handle.cancel();
+        assert!(gov.cancel_handle().is_cancelled());
+        assert!(gov.cancel_flag().load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn degrade_reasons_map_from_errors() {
+        assert_eq!(
+            DegradeReason::for_error(&OptError::TimedOut {
+                elapsed: Duration::ZERO,
+                limit: Duration::ZERO,
+            }),
+            Some(DegradeReason::Deadline)
+        );
+        assert_eq!(
+            DegradeReason::for_error(&OptError::MemoryExhausted {
+                used_bytes: 1,
+                budget_bytes: 0,
+            }),
+            Some(DegradeReason::Memory)
+        );
+        assert_eq!(
+            DegradeReason::for_error(&OptError::Cancelled),
+            Some(DegradeReason::Cancelled)
+        );
+        assert_eq!(DegradeReason::for_error(&OptError::EmptyQuery), None);
+        assert_eq!(
+            DegradeReason::for_error(&OptError::DisconnectedJoinGraph),
+            None
+        );
+    }
+
+    #[test]
+    fn handoff_keeps_bases_drops_compounds() {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Chain(3), 1).instance(0);
+        let model = CostModel::with_defaults(&cat);
+        let mut ctx = EnumContext::new(&q, &model, Budget::unlimited());
+        for i in 0..3 {
+            ctx.ensure_base_group(i);
+        }
+        ctx.join_pair(RelSet::single(0), RelSet::single(1));
+        ctx.join_pair(RelSet::from_indices([0, 1]), RelSet::single(2));
+        assert_eq!(ctx.memo.len(), 5);
+
+        // A roomy next budget: pairs survive, the triple does not.
+        prepare_handoff(&mut ctx, Budget::unlimited());
+        assert_eq!(ctx.memo.len(), 4);
+        assert!(ctx.memo.get(RelSet::from_indices([0, 1])).is_some());
+        assert!(ctx.memo.get(RelSet::from_indices([0, 1, 2])).is_none());
+
+        // A zero budget: pairs go too; bases are always retained.
+        prepare_handoff(&mut ctx, Budget::with_memory(0));
+        assert_eq!(ctx.memo.len(), 3);
+        for i in 0..3 {
+            assert!(ctx.memo.get(RelSet::single(i)).is_some());
+        }
+    }
+
+    #[test]
+    fn display_labels_are_stable() {
+        assert_eq!(Rung::Idp.to_string(), "IDP(4)");
+        assert_eq!(DegradeReason::Memory.to_string(), "memory");
+        assert_eq!(DegradeReason::Deadline.to_string(), "deadline");
+        assert_eq!(DegradeReason::Cancelled.to_string(), "cancelled");
+    }
+}

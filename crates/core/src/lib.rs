@@ -31,6 +31,7 @@ pub mod dp;
 pub mod explain;
 pub mod fx;
 pub mod goo;
+pub mod governor;
 pub mod idp;
 pub mod memo;
 pub mod optimizer;
@@ -40,6 +41,9 @@ pub mod recost;
 pub mod sdp;
 
 pub use budget::{Budget, BudgetProbe, OptError};
+pub use governor::{
+    CancelHandle, DegradeEvent, DegradeReason, GovernedPlan, Governor, Rung, LADDER,
+};
 
 // Compile-time guarantee for the service layer: everything a resident
 // optimizer daemon shares across worker threads — the optimizer
@@ -59,6 +63,11 @@ fn _assert_service_types_are_send_sync() {
     check::<RunStats>();
     check::<OptError>();
     check::<Memo>();
+    check::<Governor>();
+    check::<GovernedPlan>();
+    check::<CancelHandle>();
+    check::<Rung>();
+    check::<DegradeEvent>();
     check::<sdp_catalog::Catalog>();
     check::<sdp_query::Query>();
 }

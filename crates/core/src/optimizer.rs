@@ -22,6 +22,7 @@ use crate::budget::{Budget, OptError};
 use crate::context::{default_parallelism, EnumContext, RunStats};
 use crate::dp::optimize_complete;
 use crate::goo::optimize_goo;
+use crate::governor::{prepare_handoff, DegradeEvent, DegradeReason, GovernedPlan, Governor, Rung};
 use crate::idp::{optimize_idp, IdpConfig};
 use crate::plan::PlanNode;
 use crate::random::{optimize_ii, optimize_sa, RandomConfig};
@@ -166,22 +167,11 @@ impl<'a> Optimizer<'a> {
     /// closure of shared join columns), exactly as PostgreSQL's
     /// rewriter would before planning.
     pub fn optimize(&self, query: &Query, algorithm: Algorithm) -> Result<OptimizedPlan, OptError> {
-        let mut rewritten = query.clone();
-        if self.infer_closure {
-            infer_transitive_edges(&mut rewritten.graph);
-        }
+        let rewritten = self.rewrite(query);
         let model = CostModel::new(self.catalog, self.params);
         let mut ctx = EnumContext::new(&rewritten, &model, self.budget);
         ctx.set_parallelism(self.parallelism);
-        let root = match algorithm {
-            Algorithm::Dp => optimize_complete(&mut ctx, None),
-            Algorithm::Idp { k } => optimize_idp(&mut ctx, IdpConfig::paper(k)),
-            Algorithm::IdpStandard { k } => optimize_idp(&mut ctx, IdpConfig::standard(k)),
-            Algorithm::Sdp(cfg) => optimize_sdp(&mut ctx, cfg),
-            Algorithm::Goo => optimize_goo(&mut ctx),
-            Algorithm::IterativeImprovement(cfg) => optimize_ii(&mut ctx, cfg),
-            Algorithm::SimulatedAnnealing(cfg) => optimize_sa(&mut ctx, cfg),
-        }?;
+        let root = dispatch(&mut ctx, algorithm)?;
         let stats = ctx.stats();
         Ok(OptimizedPlan {
             cost: root.cost,
@@ -189,6 +179,134 @@ impl<'a> Optimizer<'a> {
             root,
             stats,
         })
+    }
+
+    /// Optimize `query` under a [`Governor`]: on budget exhaustion
+    /// the run descends the degradation ladder **DP → SDP → IDP(4) →
+    /// GOO** instead of failing, reusing retained memo state between
+    /// rungs (see [`prepare_handoff`]). Caller cancellation jumps
+    /// straight to GOO for a best-effort plan. The returned
+    /// [`GovernedPlan`] records the producing rung and every descent
+    /// taken.
+    ///
+    /// Errors surface only when the query itself is invalid (empty or
+    /// disconnected), when the bottom rung still cannot fit the
+    /// budget, or when cancellation arrives at the bottom rung.
+    pub fn optimize_governed(
+        &self,
+        query: &Query,
+        algorithm: Algorithm,
+        governor: &Governor,
+    ) -> Result<GovernedPlan, OptError> {
+        let rewritten = self.rewrite(query);
+        let model = CostModel::new(self.catalog, self.params);
+
+        let Some(mut rung) = Rung::for_algorithm(algorithm) else {
+            // Off-ladder strategies (II/SA) run single-shot under the
+            // governor's full budget: their anytime nature makes a
+            // ladder descent meaningless.
+            let mut ctx = EnumContext::new(&rewritten, &model, governor.full_budget());
+            ctx.set_parallelism(self.parallelism);
+            ctx.memory.set_cancel_flag(governor.cancel_flag());
+            let root = dispatch(&mut ctx, algorithm)?;
+            let stats = ctx.stats();
+            return Ok(GovernedPlan {
+                plan: OptimizedPlan {
+                    cost: root.cost,
+                    rows: root.rows,
+                    root,
+                    stats,
+                },
+                requested: algorithm,
+                produced: algorithm,
+                rung: None,
+                degradations: Vec::new(),
+            });
+        };
+
+        let mut ctx = EnumContext::new(&rewritten, &model, governor.rung_budget(rung));
+        ctx.set_parallelism(self.parallelism);
+        ctx.memory.set_cancel_flag(governor.cancel_flag());
+        #[cfg(feature = "testkit")]
+        if let Some(faults) = governor.fault_plan() {
+            ctx.memory.set_fault_plan(faults);
+        }
+
+        // The first attempt honours the requested configuration
+        // verbatim (e.g. a pinned IDP(7)); descents use each rung's
+        // canonical paper configuration.
+        let mut attempt = algorithm;
+        let mut degradations: Vec<DegradeEvent> = Vec::new();
+        loop {
+            let error = match dispatch(&mut ctx, attempt) {
+                Ok(root) => {
+                    let stats = ctx.stats();
+                    return Ok(GovernedPlan {
+                        plan: OptimizedPlan {
+                            cost: root.cost,
+                            rows: root.rows,
+                            root,
+                            stats,
+                        },
+                        requested: algorithm,
+                        produced: attempt,
+                        rung: Some(rung),
+                        degradations,
+                    });
+                }
+                Err(e) => e,
+            };
+            let Some(reason) = DegradeReason::for_error(&error) else {
+                return Err(error); // empty/disconnected: no rung helps
+            };
+            let next = match reason {
+                // The caller wants out *now*: jump straight to the
+                // cheapest rung and silence further Cancelled reports
+                // so it can actually run.
+                DegradeReason::Cancelled if rung != Rung::Goo => {
+                    ctx.memory.acknowledge_cancel();
+                    Rung::Goo
+                }
+                _ => match rung.next_down() {
+                    Some(next) => next,
+                    None => return Err(error), // bottom rung failed
+                },
+            };
+            degradations.push(DegradeEvent {
+                from: rung,
+                to: next,
+                reason,
+                elapsed: ctx.memory.elapsed(),
+            });
+            let next_budget = governor.rung_budget(next);
+            prepare_handoff(&mut ctx, next_budget);
+            ctx.memory.set_budget(next_budget);
+            rung = next;
+            attempt = next.algorithm();
+        }
+    }
+
+    fn rewrite(&self, query: &Query) -> Query {
+        let mut rewritten = query.clone();
+        if self.infer_closure {
+            infer_transitive_edges(&mut rewritten.graph);
+        }
+        rewritten
+    }
+}
+
+/// Run one enumeration strategy over an existing context. Shared by
+/// the plain and governed entry points; the governed ladder re-invokes
+/// it on the same context so retained memo state carries across rungs.
+fn dispatch(ctx: &mut EnumContext<'_>, algorithm: Algorithm) -> Result<Arc<PlanNode>, OptError> {
+    match algorithm {
+        Algorithm::Dp => optimize_complete(ctx, None),
+        Algorithm::Idp { k } => optimize_idp(ctx, IdpConfig::paper(k)),
+        Algorithm::IdpStandard { k } => optimize_idp(ctx, IdpConfig::standard(k)),
+        Algorithm::Sdp(cfg) => optimize_sdp(ctx, cfg),
+        Algorithm::Goo => optimize_goo(ctx),
+        Algorithm::IterativeImprovement(cfg) => optimize_ii(ctx, cfg),
+        Algorithm::SimulatedAnnealing(cfg) => optimize_sa(ctx, cfg),
     }
 }
 
@@ -291,6 +409,117 @@ mod tests {
         assert_eq!(base.cost.to_bits(), par.cost.to_bits());
         assert_eq!(base.stats.plans_costed, par.stats.plans_costed);
         assert_eq!(base.stats.jcrs_processed, par.stats.jcrs_processed);
+    }
+
+    #[test]
+    fn governed_run_without_pressure_matches_plain() {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Star(9), 11).instance(0);
+        let opt = Optimizer::new(&cat);
+        let plain = opt.optimize(&q, Algorithm::Dp).unwrap();
+        let governed = opt
+            .optimize_governed(&q, Algorithm::Dp, &Governor::new())
+            .unwrap();
+        assert_eq!(governed.rung, Some(Rung::Dp));
+        assert!(!governed.degraded());
+        assert_eq!(governed.reason(), None);
+        assert_eq!(governed.rung_label(), "DP");
+        assert_eq!(plain.cost.to_bits(), governed.plan.cost.to_bits());
+    }
+
+    #[test]
+    fn governed_memory_exhaustion_descends_to_a_feasible_rung() {
+        // Star-13 under a 1 MB model budget: DP blows it, SDP fits
+        // (the same frontier `budget_propagates_to_runs` pins down).
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Star(13), 5).instance(0);
+        let governor = Governor::new().with_memory_budget(1 << 20);
+        let governed = Optimizer::new(&cat)
+            .optimize_governed(&q, Algorithm::Dp, &governor)
+            .unwrap();
+        assert_eq!(governed.rung, Some(Rung::Sdp));
+        assert_eq!(governed.rung_label(), "SDP");
+        assert!(governed.degraded());
+        assert_eq!(governed.reason(), Some(DegradeReason::Memory));
+        assert_eq!(governed.degradations.len(), 1);
+        assert_eq!(governed.degradations[0].from, Rung::Dp);
+        assert_eq!(governed.degradations[0].to, Rung::Sdp);
+        assert_eq!(governed.plan.root.set, q.graph.all_nodes());
+    }
+
+    #[test]
+    fn cancellation_jumps_straight_to_goo() {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Star(9), 3).instance(0);
+        let governor = Governor::new();
+        governor.cancel_handle().cancel();
+        let governed = Optimizer::new(&cat)
+            .optimize_governed(&q, Algorithm::Dp, &governor)
+            .unwrap();
+        assert_eq!(governed.rung, Some(Rung::Goo));
+        assert_eq!(governed.reason(), Some(DegradeReason::Cancelled));
+        assert_eq!(governed.degradations.len(), 1, "no intermediate rungs");
+        assert_eq!(governed.plan.root.set, q.graph.all_nodes());
+    }
+
+    #[test]
+    fn cancellation_at_the_bottom_rung_surfaces() {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Star(5), 3).instance(0);
+        let governor = Governor::new();
+        governor.cancel_handle().cancel();
+        assert_eq!(
+            Optimizer::new(&cat)
+                .optimize_governed(&q, Algorithm::Goo, &governor)
+                .err(),
+            Some(OptError::Cancelled)
+        );
+    }
+
+    #[test]
+    fn infeasible_bottom_rung_surfaces_the_error() {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Star(9), 3).instance(0);
+        let governor = Governor::new().with_memory_budget(0);
+        let result = Optimizer::new(&cat).optimize_governed(&q, Algorithm::Dp, &governor);
+        assert!(matches!(result, Err(OptError::MemoryExhausted { .. })));
+    }
+
+    #[test]
+    fn unrecoverable_errors_skip_the_ladder() {
+        use sdp_catalog::RelId;
+        let cat = Catalog::paper();
+        let g = sdp_query::JoinGraph::new(vec![RelId(0), RelId(1)], vec![]);
+        let q = Query::new(g);
+        assert_eq!(
+            Optimizer::new(&cat)
+                .optimize_governed(&q, Algorithm::Dp, &Governor::new())
+                .err(),
+            Some(OptError::DisconnectedJoinGraph)
+        );
+    }
+
+    #[test]
+    fn off_ladder_strategies_run_single_shot() {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Chain(5), 2).instance(0);
+        let governed = Optimizer::new(&cat)
+            .optimize_governed(&q, Algorithm::ii(), &Governor::new())
+            .unwrap();
+        assert_eq!(governed.rung, None);
+        assert!(!governed.degraded());
+        assert_eq!(governed.rung_label(), "II");
+    }
+
+    #[test]
+    fn pinned_configuration_labels_survive_success() {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Chain(6), 2).instance(0);
+        let governed = Optimizer::new(&cat)
+            .optimize_governed(&q, Algorithm::Idp { k: 7 }, &Governor::new())
+            .unwrap();
+        assert_eq!(governed.rung, Some(Rung::Idp));
+        assert_eq!(governed.rung_label(), "IDP(7)", "requested config ran");
     }
 
     #[test]

@@ -26,4 +26,7 @@ pub mod service;
 
 pub use overhead::{OverheadSample, OverheadSummary};
 pub use quality::{geometric_mean_ratio, QualityClass, QualitySummary};
-pub use service::{CountersSnapshot, LatencyStats, ServiceCounters, StrategyLatencies};
+pub use service::{
+    CountersSnapshot, GovernorCounters, GovernorSnapshot, LatencyHistogram, LatencyStats,
+    RungLatencies, ServiceCounters, StrategyLatencies, HISTOGRAM_BUCKETS,
+};

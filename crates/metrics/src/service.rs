@@ -172,6 +172,190 @@ impl StrategyLatencies {
     }
 }
 
+/// Monotonic counters for the resource governor's degradation ladder:
+/// how often requests descended, why, and how the daemon's leader
+/// retry policy behaved.
+#[derive(Debug, Default)]
+pub struct GovernorCounters {
+    degradations: AtomicU64,
+    deadline_degradations: AtomicU64,
+    memory_degradations: AtomicU64,
+    cancel_degradations: AtomicU64,
+    timeouts: AtomicU64,
+    leader_retries: AtomicU64,
+}
+
+impl GovernorCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        GovernorCounters::default()
+    }
+
+    /// A request descended one rung because its deadline slice
+    /// expired.
+    pub fn record_deadline_degradation(&self) {
+        self.degradations.fetch_add(1, Ordering::Relaxed);
+        self.deadline_degradations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request descended one rung because the memory budget tripped.
+    pub fn record_memory_degradation(&self) {
+        self.degradations.fetch_add(1, Ordering::Relaxed);
+        self.memory_degradations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request jumped to the cheapest rung on caller cancellation.
+    pub fn record_cancel_degradation(&self) {
+        self.degradations.fetch_add(1, Ordering::Relaxed);
+        self.cancel_degradations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request failed outright with a deadline error (even the
+    /// bottom rung could not finish in time).
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A panicking single-flight leader was retried on the next-
+    /// cheaper rung.
+    pub fn record_leader_retry(&self) {
+        self.leader_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> GovernorSnapshot {
+        GovernorSnapshot {
+            degradations: self.degradations.load(Ordering::Relaxed),
+            deadline_degradations: self.deadline_degradations.load(Ordering::Relaxed),
+            memory_degradations: self.memory_degradations.load(Ordering::Relaxed),
+            cancel_degradations: self.cancel_degradations.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            leader_retries: self.leader_retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`GovernorCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernorSnapshot {
+    /// Total ladder descents taken.
+    pub degradations: u64,
+    /// Descents caused by an expired deadline slice.
+    pub deadline_degradations: u64,
+    /// Descents caused by the memory budget.
+    pub memory_degradations: u64,
+    /// Jumps to the bottom rung caused by caller cancellation.
+    pub cancel_degradations: u64,
+    /// Requests that failed outright on a deadline error.
+    pub timeouts: u64,
+    /// Panicking leaders retried on a cheaper rung.
+    pub leader_retries: u64,
+}
+
+/// Number of log2 buckets in a [`LatencyHistogram`] — bucket 31 tops
+/// out above half an hour, far past any optimization deadline.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A log2 latency histogram: bucket `i` counts samples whose
+/// microsecond value has `floor(log2(µs)) == i` (sub-microsecond
+/// samples land in bucket 0; everything past the last bucket clamps
+/// into it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub total: Duration,
+    /// Largest sample.
+    pub max: Duration,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            total: Duration::ZERO,
+            max: Duration::ZERO,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// The bucket index a sample falls into.
+    pub fn bucket_for(sample: Duration) -> usize {
+        let micros = sample.as_micros().max(1) as u64;
+        ((63 - micros.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i` (`2^(i+1) − 1` µs).
+    pub fn bucket_upper_bound(i: usize) -> Duration {
+        Duration::from_micros((1u64 << (i + 1)) - 1)
+    }
+
+    /// Fold in one sample.
+    pub fn record(&mut self, sample: Duration) {
+        self.buckets[Self::bucket_for(sample)] += 1;
+        self.count += 1;
+        self.total += sample;
+        self.max = self.max.max(sample);
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+
+    /// The populated buckets, as `(upper_bound, count)` pairs in
+    /// ascending latency order — what `sdp-service replay` prints.
+    pub fn nonzero_buckets(&self) -> Vec<(Duration, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_upper_bound(i), n))
+            .collect()
+    }
+}
+
+/// Per-rung latency histograms, keyed by the producing strategy's
+/// display label (e.g. `"SDP"`, `"GOO"`) — unlike
+/// [`StrategyLatencies`] this tracks the rung that actually *produced*
+/// the plan after any governed degradation, with full distributions
+/// instead of mean/max only.
+#[derive(Debug, Default)]
+pub struct RungLatencies {
+    inner: Mutex<BTreeMap<String, LatencyHistogram>>,
+}
+
+impl RungLatencies {
+    /// Fresh empty table.
+    pub fn new() -> Self {
+        RungLatencies::default()
+    }
+
+    /// Record one governed enumeration's wall-clock time under the
+    /// label of the rung that produced its plan.
+    pub fn record(&self, rung: &str, sample: Duration) {
+        let mut inner = self.inner.lock().expect("rung latency table poisoned");
+        inner.entry(rung.to_string()).or_default().record(sample);
+    }
+
+    /// Copy of the table, ordered by rung label.
+    pub fn snapshot(&self) -> BTreeMap<String, LatencyHistogram> {
+        self.inner
+            .lock()
+            .expect("rung latency table poisoned")
+            .clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +410,70 @@ mod tests {
         assert_eq!(snap.len(), 2);
         assert_eq!(snap["SDP"].count, 2);
         assert_eq!(snap["DP"].count, 1);
+    }
+
+    #[test]
+    fn governor_counters_break_down_by_reason() {
+        let g = GovernorCounters::new();
+        g.record_deadline_degradation();
+        g.record_deadline_degradation();
+        g.record_memory_degradation();
+        g.record_cancel_degradation();
+        g.record_timeout();
+        g.record_leader_retry();
+        let s = g.snapshot();
+        assert_eq!(s.degradations, 4);
+        assert_eq!(s.deadline_degradations, 2);
+        assert_eq!(s.memory_degradations, 1);
+        assert_eq!(s.cancel_degradations, 1);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.leader_retries, 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_microseconds() {
+        assert_eq!(LatencyHistogram::bucket_for(Duration::ZERO), 0);
+        assert_eq!(LatencyHistogram::bucket_for(Duration::from_micros(1)), 0);
+        assert_eq!(LatencyHistogram::bucket_for(Duration::from_micros(2)), 1);
+        assert_eq!(LatencyHistogram::bucket_for(Duration::from_micros(3)), 1);
+        assert_eq!(LatencyHistogram::bucket_for(Duration::from_micros(4)), 2);
+        assert_eq!(LatencyHistogram::bucket_for(Duration::from_millis(1)), 9);
+        assert_eq!(
+            LatencyHistogram::bucket_for(Duration::from_secs(1 << 40)),
+            HISTOGRAM_BUCKETS - 1,
+            "outliers clamp into the last bucket"
+        );
+        assert_eq!(
+            LatencyHistogram::bucket_upper_bound(9),
+            Duration::from_micros(1023)
+        );
+    }
+
+    #[test]
+    fn histogram_records_and_reports_nonzero_buckets() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_millis(1));
+        assert_eq!(h.count, 3);
+        assert_eq!(h.max, Duration::from_millis(1));
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz.len(), 2);
+        assert_eq!(nz[0], (Duration::from_micros(3), 2));
+        assert_eq!(nz[1].1, 1);
+        assert!(h.mean() > Duration::from_micros(300));
+    }
+
+    #[test]
+    fn rung_table_is_keyed_by_label() {
+        let t = RungLatencies::new();
+        t.record("GOO", Duration::from_micros(80));
+        t.record("GOO", Duration::from_micros(90));
+        t.record("SDP", Duration::from_millis(4));
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap["GOO"].count, 2);
+        assert_eq!(snap["SDP"].count, 1);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!                    [--relations N] [--distinct N] [--requests N]
 //!                    [--clients N] [--workers N] [--capacity N]
 //!                    [--shards N] [--threads N] [--seed N]
+//!                    [--deadline-ms N] [--memory-mb N]
 //! ```
 //!
 //! `replay` generates a seeded workload of `--distinct` structurally
@@ -13,10 +14,16 @@
 //! submissions) from `--clients` client threads through a
 //! `--workers`-thread daemon, and reports throughput, cache counters
 //! and per-strategy enumeration latencies.
+//!
+//! `--deadline-ms` and `--memory-mb` attach a per-request deadline and
+//! memory budget: requests that exhaust a strategy's slice degrade
+//! down the ladder (DP → SDP → IDP(4) → GOO) instead of failing, and
+//! the report gains governor counters (degradations by reason,
+//! timeouts, leader retries) plus per-rung latency histograms.
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sdp_catalog::Catalog;
 use sdp_query::canon::stable_hash;
@@ -34,6 +41,8 @@ struct ReplayArgs {
     shards: usize,
     threads: Option<usize>,
     seed: u64,
+    deadline_ms: Option<u64>,
+    memory_mb: Option<u64>,
 }
 
 impl Default for ReplayArgs {
@@ -49,6 +58,8 @@ impl Default for ReplayArgs {
             shards: 8,
             threads: None,
             seed: 42,
+            deadline_ms: None,
+            memory_mb: None,
         }
     }
 }
@@ -56,7 +67,8 @@ impl Default for ReplayArgs {
 fn usage() -> &'static str {
     "usage: sdp-service replay [--shape star|chain|cycle|star-chain] \
      [--relations N] [--distinct N] [--requests N] [--clients N] \
-     [--workers N] [--capacity N] [--shards N] [--threads N] [--seed N]"
+     [--workers N] [--capacity N] [--shards N] [--threads N] [--seed N] \
+     [--deadline-ms N] [--memory-mb N]"
 }
 
 fn parse_replay(args: &[String]) -> Result<ReplayArgs, String> {
@@ -114,6 +126,20 @@ fn parse_replay(args: &[String]) -> Result<ReplayArgs, String> {
                 out.seed = value("--seed")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--deadline-ms" => {
+                out.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
+            "--memory-mb" => {
+                out.memory_mb = Some(
+                    value("--memory-mb")?
+                        .parse()
+                        .map_err(|e| format!("--memory-mb: {e}"))?,
+                )
             }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -187,6 +213,7 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
             .map(|c| {
                 let (daemon, queries, sql) = (&daemon, &queries, &sql);
                 let (seed, requests, clients) = (args.seed, args.requests, args.clients);
+                let (deadline_ms, memory_mb) = (args.deadline_ms, args.memory_mb);
                 scope.spawn(move || {
                     let mut failures = 0u64;
                     // Client c issues every request with index ≡ c
@@ -196,11 +223,17 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
                     for i in (c..requests).step_by(clients) {
                         let pick =
                             stable_hash(seed ^ 0x72_65_70, &[i as u64]) as usize % queries.len();
-                        let request = if i % 2 == 0 {
+                        let mut request = if i % 2 == 0 {
                             ServiceRequest::sql(sql[pick].clone())
                         } else {
                             ServiceRequest::query(queries[pick].clone())
                         };
+                        if let Some(ms) = deadline_ms {
+                            request = request.with_deadline(Duration::from_millis(ms));
+                        }
+                        if let Some(mb) = memory_mb {
+                            request = request.with_memory_budget(mb << 20);
+                        }
                         if let Err(e) = daemon.execute(request) {
                             eprintln!("request {i}: {e}");
                             failures += 1;
@@ -246,6 +279,29 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
             lat.mean(),
             lat.max
         );
+    }
+
+    let gov = service.governor_snapshot();
+    println!(
+        "governor: {} degradations ({} deadline, {} memory, {} cancelled), \
+         {} timeouts, {} leader retries",
+        gov.degradations,
+        gov.deadline_degradations,
+        gov.memory_degradations,
+        gov.cancel_degradations,
+        gov.timeouts,
+        gov.leader_retries,
+    );
+    for (rung, hist) in service.rung_latencies().snapshot() {
+        println!(
+            "  {rung:<10} {:>4} runs  mean {:>9.3?}  max {:>9.3?}",
+            hist.count,
+            hist.mean(),
+            hist.max
+        );
+        for (upper, count) in hist.nonzero_buckets() {
+            println!("    ≤ {upper:>9.3?}  {count:>4}");
+        }
     }
 
     daemon.shutdown();

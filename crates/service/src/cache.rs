@@ -21,8 +21,11 @@ pub enum Lookup<V> {
     /// Present and optimized under the current statistics epoch.
     Hit(V),
     /// Present but optimized under an older epoch; the entry has been
-    /// evicted.
-    Stale,
+    /// evicted. Carries the evicted value so callers can inspect its
+    /// provenance — the service uses this to see which degradation
+    /// rung produced the outgoing plan (a stale GOO entry is a
+    /// candidate for idle-time re-optimization at a higher rung).
+    Stale(V),
     /// Absent.
     Miss,
 }
@@ -135,8 +138,9 @@ impl<V: Clone> ShardedLru<V> {
             return Lookup::Miss;
         };
         if shard.slab[i].epoch != epoch {
+            let stale = shard.slab[i].value.clone();
             shard.remove_slot(i);
-            return Lookup::Stale;
+            return Lookup::Stale(stale);
         }
         shard.unlink(i);
         shard.push_front(i);
@@ -252,7 +256,11 @@ mod tests {
         let cache: ShardedLru<u32> = ShardedLru::new(8, 2);
         cache.insert(7, 70, 0);
         assert_eq!(cache.get(7, 0), Lookup::Hit(70));
-        assert_eq!(cache.get(7, 1), Lookup::Stale);
+        assert_eq!(
+            cache.get(7, 1),
+            Lookup::Stale(70),
+            "stale probe surfaces the outgoing value"
+        );
         assert_eq!(cache.get(7, 1), Lookup::Miss, "stale entry removed");
         cache.insert(7, 71, 1);
         assert_eq!(cache.get(7, 1), Lookup::Hit(71));

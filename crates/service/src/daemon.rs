@@ -12,6 +12,7 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::service::{OptimizerService, ServiceError, ServiceRequest, ServiceResponse};
 
@@ -19,6 +20,9 @@ type Reply = Result<ServiceResponse, ServiceError>;
 struct Job {
     request: ServiceRequest,
     reply: Sender<Reply>,
+    /// When the request entered the queue; queue-wait is charged
+    /// against the request's deadline before the worker optimizes.
+    submitted: Instant,
 }
 
 /// A running optimizer daemon: worker threads over a shared service.
@@ -57,9 +61,12 @@ impl Daemon {
                             let rx = rx.lock().expect("daemon queue poisoned");
                             rx.recv()
                         };
-                        let Ok(job) = job else {
+                        let Ok(mut job) = job else {
                             return; // queue closed: daemon shut down
                         };
+                        // The deadline is end-to-end: time spent
+                        // queued is time the optimizer doesn't get.
+                        job.request.shrink_deadline(job.submitted.elapsed());
                         // A client that dropped its ticket just
                         // doesn't hear the answer.
                         let _ = job.reply.send(service.get_plan(&job.request));
@@ -88,7 +95,11 @@ impl Daemon {
     /// response.
     pub fn submit(&self, request: ServiceRequest) -> Ticket {
         let (reply, rx) = channel();
-        let job = Job { request, reply };
+        let job = Job {
+            request,
+            reply,
+            submitted: Instant::now(),
+        };
         self.queue
             .as_ref()
             .expect("daemon already shut down")

@@ -19,9 +19,14 @@
 //!   ones, GOO beyond that) driven by `sdp-query` hub detection;
 //! * [`service`] — [`OptimizerService`], the `Send + Sync` request
 //!   path tying the above together over a swappable catalog snapshot,
-//!   with counters and per-strategy latencies in `sdp-metrics`;
+//!   with counters and per-strategy latencies in `sdp-metrics`.
+//!   Requests may carry a deadline and memory budget; the leader runs
+//!   under `sdp-core`'s resource governor, degrading down the
+//!   DP → SDP → IDP(4) → GOO ladder instead of failing, and a leader
+//!   that *panics* is retried exactly once, one rung cheaper;
 //! * [`daemon`] — a worker-pool front ([`Daemon`]) that serves
-//!   requests from plain threads.
+//!   requests from plain threads, charging queue-wait time against
+//!   each request's deadline.
 //!
 //! The `sdp-service` binary's `replay` subcommand generates a
 //! workload, replays it through a daemon, and reports throughput plus

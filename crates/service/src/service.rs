@@ -18,11 +18,16 @@
 //!    latency into `sdp-metrics`.
 
 use std::sync::{Arc, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sdp_catalog::{AnalyzedRelation, Catalog};
-use sdp_core::{Algorithm, OptError, Optimizer, PlanNode};
-use sdp_metrics::{CountersSnapshot, ServiceCounters, StrategyLatencies};
+use sdp_core::{
+    Algorithm, DegradeReason, GovernedPlan, Governor, OptError, Optimizer, PlanNode, Rung,
+};
+use sdp_metrics::{
+    CountersSnapshot, GovernorCounters, GovernorSnapshot, RungLatencies, ServiceCounters,
+    StrategyLatencies,
+};
 use sdp_query::canon::stable_hash;
 use sdp_query::Query;
 use sdp_sql::SqlError;
@@ -76,6 +81,14 @@ pub struct CachedPlan {
     pub rows: f64,
     /// Strategy that produced the plan (display label).
     pub strategy: String,
+    /// The degradation-ladder rung that produced the plan; `None` for
+    /// off-ladder strategies (II/SA). A cached `Some(Rung::Goo)` entry
+    /// marks a degraded plan the daemon could re-optimize at a higher
+    /// rung when idle.
+    pub rung: Option<Rung>,
+    /// Ladder descents taken while producing the plan (0 = the
+    /// requested strategy finished within its budget).
+    pub degradations: u64,
     /// The query's structural fingerprint.
     pub fingerprint: Fingerprint,
     /// Statistics epoch the plan was optimized under.
@@ -83,11 +96,15 @@ pub struct CachedPlan {
 }
 
 /// One optimization request: a query (by text or by value) plus an
-/// optional pinned strategy.
+/// optional pinned strategy and per-request resource limits.
 #[derive(Debug, Clone)]
 pub struct ServiceRequest {
     spec: QuerySpec,
     algorithm: Option<Algorithm>,
+    deadline: Option<Duration>,
+    memory_budget: Option<u64>,
+    #[cfg(feature = "testkit")]
+    faults: Option<sdp_testkit::FaultPlan>,
 }
 
 #[derive(Debug, Clone)]
@@ -102,6 +119,10 @@ impl ServiceRequest {
         ServiceRequest {
             spec: QuerySpec::Sql(text.into()),
             algorithm: None,
+            deadline: None,
+            memory_budget: None,
+            #[cfg(feature = "testkit")]
+            faults: None,
         }
     }
 
@@ -110,6 +131,10 @@ impl ServiceRequest {
         ServiceRequest {
             spec: QuerySpec::Query(query),
             algorithm: None,
+            deadline: None,
+            memory_budget: None,
+            #[cfg(feature = "testkit")]
+            faults: None,
         }
     }
 
@@ -118,6 +143,42 @@ impl ServiceRequest {
     pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = Some(algorithm);
         self
+    }
+
+    /// Set a total optimization deadline for this request; the
+    /// governor slices it across the degradation ladder. Time spent
+    /// queued in the daemon counts against it.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the memory-model budget for this request, in bytes.
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// The request's deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Install a deterministic fault schedule for this request's
+    /// enumeration (test builds only).
+    #[cfg(feature = "testkit")]
+    pub fn with_fault_plan(mut self, faults: sdp_testkit::FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Charge queue-wait time against the deadline: a request that
+    /// waited in the daemon's queue has that much less time left to
+    /// optimize. No-op when no deadline is set.
+    pub(crate) fn shrink_deadline(&mut self, elapsed: Duration) {
+        if let Some(d) = self.deadline.as_mut() {
+            *d = d.saturating_sub(elapsed);
+        }
     }
 }
 
@@ -140,6 +201,11 @@ pub enum ServiceError {
     Sql(SqlError),
     /// The enumeration failed (budget, disconnected graph, …).
     Opt(OptError),
+    /// The single-flight leader panicked and the bounded
+    /// retry-with-degradation policy was exhausted (the panic payload
+    /// message is preserved). The flight is abandoned, so waiters
+    /// retry rather than hang.
+    LeaderPanicked(String),
     /// The daemon shut down before answering.
     Shutdown,
 }
@@ -149,6 +215,7 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Sql(e) => write!(f, "sql: {e}"),
             ServiceError::Opt(e) => write!(f, "optimizer: {e}"),
+            ServiceError::LeaderPanicked(msg) => write!(f, "leader panicked: {msg}"),
             ServiceError::Shutdown => write!(f, "service shut down"),
         }
     }
@@ -177,7 +244,21 @@ pub struct OptimizerService {
     flights: SingleFlight<u128, CachedPlan>,
     counters: ServiceCounters,
     latencies: StrategyLatencies,
+    governor_counters: GovernorCounters,
+    rung_latencies: RungLatencies,
     config: ServiceConfig,
+}
+
+/// Render a panic payload as a message, as `std::panic::catch_unwind`
+/// hands it back.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 /// Cache/flight key: the fingerprint folded with the strategy, so a
@@ -206,6 +287,8 @@ impl OptimizerService {
             flights: SingleFlight::new(),
             counters: ServiceCounters::new(),
             latencies: StrategyLatencies::new(),
+            governor_counters: GovernorCounters::new(),
+            rung_latencies: RungLatencies::new(),
             config,
         }
     }
@@ -233,6 +316,22 @@ impl OptimizerService {
     /// Per-strategy enumeration latencies.
     pub fn latencies(&self) -> &StrategyLatencies {
         &self.latencies
+    }
+
+    /// Governor counters (degradations by reason, timeouts, leader
+    /// retries) — live handle.
+    pub fn governor_counters(&self) -> &GovernorCounters {
+        &self.governor_counters
+    }
+
+    /// Snapshot of the governor counters.
+    pub fn governor_snapshot(&self) -> GovernorSnapshot {
+        self.governor_counters.snapshot()
+    }
+
+    /// Per-rung enumeration latency histograms.
+    pub fn rung_latencies(&self) -> &RungLatencies {
+        &self.rung_latencies
     }
 
     /// Number of plans currently cached.
@@ -263,7 +362,11 @@ impl OptimizerService {
                         plans_costed: 0,
                     });
                 }
-                Lookup::Stale => {
+                // The evicted value is dropped here; `CachedPlan::rung`
+                // records which ladder rung produced it, so smarter
+                // policies (e.g. re-optimizing stale GOO plans first)
+                // can inspect it before letting go.
+                Lookup::Stale(_stale) => {
                     self.counters.add_stale_evicted(1);
                 }
                 Lookup::Miss => {}
@@ -276,28 +379,105 @@ impl OptimizerService {
                     if let Some(threads) = self.config.parallelism {
                         optimizer = optimizer.with_parallelism(threads);
                     }
-                    // An error drops the token, abandoning the flight
-                    // so waiters retry and surface it themselves.
-                    let optimized = optimizer.optimize(&query, algorithm)?;
+                    let mut governor = Governor::new();
+                    if let Some(deadline) = request.deadline {
+                        governor = governor.with_deadline(deadline);
+                    }
+                    if let Some(bytes) = request.memory_budget {
+                        governor = governor.with_memory_budget(bytes);
+                    }
+                    #[cfg(feature = "testkit")]
+                    let faults = request.faults.clone();
+                    #[cfg(feature = "testkit")]
+                    if let Some(plan) = faults.clone() {
+                        governor = governor.with_fault_plan(plan);
+                    }
+
+                    // Bounded retry-with-degradation: a panicking
+                    // leader gets exactly one retry, one rung cheaper.
+                    // Optimizer errors are NOT retried here — the
+                    // governor already walked the ladder for those —
+                    // and they drop the token, abandoning the flight
+                    // so waiters retry and surface them themselves.
+                    let mut attempt = algorithm;
+                    let mut retried = false;
+                    let governed: GovernedPlan = loop {
+                        let attempt_now = attempt;
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            #[cfg(feature = "testkit")]
+                            if let Some(faults) = &faults {
+                                if faults.take_leader_panic(&attempt_now.label()) {
+                                    panic!("injected leader panic ({})", attempt_now.label());
+                                }
+                            }
+                            optimizer.optimize_governed(&query, attempt_now, &governor)
+                        }));
+                        match run {
+                            Ok(Ok(governed)) => break governed,
+                            Ok(Err(e)) => {
+                                if matches!(e, OptError::TimedOut { .. }) {
+                                    self.governor_counters.record_timeout();
+                                }
+                                return Err(e.into());
+                            }
+                            Err(payload) => {
+                                let next =
+                                    Rung::for_algorithm(attempt_now).and_then(|r| r.next_down());
+                                match next {
+                                    Some(rung) if !retried => {
+                                        retried = true;
+                                        self.governor_counters.record_leader_retry();
+                                        attempt = rung.algorithm();
+                                    }
+                                    _ => {
+                                        return Err(ServiceError::LeaderPanicked(panic_message(
+                                            payload.as_ref(),
+                                        )));
+                                    }
+                                }
+                            }
+                        }
+                    };
+
+                    for event in &governed.degradations {
+                        match event.reason {
+                            DegradeReason::Deadline => {
+                                self.governor_counters.record_deadline_degradation()
+                            }
+                            DegradeReason::Memory => {
+                                self.governor_counters.record_memory_degradation()
+                            }
+                            DegradeReason::Cancelled => {
+                                self.governor_counters.record_cancel_degradation()
+                            }
+                        }
+                    }
                     let plan = CachedPlan {
-                        cost: optimized.cost,
-                        rows: optimized.rows,
-                        root: optimized.root,
-                        strategy: algorithm.label(),
+                        cost: governed.plan.cost,
+                        rows: governed.plan.rows,
+                        root: Arc::clone(&governed.plan.root),
+                        strategy: governed.rung_label(),
+                        rung: governed.rung,
+                        degradations: governed.degradations.len() as u64,
                         fingerprint,
                         stats_epoch: epoch,
                     };
+                    let plans_costed = governed.plan.stats.plans_costed;
                     self.counters.record_miss();
-                    self.counters
-                        .record_enumeration(optimized.stats.plans_costed);
-                    self.latencies.record(&plan.strategy, started.elapsed());
+                    self.counters.record_enumeration(plans_costed);
+                    let elapsed = started.elapsed();
+                    self.latencies.record(&plan.strategy, elapsed);
+                    self.rung_latencies.record(
+                        governed.rung.map(|r| r.label()).unwrap_or(&plan.strategy),
+                        elapsed,
+                    );
                     let evicted = self.cache.insert(key, plan.clone(), epoch);
                     self.counters.add_evicted(evicted);
                     token.publish(plan.clone());
                     return Ok(ServiceResponse {
                         plan,
                         source: PlanSource::Fresh,
-                        plans_costed: optimized.stats.plans_costed,
+                        plans_costed,
                     });
                 }
                 Flight::Coalesced(Some(plan)) => {
@@ -439,5 +619,102 @@ mod tests {
         assert_eq!(auto.plan.strategy, "DP");
         assert_eq!(auto.source, PlanSource::Fresh);
         assert_eq!(service.cached_plans(), 2);
+    }
+
+    #[test]
+    fn ungoverned_requests_record_their_rung() {
+        let catalog = Catalog::paper();
+        let service = OptimizerService::with_defaults(catalog.clone());
+        let q = QueryGenerator::new(&catalog, Topology::Chain(5), 3).instance(0);
+        let resp = service.get_plan(&ServiceRequest::query(q)).unwrap();
+        assert_eq!(resp.plan.rung, Some(Rung::Dp));
+        assert_eq!(resp.plan.degradations, 0);
+        let snap = service.governor_snapshot();
+        assert_eq!(snap.degradations, 0);
+        assert_eq!(snap.timeouts, 0);
+        // The rung latency table mirrors the strategy table.
+        assert!(service.rung_latencies().snapshot().contains_key("DP"));
+    }
+
+    #[test]
+    fn memory_pressure_degrades_and_is_visible_in_metrics() {
+        // Star-13 under a 1 MB model budget: DP blows it, SDP fits
+        // (same frontier the core governor test pins down).
+        let catalog = Catalog::paper();
+        let service = OptimizerService::with_defaults(catalog.clone());
+        let q = QueryGenerator::new(&catalog, Topology::Star(13), 5).instance(0);
+        let request = ServiceRequest::query(q)
+            .with_algorithm(Algorithm::Dp)
+            .with_memory_budget(1 << 20);
+        let resp = service.get_plan(&request).unwrap();
+        assert_eq!(resp.plan.rung, Some(Rung::Sdp));
+        assert_eq!(resp.plan.strategy, "SDP");
+        assert_eq!(resp.plan.degradations, 1);
+        let snap = service.governor_snapshot();
+        assert_eq!(snap.degradations, 1);
+        assert_eq!(snap.memory_degradations, 1);
+        assert_eq!(snap.deadline_degradations, 0);
+        assert_eq!(
+            service
+                .rung_latencies()
+                .snapshot()
+                .get("SDP")
+                .map(|h| h.count),
+            Some(1),
+            "latency lands in the producing rung's histogram"
+        );
+    }
+
+    #[test]
+    fn cached_plans_keep_rung_provenance_through_hits_and_staleness() {
+        // Regression: a stale probe must surface the evicted entry's
+        // value (carrying its rung) instead of discarding it blind.
+        let catalog = Catalog::paper();
+        let service = OptimizerService::with_defaults(catalog.clone());
+        let q = QueryGenerator::new(&catalog, Topology::Star(6), 4).instance(0);
+        let request = ServiceRequest::query(q).with_algorithm(Algorithm::Goo);
+        let fresh = service.get_plan(&request).unwrap();
+        assert_eq!(fresh.plan.rung, Some(Rung::Goo));
+
+        let hit = service.get_plan(&request).unwrap();
+        assert_eq!(hit.source, PlanSource::Cache);
+        assert_eq!(hit.plan.rung, Some(Rung::Goo), "hit keeps provenance");
+
+        // Epoch bump purges eagerly; the re-optimized entry carries
+        // fresh provenance under the new epoch.
+        service.bump_stats_epoch();
+        let reopt = service.get_plan(&request).unwrap();
+        assert_eq!(reopt.source, PlanSource::Fresh);
+        assert_eq!(reopt.plan.rung, Some(Rung::Goo));
+        assert_eq!(reopt.plan.stats_epoch, service.catalog().stats_epoch());
+    }
+
+    #[test]
+    fn off_ladder_strategies_cache_without_a_rung() {
+        let catalog = Catalog::paper();
+        let service = OptimizerService::with_defaults(catalog.clone());
+        let q = QueryGenerator::new(&catalog, Topology::Chain(6), 8).instance(0);
+        let resp = service
+            .get_plan(&ServiceRequest::query(q).with_algorithm(Algorithm::ii()))
+            .unwrap();
+        assert_eq!(resp.plan.rung, None);
+        assert_eq!(resp.plan.degradations, 0);
+        // Off-ladder latencies are keyed by their strategy label.
+        assert!(service
+            .rung_latencies()
+            .snapshot()
+            .contains_key(&resp.plan.strategy));
+    }
+
+    #[test]
+    fn queue_wait_shrinks_the_deadline() {
+        let mut request = ServiceRequest::sql("select 1").with_deadline(Duration::from_secs(10));
+        request.shrink_deadline(Duration::from_secs(4));
+        assert_eq!(request.deadline(), Some(Duration::from_secs(6)));
+        request.shrink_deadline(Duration::from_secs(100));
+        assert_eq!(request.deadline(), Some(Duration::ZERO), "saturates");
+        let mut bare = ServiceRequest::sql("select 1");
+        bare.shrink_deadline(Duration::from_secs(1));
+        assert_eq!(bare.deadline(), None, "no deadline, nothing to shrink");
     }
 }

@@ -1,0 +1,204 @@
+//! # sdp-testkit — deterministic fault injection for resource tests
+//!
+//! The resource governor's degradation ladder (`sdp-core::governor`)
+//! and the service daemon's retry-with-degradation policy only show
+//! their behaviour when resources run out or a leader crashes —
+//! conditions that are awkward to provoke with real workloads and
+//! impossible to provoke *deterministically* with wall clocks. This
+//! crate provides a [`FaultPlan`]: a small, cloneable schedule of
+//! injected faults that the optimizer consults at well-defined
+//! points:
+//!
+//! * **budget shrinks** and **artificial latency** are keyed on the
+//!   optimizer's *barrier counter* — a logical clock that ticks only
+//!   on the coordinating thread at DP level barriers (twice per
+//!   level: before and after skyline pruning). Because workers never
+//!   tick it, a schedule trips at the same logical instant whether
+//!   enumeration runs on one thread or eight, which is what makes the
+//!   governor's escalation testable for determinism;
+//! * **leader panics** are keyed on the strategy label a single-flight
+//!   leader is about to run, and are consumed one at a time, so a test
+//!   can arrange "panic on the first DP attempt, succeed on the SDP
+//!   retry" exactly.
+//!
+//! Production builds pay nothing for any of this: `sdp-core` and
+//! `sdp-service` only compile their hook points under their `testkit`
+//! cargo feature, which the workspace enables for test targets alone.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The faults scheduled for one barrier tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BarrierFault {
+    /// Replace the memory-model budget with this many bytes before
+    /// the barrier's budget check runs.
+    pub shrink_memory_to: Option<u64>,
+    /// Sleep this long before the barrier's budget check runs
+    /// (injected enumeration latency).
+    pub delay: Option<Duration>,
+}
+
+impl BarrierFault {
+    /// Whether this tick injects anything.
+    pub fn is_empty(&self) -> bool {
+        self.shrink_memory_to.is_none() && self.delay.is_none()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    shrinks: BTreeMap<u64, u64>,
+    delays: BTreeMap<u64, Duration>,
+    /// Strategy label → number of armed leader panics left.
+    leader_panics: HashMap<String, u64>,
+    /// Leader panics actually fired (by label), for assertions.
+    fired_panics: HashMap<String, u64>,
+}
+
+/// A deterministic, shareable fault schedule. Cloning is cheap and
+/// clones share state, so the plan handed to an optimizer run can be
+/// inspected by the test afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl FaultPlan {
+    /// An empty schedule (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Shrink the memory-model budget to `bytes` when barrier number
+    /// `barrier` is reached (barriers count from 1).
+    pub fn shrink_memory_at(self, barrier: u64, bytes: u64) -> Self {
+        self.inner
+            .lock()
+            .expect("fault plan poisoned")
+            .shrinks
+            .insert(barrier, bytes);
+        self
+    }
+
+    /// Sleep for `delay` when barrier number `barrier` is reached —
+    /// artificial enumeration latency for deadline tests.
+    pub fn delay_at(self, barrier: u64, delay: Duration) -> Self {
+        self.inner
+            .lock()
+            .expect("fault plan poisoned")
+            .delays
+            .insert(barrier, delay);
+        self
+    }
+
+    /// Arm one leader panic for the strategy with the given display
+    /// label (e.g. `"DP"`). Each armed panic fires once; arming the
+    /// same label repeatedly stacks.
+    pub fn panic_leader_on(self, label: &str) -> Self {
+        *self
+            .inner
+            .lock()
+            .expect("fault plan poisoned")
+            .leader_panics
+            .entry(label.to_string())
+            .or_insert(0) += 1;
+        self
+    }
+
+    /// The faults scheduled for barrier `barrier` (empty when none).
+    pub fn at_barrier(&self, barrier: u64) -> BarrierFault {
+        let inner = self.inner.lock().expect("fault plan poisoned");
+        BarrierFault {
+            shrink_memory_to: inner.shrinks.get(&barrier).copied(),
+            delay: inner.delays.get(&barrier).copied(),
+        }
+    }
+
+    /// Consume one armed leader panic for `label`. Returns `true` when
+    /// a panic was armed (the caller should now panic); the armed
+    /// count decrements so the next attempt survives unless re-armed.
+    pub fn take_leader_panic(&self, label: &str) -> bool {
+        let mut inner = self.inner.lock().expect("fault plan poisoned");
+        match inner.leader_panics.get_mut(label) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                *inner.fired_panics.entry(label.to_string()).or_insert(0) += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// How many leader panics have fired for `label` so far.
+    pub fn fired_panics(&self, label: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("fault plan poisoned")
+            .fired_panics
+            .get(label)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// How many leader panics remain armed for `label`.
+    pub fn armed_panics(&self, label: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("fault plan poisoned")
+            .leader_panics
+            .get(label)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::new();
+        assert!(plan.at_barrier(1).is_empty());
+        assert!(!plan.take_leader_panic("DP"));
+    }
+
+    #[test]
+    fn barrier_schedule_is_keyed_exactly() {
+        let plan = FaultPlan::new()
+            .shrink_memory_at(3, 4096)
+            .delay_at(5, Duration::from_millis(7));
+        assert!(plan.at_barrier(2).is_empty());
+        assert_eq!(plan.at_barrier(3).shrink_memory_to, Some(4096));
+        assert_eq!(plan.at_barrier(3).delay, None);
+        assert_eq!(plan.at_barrier(5).delay, Some(Duration::from_millis(7)));
+        // Schedules are consultable repeatedly (pure reads).
+        assert_eq!(plan.at_barrier(3).shrink_memory_to, Some(4096));
+    }
+
+    #[test]
+    fn leader_panics_are_consumed_one_at_a_time() {
+        let plan = FaultPlan::new().panic_leader_on("DP").panic_leader_on("DP");
+        assert_eq!(plan.armed_panics("DP"), 2);
+        assert!(plan.take_leader_panic("DP"));
+        assert!(plan.take_leader_panic("DP"));
+        assert!(!plan.take_leader_panic("DP"), "third attempt survives");
+        assert_eq!(plan.fired_panics("DP"), 2);
+        assert_eq!(plan.armed_panics("DP"), 0);
+        assert!(!plan.take_leader_panic("SDP"), "labels are independent");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let plan = FaultPlan::new().panic_leader_on("GOO");
+        let view = plan.clone();
+        assert!(plan.take_leader_panic("GOO"));
+        assert_eq!(view.fired_panics("GOO"), 1);
+        assert!(!view.take_leader_panic("GOO"));
+    }
+}

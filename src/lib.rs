@@ -60,8 +60,8 @@ pub use sdp_sql as sql;
 pub mod prelude {
     pub use sdp_catalog::{Catalog, ColId, RelId, SchemaSpec};
     pub use sdp_core::{
-        explain::explain, Algorithm, Budget, OptError, OptimizedPlan, Optimizer, Partitioning,
-        SdpConfig, SkylineOption,
+        explain::explain, Algorithm, Budget, CancelHandle, DegradeReason, GovernedPlan, Governor,
+        OptError, OptimizedPlan, Optimizer, Partitioning, Rung, SdpConfig, SkylineOption,
     };
     pub use sdp_cost::{CostModel, CostParams};
     pub use sdp_engine::{execute, scaled_catalog, Database};

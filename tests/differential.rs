@@ -1,0 +1,145 @@
+//! Differential correctness suite for the degradation ladder.
+//!
+//! Every rung of the governor's ladder (DP → SDP → IDP(4) → GOO) is a
+//! *different search strategy over the same plan space*: whatever rung
+//! a degraded request lands on, the plan it returns must compute the
+//! same answer as the exhaustive-DP plan, and its estimated cost can
+//! only be worse (DP is optimal under the shared cost model).
+//!
+//! The suite generates ~50 queries per topology (star, chain,
+//! star-chain) with `sdp_query`'s workload generator, executes the DP
+//! plan and each rung's plan on materialized synthetic data through
+//! `sdp-engine`, and asserts:
+//!
+//! 1. identical result multisets (sorted-row equality) across rungs;
+//! 2. estimated cost non-decreasing down the ladder, anchored at DP:
+//!    no rung's plan undercuts the DP optimum. (The heuristic rungs
+//!    are *not* totally ordered among themselves — GOO occasionally
+//!    beats IDP(4) on a particular instance because they explore
+//!    incomparable plan subspaces — so the sound monotonicity claim
+//!    is against the exhaustive optimum, not pairwise down the
+//!    ladder.)
+
+use sdp::prelude::*;
+
+/// Queries generated per topology.
+const QUERIES_PER_TOPOLOGY: u64 = 50;
+
+/// Floating-point slack for cost comparisons: the enumerators share
+/// one cost model, but tie-breaking can differ in the last ulps.
+const EPS: f64 = 1.0 - 1e-9;
+
+fn scaled_world() -> (Catalog, Database) {
+    // Small row counts keep 600 plan executions affordable in debug
+    // builds while still exercising multi-way joins for real.
+    let catalog = scaled_catalog(10, 400, 3);
+    let db = Database::generate(&catalog, 5);
+    (catalog, db)
+}
+
+fn ladder() -> Vec<(Rung, Algorithm)> {
+    sdp::core::LADDER
+        .iter()
+        .map(|&rung| (rung, rung.algorithm()))
+        .collect()
+}
+
+fn assert_ladder_differential(topology: Topology, generator_seed: u64) {
+    let (catalog, db) = scaled_world();
+    let optimizer = Optimizer::new(&catalog);
+    let generator = QueryGenerator::new(&catalog, topology, generator_seed);
+
+    for k in 0..QUERIES_PER_TOPOLOGY {
+        let query = generator.instance(k);
+        let mut reference: Option<Vec<Vec<i64>>> = None;
+        let mut dp_cost = 0.0f64;
+        for (rung, algorithm) in ladder() {
+            let plan = optimizer
+                .optimize(&query, algorithm)
+                .unwrap_or_else(|e| panic!("{topology} #{k} {rung}: {e}"));
+
+            // Correctness: every rung computes the DP answer.
+            let mut rows = execute(&plan.root, &query, &catalog, &db)
+                .unwrap_or_else(|e| panic!("{topology} #{k} {rung}: execution failed: {e}"));
+            rows.sort();
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => assert_eq!(
+                    r, &rows,
+                    "{topology} #{k}: {rung} plan computes a different result than DP"
+                ),
+            }
+
+            // Cost monotonicity down the ladder, anchored at DP: the
+            // first rung is the exhaustive optimum, and no cheaper
+            // strategy may undercut it.
+            if rung == Rung::Dp {
+                dp_cost = plan.cost;
+            }
+            assert!(
+                plan.cost >= dp_cost * EPS,
+                "{topology} #{k}: {rung} cost {} undercuts the DP optimum ({})",
+                plan.cost,
+                dp_cost
+            );
+        }
+    }
+}
+
+#[test]
+fn star_queries_agree_across_the_ladder() {
+    assert_ladder_differential(Topology::Star(5), 0xD1F);
+}
+
+#[test]
+fn chain_queries_agree_across_the_ladder() {
+    assert_ladder_differential(Topology::Chain(5), 0xD1F);
+}
+
+#[test]
+fn star_chain_queries_agree_across_the_ladder() {
+    assert_ladder_differential(Topology::star_chain(6), 0xD1F);
+}
+
+#[test]
+fn governed_degraded_plans_stay_differentially_correct() {
+    // The acceptance-shaped variant: run the *governor* under memory
+    // pressure so the plan really comes from a degraded rung, then
+    // check that degraded plan against the ungoverned DP answer.
+    let (catalog, db) = scaled_world();
+    let optimizer = Optimizer::new(&catalog);
+    let generator = QueryGenerator::new(&catalog, Topology::star_chain(7), 0xBEEF);
+    let mut degraded_seen = 0u32;
+    for k in 0..8 {
+        let query = generator.instance(k);
+        let dp = optimizer.optimize(&query, Algorithm::Dp).unwrap();
+        let mut dp_rows = execute(&dp.root, &query, &catalog, &db).unwrap();
+        dp_rows.sort();
+
+        // A tight memory budget forces at least some of these runs
+        // off the DP rung.
+        let governor = Governor::new().with_memory_budget(192 << 10);
+        let governed = optimizer
+            .optimize_governed(&query, Algorithm::Dp, &governor)
+            .unwrap();
+        if governed.degraded() {
+            degraded_seen += 1;
+        }
+        let mut rows = execute(&governed.plan.root, &query, &catalog, &db).unwrap();
+        rows.sort();
+        assert_eq!(
+            dp_rows,
+            rows,
+            "query #{k}: governed {} plan disagrees with DP",
+            governed.rung_label()
+        );
+        assert!(
+            governed.plan.cost >= dp.cost * EPS,
+            "query #{k}: degraded plan cheaper than the DP optimum"
+        );
+    }
+    assert!(
+        degraded_seen > 0,
+        "memory budget never forced a degradation; the test lost its teeth"
+    );
+}

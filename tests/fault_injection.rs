@@ -1,0 +1,192 @@
+//! Fault-injection tests for the governed service path.
+//!
+//! The `sdp-testkit` fault plans are deterministic: memory shrinks and
+//! latency injections key on the enumerator's barrier counter (a
+//! logical clock), and leader panics key on the strategy label about
+//! to run. These tests drive the service through budget exhaustion,
+//! deadline expiry and leader crashes, and pin down the acceptance
+//! behaviour: a request that exhausts its budget under DP still comes
+//! back with a GOO-or-better plan inside its deadline, with the
+//! producing rung and the reason visible in the metrics.
+
+use sdp::prelude::*;
+use sdp::service::ServiceError;
+use sdp_testkit::FaultPlan;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn star_query(relations: usize, seed: u64) -> (Catalog, Query) {
+    let catalog = Catalog::paper();
+    let query = QueryGenerator::new(&catalog, Topology::Star(relations), seed).instance(0);
+    (catalog, query)
+}
+
+#[test]
+fn budget_exhaustion_yields_a_goo_plan_within_the_deadline() {
+    // The acceptance criterion. Starve DP, SDP and IDP at their first
+    // barriers: the ladder walks down to GOO, which runs against the
+    // restored (full) budget and always fits.
+    let (catalog, query) = star_query(13, 5);
+    let service = OptimizerService::with_defaults(catalog);
+    let deadline = Duration::from_secs(30);
+    let faults = FaultPlan::new()
+        .shrink_memory_at(1, 0)
+        .shrink_memory_at(2, 0)
+        .shrink_memory_at(3, 0);
+    let request = ServiceRequest::query(query.clone())
+        .with_algorithm(Algorithm::Dp)
+        .with_deadline(deadline)
+        .with_fault_plan(faults);
+
+    let started = Instant::now();
+    let resp = service.get_plan(&request).unwrap();
+    assert!(
+        started.elapsed() < deadline,
+        "degraded request must answer within its deadline"
+    );
+
+    // The rung and why are visible on the plan...
+    assert_eq!(resp.plan.rung, Some(Rung::Goo));
+    assert_eq!(resp.plan.strategy, "GOO");
+    assert_eq!(resp.plan.degradations, 3);
+    assert_eq!(resp.plan.root.set, query.graph.all_nodes());
+
+    // ...and in the metrics the replay report surfaces.
+    let snap = service.governor_snapshot();
+    assert_eq!(snap.degradations, 3);
+    assert_eq!(snap.memory_degradations, 3);
+    assert_eq!(snap.timeouts, 0);
+    let rungs = service.rung_latencies().snapshot();
+    assert_eq!(rungs.get("GOO").map(|h| h.count), Some(1));
+}
+
+#[test]
+fn deadline_expiry_degrades_with_the_reason_recorded() {
+    // Inject 500 ms of latency at DP's first barrier under a 1 s
+    // deadline: DP's 40% slice (400 ms) expires, SDP's 65% slice
+    // (650 ms) still has ~150 ms of real headroom left — plenty for a
+    // 9-relation star.
+    let (catalog, query) = star_query(9, 7);
+    let optimizer = Optimizer::new(&catalog);
+    let governor = Governor::new()
+        .with_deadline(Duration::from_secs(1))
+        .with_fault_plan(FaultPlan::new().delay_at(1, Duration::from_millis(500)));
+    let governed = optimizer
+        .optimize_governed(&query, Algorithm::Dp, &governor)
+        .unwrap();
+    assert_eq!(governed.rung, Some(Rung::Sdp));
+    assert_eq!(governed.reason(), Some(DegradeReason::Deadline));
+    assert_eq!(governed.degradations.len(), 1);
+    assert!(governed.degradations[0].elapsed >= Duration::from_millis(400));
+}
+
+#[test]
+fn panicking_leader_retries_once_one_rung_cheaper() {
+    let (catalog, query) = star_query(8, 11);
+    let service = OptimizerService::with_defaults(catalog);
+    let faults = FaultPlan::new().panic_leader_on("DP");
+    let request = ServiceRequest::query(query)
+        .with_algorithm(Algorithm::Dp)
+        .with_fault_plan(faults.clone());
+
+    let resp = service.get_plan(&request).unwrap();
+    assert_eq!(faults.fired_panics("DP"), 1, "the DP leader panicked once");
+    assert_eq!(resp.plan.rung, Some(Rung::Sdp), "retried one rung cheaper");
+    assert_eq!(resp.plan.strategy, "SDP");
+    assert_eq!(resp.source, PlanSource::Fresh);
+    assert_eq!(service.governor_snapshot().leader_retries, 1);
+}
+
+#[test]
+fn exhausted_retries_abandon_the_flight_without_leaking_it() {
+    // Both the first attempt and its single retry panic: the request
+    // errors out, and the abandoned flight must not block the next
+    // request for the same key (which finds no armed panics left and
+    // succeeds).
+    let (catalog, query) = star_query(8, 13);
+    let service = OptimizerService::with_defaults(catalog);
+    let faults = FaultPlan::new()
+        .panic_leader_on("DP")
+        .panic_leader_on("SDP");
+    let request = ServiceRequest::query(query)
+        .with_algorithm(Algorithm::Dp)
+        .with_fault_plan(faults.clone());
+
+    let err = service.get_plan(&request).unwrap_err();
+    assert!(
+        matches!(err, ServiceError::LeaderPanicked(ref msg) if msg.contains("injected")),
+        "{err}"
+    );
+    assert_eq!(faults.fired_panics("DP"), 1);
+    assert_eq!(faults.fired_panics("SDP"), 1);
+    assert_eq!(service.governor_snapshot().leader_retries, 1);
+    assert_eq!(service.cached_plans(), 0);
+
+    let resp = service.get_plan(&request).unwrap();
+    assert_eq!(
+        resp.plan.rung,
+        Some(Rung::Dp),
+        "no panics left: DP succeeds"
+    );
+}
+
+#[test]
+fn waiters_never_hang_on_a_panicking_leader() {
+    // Many concurrent requests for one key while the first leader
+    // panics and retries: every request must resolve — coalesced onto
+    // the retried enumeration, served from cache, or led by a later
+    // arrival — and none may hang.
+    let (catalog, query) = star_query(9, 17);
+    let service = Arc::new(OptimizerService::with_defaults(catalog));
+    // The injected delay holds the (retried) leader in enumeration
+    // long enough for waiters to actually coalesce.
+    let faults = FaultPlan::new()
+        .panic_leader_on("DP")
+        .delay_at(1, Duration::from_millis(100));
+    let request = ServiceRequest::query(query)
+        .with_algorithm(Algorithm::Dp)
+        .with_fault_plan(faults.clone());
+
+    let responses: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let request = request.clone();
+                scope.spawn(move || service.get_plan(&request))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(faults.fired_panics("DP"), 1, "exactly one injected panic");
+    for resp in responses {
+        let resp = resp.expect("no waiter may see the leader's panic");
+        assert_eq!(resp.plan.rung, Some(Rung::Sdp));
+    }
+    assert_eq!(service.governor_snapshot().leader_retries, 1);
+}
+
+#[test]
+fn daemon_charges_queue_wait_against_the_deadline() {
+    // A single-worker daemon with an injected 150 ms enumeration: the
+    // second request queues behind it, so its 1 s deadline is already
+    // partly spent when its worker picks it up. The run must still
+    // answer (degrading if its DP slice is gone) rather than fail.
+    let (catalog, query) = star_query(9, 19);
+    let service = Arc::new(OptimizerService::with_defaults(catalog.clone()));
+    let daemon = Daemon::spawn(Arc::clone(&service), 1);
+
+    let slow =
+        ServiceRequest::query(QueryGenerator::new(&catalog, Topology::Star(9), 23).instance(0))
+            .with_fault_plan(FaultPlan::new().delay_at(1, Duration::from_millis(150)));
+    let governed = ServiceRequest::query(query)
+        .with_algorithm(Algorithm::Dp)
+        .with_deadline(Duration::from_secs(1));
+
+    let first = daemon.submit(slow);
+    let second = daemon.submit(governed);
+    first.wait().unwrap();
+    let resp = second.wait().unwrap();
+    assert!(resp.plan.rung.is_some());
+    daemon.shutdown();
+}
