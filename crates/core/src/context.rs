@@ -21,6 +21,15 @@ use crate::budget::{Budget, BudgetProbe, MemoryModel, OptError};
 use crate::fx::FxHashMap;
 use crate::memo::{Group, Memo};
 use crate::plan::{NodeCounter, PlanNode, PlanOp};
+#[cfg(feature = "trace")]
+use sdp_trace::{Event, EventBuffer, Tracer};
+
+/// Capacity of each worker's staged-event ring. Sized far above any
+/// realistic per-level creation count; hitting it (and thus dropping
+/// staged events) would void the trace determinism guarantee, so
+/// `merge_shard` surfaces drops as a `trace_dropped` event.
+#[cfg(feature = "trace")]
+const TRACE_BUFFER_CAPACITY: usize = 1 << 20;
 
 /// Ceiling on estimated rows, guarding incremental multiplication
 /// against `f64` overflow on extreme graphs.
@@ -67,6 +76,41 @@ pub struct RunStats {
     pub completed_greedily: bool,
 }
 
+/// One row of the per-level enumeration profile, recorded at every
+/// level barrier and carried on the returned plan for `ExplainAnalyze`
+/// provenance. All counters are deterministic: bit-identical at any
+/// enumeration parallelism (PR 1's shard-merge guarantee).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LevelStats {
+    /// Enumeration level (relations per JCR at this level).
+    pub level: usize,
+    /// Strategy label active when the level ran (`"DP"`, `"SDP"`,
+    /// `"IDP"`, ...). Governed descents tag each level with the rung
+    /// that produced it.
+    pub phase: &'static str,
+    /// Candidate connected pairs considered.
+    pub pairs: u64,
+    /// Plan alternatives costed during the level.
+    pub plans_costed: u64,
+    /// Distinct JCRs newly materialized.
+    pub jcrs_created: u64,
+    /// JCRs removed by the level pruner.
+    pub jcrs_pruned: u64,
+    /// JCRs surviving in the level row after pruning.
+    pub jcrs_retained: u64,
+    /// Hub partitions the skyline pruner examined (0 when the level
+    /// ran unpruned).
+    pub skyline_partitions: u64,
+    /// Skyline survivors summed over partitions.
+    pub skyline_survivors: u64,
+    /// JCRs kept only by interesting-order retention.
+    pub order_rescued: u64,
+    /// Memo size in groups after the barrier.
+    pub memo_groups: u64,
+    /// Modeled memory in bytes after the barrier.
+    pub model_bytes: u64,
+}
+
 /// One worker's private slice of a level's enumeration results: new
 /// union groups keyed by `RelSet`, plus the order in which they were
 /// first created within the worker's (contiguous) chunk of the global
@@ -82,6 +126,10 @@ pub(crate) struct LevelShard {
     pub plans_costed: u64,
     /// Budget violation observed by this worker, if any.
     pub error: Option<OptError>,
+    /// Staged trace events keyed by union-set bitmap, forwarded at the
+    /// merge barrier only for sets this shard actually inserted.
+    #[cfg(feature = "trace")]
+    pub trace: EventBuffer,
 }
 
 /// Mutable state of one optimization run.
@@ -102,6 +150,13 @@ pub struct EnumContext<'a> {
     pub jcrs_pruned: u64,
     /// Set by the greedy completion fallback.
     pub completed_greedily: bool,
+    /// Per-level profile rows, one per completed level barrier.
+    profile: Vec<LevelStats>,
+    /// Strategy label stamped on profile rows (set by the dispatcher).
+    phase: &'static str,
+    /// Structured-trace emission handle (disabled unless installed).
+    #[cfg(feature = "trace")]
+    tracer: Tracer,
 }
 
 impl<'a> EnumContext<'a> {
@@ -125,6 +180,10 @@ impl<'a> EnumContext<'a> {
             plans_costed: 0,
             jcrs_pruned: 0,
             completed_greedily: false,
+            profile: Vec::new(),
+            phase: "",
+            #[cfg(feature = "trace")]
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -170,6 +229,42 @@ impl<'a> EnumContext<'a> {
     /// Set the enumeration parallelism (clamped to at least 1).
     pub fn set_parallelism(&mut self, threads: usize) {
         self.parallelism = threads.max(1);
+    }
+
+    /// Install the structured-trace emission handle for this run.
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The run's trace handle (disabled unless one was installed).
+    #[cfg(feature = "trace")]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Stamp subsequent profile rows (and level spans) with the given
+    /// strategy label. Called by the dispatcher on every strategy
+    /// entry, including governed re-entries down the ladder.
+    pub fn set_phase(&mut self, label: &'static str) {
+        self.phase = label;
+    }
+
+    /// The strategy label currently stamped on profile rows.
+    pub fn phase(&self) -> &'static str {
+        self.phase
+    }
+
+    /// Per-level profile rows recorded so far, in barrier order. A
+    /// governed descent accumulates rows across rungs; `phase` tells
+    /// them apart.
+    pub fn profile(&self) -> &[LevelStats] {
+        &self.profile
+    }
+
+    /// Append one completed level's profile row.
+    pub(crate) fn record_level(&mut self, stats: LevelStats) {
+        self.profile.push(stats);
     }
 
     /// PostgreSQL-style pathkey usefulness: an output ordering is only
@@ -455,6 +550,16 @@ impl<'a> EnumContext<'a> {
         }
     }
 
+    /// The staged/emitted event marking first creation of a JCR. The
+    /// sequential path emits it inline; parallel workers stage it in
+    /// their shard for deterministic forwarding at the merge barrier.
+    #[cfg(feature = "trace")]
+    pub(crate) fn jcr_event(set: RelSet) -> Event {
+        Event::new("jcr")
+            .with("level", set.len())
+            .with("set", set.0)
+    }
+
     /// Run one parallel level worker over a contiguous chunk of the
     /// level's candidate pairs, accumulating results in a private
     /// shard. Periodically probes the budget and the shared abort
@@ -467,6 +572,12 @@ impl<'a> EnumContext<'a> {
         abort: &AtomicBool,
     ) -> LevelShard {
         let mut shard = LevelShard::default();
+        #[cfg(feature = "trace")]
+        let tracing = self.tracer.enabled();
+        #[cfg(feature = "trace")]
+        if tracing {
+            shard.trace = EventBuffer::with_capacity(TRACE_BUFFER_CAPACITY);
+        }
         for (k, &(a, b)) in pairs.iter().enumerate() {
             if k % PROBE_INTERVAL == 0 {
                 if abort.load(Ordering::Relaxed) {
@@ -482,6 +593,12 @@ impl<'a> EnumContext<'a> {
             if !shard.groups.contains_key(&union) {
                 shard.created_order.push(union);
                 shard.groups.insert(union, self.new_union_group(a, b));
+                #[cfg(feature = "trace")]
+                if tracing {
+                    let mut event = Self::jcr_event(union);
+                    event.wall_micros = self.tracer.wall_micros();
+                    shard.trace.push(union.0, event);
+                }
             }
             let group = shard.groups.get_mut(&union).expect("just ensured");
             let mut costed = 0u64;
@@ -507,6 +624,18 @@ impl<'a> EnumContext<'a> {
         recorded: &mut crate::fx::FxHashSet<RelSet>,
     ) {
         self.plans_costed += shard.plans_costed;
+        // Staged events are keyed by union-set bitmap; only those for
+        // sets this shard actually inserts below are forwarded, in
+        // created-order — exactly the sequence the sequential run
+        // emits inline, so merged traces are deterministic.
+        #[cfg(feature = "trace")]
+        let mut staged: FxHashMap<u64, Event> = {
+            if shard.trace.dropped() > 0 {
+                self.tracer
+                    .emit(Event::new("trace_dropped").with("staged_events", shard.trace.dropped()));
+            }
+            shard.trace.drain().collect()
+        };
         for set in std::mem::take(&mut shard.created_order) {
             let group = shard.groups.remove(&set).expect("created in this shard");
             match self.memo.get_mut(set) {
@@ -533,6 +662,10 @@ impl<'a> EnumContext<'a> {
                     recorded.insert(set);
                     created.push(set);
                     new_sets.push(set);
+                    #[cfg(feature = "trace")]
+                    if let Some(event) = staged.remove(&set.0) {
+                        self.tracer.emit(event);
+                    }
                 }
             }
         }

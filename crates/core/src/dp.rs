@@ -39,7 +39,7 @@ use std::sync::Arc;
 use sdp_query::RelSet;
 
 use crate::budget::OptError;
-use crate::context::EnumContext;
+use crate::context::{EnumContext, LevelStats};
 use crate::fx::FxHashSet;
 use crate::plan::PlanNode;
 
@@ -56,6 +56,24 @@ pub trait LevelPruner {
     /// Inspect the fully-enumerated `level` (number of atoms joined;
     /// `level_sets` lists its JCRs) and return the JCRs to prune.
     fn prune(&mut self, ctx: &EnumContext<'_>, level: usize, level_sets: &[RelSet]) -> Vec<RelSet>;
+
+    /// Skyline accounting for the most recent [`LevelPruner::prune`]
+    /// call, folded into the level's profile row. Pruners without
+    /// skyline structure keep the default zeros.
+    fn last_prune_stats(&self) -> PruneStats {
+        PruneStats::default()
+    }
+}
+
+/// Per-level skyline accounting reported by a [`LevelPruner`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Hub (or global) partitions the skyline examined.
+    pub partitions: u64,
+    /// Skyline survivors summed over partitions.
+    pub survivors: u64,
+    /// JCRs kept only by interesting-order retention.
+    pub order_rescued: u64,
 }
 
 /// Per-level survivor table produced by [`run_levels`]: entry `s - 1`
@@ -165,9 +183,20 @@ fn run_one_level<'p>(
     recorded: &mut FxHashSet<RelSet>,
     mut pruner: Option<&mut (dyn LevelPruner + 'p)>,
 ) -> Result<(), OptError> {
+    let pair_count = pairs.len() as u64;
+    let plans_before = ctx.plans_costed;
+    let pruned_before = ctx.jcrs_pruned;
     if threads > 1 && pairs.len() >= PARALLEL_PAIR_THRESHOLD {
         run_level_parallel(ctx, pairs, threads, new_sets, created, recorded)?;
     } else {
+        // Stage creation events and emit them only once the whole
+        // level has enumerated: a mid-level budget trip then leaves no
+        // trace of the rolled-back level, exactly like the parallel
+        // path's whole-level discard — traces stay deterministic.
+        #[cfg(feature = "trace")]
+        let mut staged: Vec<sdp_trace::Event> = Vec::new();
+        #[cfg(feature = "trace")]
+        let tracing = ctx.tracer().enabled();
         for &(a, b) in pairs {
             *visits += 1;
             if visits.is_multiple_of(CHECK_INTERVAL) {
@@ -178,6 +207,12 @@ fn run_one_level<'p>(
                 created.push(union);
                 recorded.insert(union);
                 new_sets.push(union);
+                #[cfg(feature = "trace")]
+                if tracing {
+                    let mut event = EnumContext::jcr_event(union);
+                    event.wall_micros = ctx.tracer().wall_micros();
+                    staged.push(event);
+                }
             } else if recorded.insert(union) {
                 // The group pre-existed this level — retained from an
                 // earlier rung of a governed descent. Record it in the
@@ -185,11 +220,17 @@ fn run_one_level<'p>(
                 new_sets.push(union);
             }
         }
+        #[cfg(feature = "trace")]
+        for event in staged {
+            ctx.tracer().emit(event);
+        }
     }
     ctx.memory.barrier_check()?;
 
+    let mut prune_stats = PruneStats::default();
     if let Some(p) = pruner.as_mut() {
         let victims = p.prune(ctx, level, new_sets);
+        prune_stats = p.last_prune_stats();
         if !victims.is_empty() {
             let victim_set: FxHashSet<RelSet> = victims.iter().copied().collect();
             for v in victims {
@@ -198,7 +239,45 @@ fn run_one_level<'p>(
             new_sets.retain(|s| !victim_set.contains(s));
         }
     }
-    ctx.memory.barrier_check()
+    ctx.memory.barrier_check()?;
+
+    let stats = LevelStats {
+        level,
+        phase: ctx.phase(),
+        pairs: pair_count,
+        plans_costed: ctx.plans_costed - plans_before,
+        jcrs_created: created.len() as u64,
+        jcrs_pruned: ctx.jcrs_pruned - pruned_before,
+        jcrs_retained: new_sets.len() as u64,
+        skyline_partitions: prune_stats.partitions,
+        skyline_survivors: prune_stats.survivors,
+        order_rescued: prune_stats.order_rescued,
+        memo_groups: ctx.memo.len() as u64,
+        model_bytes: ctx.memory.used_bytes(),
+    };
+    ctx.record_level(stats);
+    #[cfg(feature = "trace")]
+    ctx.tracer().emit_with(|| level_event(&stats));
+    Ok(())
+}
+
+/// The per-level span summarizing one completed level barrier. Every
+/// field is deterministic across thread counts.
+#[cfg(feature = "trace")]
+fn level_event(stats: &LevelStats) -> sdp_trace::Event {
+    sdp_trace::Event::new("level")
+        .with("level", stats.level)
+        .with("phase", stats.phase)
+        .with("pairs", stats.pairs)
+        .with("costed", stats.plans_costed)
+        .with("created", stats.jcrs_created)
+        .with("pruned", stats.jcrs_pruned)
+        .with("retained", stats.jcrs_retained)
+        .with("skyline_partitions", stats.skyline_partitions)
+        .with("skyline_survivors", stats.skyline_survivors)
+        .with("order_rescued", stats.order_rescued)
+        .with("memo", stats.memo_groups)
+        .with("model_bytes", stats.model_bytes)
 }
 
 /// Run bottom-up DP over `atoms` (each must already have a memo
@@ -246,6 +325,14 @@ pub fn run_levels(
             // the last *completed* level — the same state the parallel
             // path's whole-level discard leaves — regardless of where
             // inside the level the budget tripped.
+            // The rollback span carries only the level: how far into
+            // the level the trip was detected (and hence how many
+            // groups roll back) legitimately differs between the
+            // sequential and parallel detection points, so it must not
+            // appear in canonical fields.
+            #[cfg(feature = "trace")]
+            ctx.tracer()
+                .emit_with(|| sdp_trace::Event::new("level_rollback").with("level", s));
             for set in created {
                 ctx.prune_group(set);
             }

@@ -1,7 +1,9 @@
-//! Plan pretty-printing, in the spirit of `EXPLAIN`.
+//! Plan pretty-printing, in the spirit of `EXPLAIN`, plus the
+//! provenance-carrying `EXPLAIN ANALYZE` report for governed plans.
 
 use std::fmt::Write as _;
 
+use crate::governor::GovernedPlan;
 use crate::plan::{PlanNode, PlanOp};
 
 /// Render a plan tree as an indented `EXPLAIN`-style listing.
@@ -71,6 +73,143 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert!(!lines[0].starts_with(' '));
         assert!(lines[1].starts_with("  "));
+    }
+}
+
+/// Render a governed optimization as an `EXPLAIN ANALYZE`-style
+/// report carrying plan provenance: a header naming the requested and
+/// producing strategies plus the governor's descent history, the plan
+/// tree annotated per node with cumulative and self cost and the rung
+/// that produced it, and the per-level enumeration profile (pairs
+/// considered, plans costed, pruning counters, skyline partitions and
+/// survivors, interesting-order rescues, memo footprint).
+pub fn explain_analyze(governed: &GovernedPlan) -> String {
+    let plan = &governed.plan;
+    let stats = &plan.stats;
+    let rung = governed.rung_label();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "requested={}  produced={}{}",
+        governed.requested.label(),
+        rung,
+        if governed.degraded() {
+            "  (degraded)"
+        } else {
+            ""
+        }
+    );
+    let _ = writeln!(
+        out,
+        "cost={:.2}  rows={:.0}  plans_costed={}  jcrs_processed={}  jcrs_pruned={}  peak_model_bytes={}{}",
+        plan.cost,
+        plan.rows,
+        stats.plans_costed,
+        stats.jcrs_processed,
+        stats.jcrs_pruned,
+        stats.peak_model_bytes,
+        if stats.completed_greedily {
+            "  (completed greedily)"
+        } else {
+            ""
+        }
+    );
+    for d in &governed.degradations {
+        let _ = writeln!(
+            out,
+            "degraded {} -> {}  reason={:?}  after={:.1}ms",
+            d.from.label(),
+            d.to.label(),
+            d.reason,
+            d.elapsed.as_secs_f64() * 1e3
+        );
+    }
+    out.push('\n');
+    render_analyze(&plan.root, 0, &rung, &mut out);
+    if !plan.profile.is_empty() {
+        out.push('\n');
+        out.push_str("levels:\n");
+        for row in &plan.profile {
+            let _ = writeln!(
+                out,
+                "  [{}] level {}: pairs={} costed={} created={} pruned={} retained={} \
+                 skyline_partitions={} skyline_survivors={} order_rescued={} memo={} model_bytes={}",
+                row.phase,
+                row.level,
+                row.pairs,
+                row.plans_costed,
+                row.jcrs_created,
+                row.jcrs_pruned,
+                row.jcrs_retained,
+                row.skyline_partitions,
+                row.skyline_survivors,
+                row.order_rescued,
+                row.memo_groups,
+                row.model_bytes
+            );
+        }
+    }
+    out
+}
+
+// Per-node line of the `EXPLAIN ANALYZE` tree: the `EXPLAIN` label
+// plus a self-cost breakdown (`cost` is cumulative, `self` is the
+// node's own contribution) and the rung that produced the node.
+fn render_analyze(node: &PlanNode, depth: usize, rung: &str, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let label = match &node.op {
+        PlanOp::SeqScan { rel, node } => format!("Seq Scan on {rel} (n{node})"),
+        PlanOp::IndexScan { rel, node, col } => {
+            format!("Index Scan on {rel}.{col} (n{node})")
+        }
+        PlanOp::Join { method } => method.label().to_string(),
+        PlanOp::Sort { class } => format!("Sort (class {class})"),
+    };
+    let ordering = match node.ordering {
+        Some(c) => format!(" order=c{c}"),
+        None => String::new(),
+    };
+    let child_cost: f64 = node.children.iter().map(|c| c.cost).sum();
+    let self_cost = (node.cost - child_cost).max(0.0);
+    let _ = writeln!(
+        out,
+        "{label}  (rows={:.0} cost={:.2} self={:.2}{ordering}) [rung={rung}]",
+        node.rows, node.cost, self_cost
+    );
+    for child in &node.children {
+        render_analyze(child, depth + 1, rung, out);
+    }
+}
+
+#[cfg(test)]
+mod analyze_tests {
+    use super::*;
+    use crate::governor::Governor;
+    use crate::optimizer::{Algorithm, Optimizer};
+    use sdp_catalog::Catalog;
+    use sdp_query::{QueryGenerator, Topology};
+
+    #[test]
+    fn explain_analyze_reports_rung_and_levels() {
+        let cat = Catalog::paper();
+        let q = QueryGenerator::new(&cat, Topology::Star(6), 3).instance(0);
+        let governed = Optimizer::new(&cat)
+            .optimize_governed(&q, Algorithm::Dp, &Governor::new())
+            .unwrap();
+        let text = explain_analyze(&governed);
+        assert!(text.contains("requested=DP"));
+        assert!(text.contains("produced="));
+        assert!(text.contains("[rung="));
+        assert!(text.contains("levels:"));
+        assert!(text.contains("skyline_partitions="));
+        assert!(text.contains("self="));
+        // One tree line per plan node, all tagged with the rung.
+        assert_eq!(
+            text.matches("[rung=").count(),
+            governed.plan.root.node_count()
+        );
     }
 }
 

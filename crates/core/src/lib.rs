@@ -70,8 +70,13 @@ fn _assert_service_types_are_send_sync() {
     check::<DegradeEvent>();
     check::<sdp_catalog::Catalog>();
     check::<sdp_query::Query>();
+    check::<context::LevelStats>();
+    #[cfg(feature = "trace")]
+    check::<sdp_trace::Tracer>();
 }
-pub use context::{default_parallelism, EnumContext, RunStats};
+pub use context::{default_parallelism, EnumContext, LevelStats, RunStats};
+pub use dp::{LevelPruner, PruneStats};
+pub use explain::{explain, explain_analyze};
 pub use memo::{Group, Memo};
 pub use optimizer::{Algorithm, OptimizedPlan, Optimizer};
 pub use plan::{NodeCounter, PlanNode, PlanOp};

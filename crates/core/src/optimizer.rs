@@ -19,7 +19,7 @@ use sdp_cost::{CostModel, CostParams};
 use sdp_query::{infer_transitive_edges, Query};
 
 use crate::budget::{Budget, OptError};
-use crate::context::{default_parallelism, EnumContext, RunStats};
+use crate::context::{default_parallelism, EnumContext, LevelStats, RunStats};
 use crate::dp::optimize_complete;
 use crate::goo::optimize_goo;
 use crate::governor::{prepare_handoff, DegradeEvent, DegradeReason, GovernedPlan, Governor, Rung};
@@ -94,6 +94,10 @@ pub struct OptimizedPlan {
     /// Overhead counters (plans costed, peak memory model bytes,
     /// elapsed time, …).
     pub stats: RunStats,
+    /// Per-level enumeration profile, in barrier order. Governed
+    /// descents accumulate rows across rungs; each row's `phase`
+    /// names the strategy that ran it. Feeds `ExplainAnalyze`.
+    pub profile: Vec<LevelStats>,
 }
 
 /// Optimizer façade: catalog + cost parameters + budget + rewriter
@@ -105,6 +109,8 @@ pub struct Optimizer<'a> {
     budget: Budget,
     infer_closure: bool,
     parallelism: usize,
+    #[cfg(feature = "trace")]
+    tracer: sdp_trace::Tracer,
 }
 
 impl<'a> Optimizer<'a> {
@@ -120,6 +126,8 @@ impl<'a> Optimizer<'a> {
             budget: Budget::default(),
             infer_closure: true,
             parallelism: default_parallelism(),
+            #[cfg(feature = "trace")]
+            tracer: sdp_trace::Tracer::disabled(),
         }
     }
 
@@ -151,6 +159,16 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Install a structured-trace handle; every run started from this
+    /// optimizer emits its level spans, skyline partition spans and
+    /// governor transitions into it. Canonical event sequences are
+    /// deterministic across thread counts (see `sdp-trace`).
+    #[cfg(feature = "trace")]
+    pub fn with_tracer(mut self, tracer: sdp_trace::Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// The budget in force.
     pub fn budget(&self) -> Budget {
         self.budget
@@ -171,6 +189,8 @@ impl<'a> Optimizer<'a> {
         let model = CostModel::new(self.catalog, self.params);
         let mut ctx = EnumContext::new(&rewritten, &model, self.budget);
         ctx.set_parallelism(self.parallelism);
+        #[cfg(feature = "trace")]
+        ctx.set_tracer(self.tracer.clone());
         let root = dispatch(&mut ctx, algorithm)?;
         let stats = ctx.stats();
         Ok(OptimizedPlan {
@@ -178,6 +198,7 @@ impl<'a> Optimizer<'a> {
             rows: root.rows,
             root,
             stats,
+            profile: ctx.profile().to_vec(),
         })
     }
 
@@ -207,6 +228,8 @@ impl<'a> Optimizer<'a> {
             // ladder descent meaningless.
             let mut ctx = EnumContext::new(&rewritten, &model, governor.full_budget());
             ctx.set_parallelism(self.parallelism);
+            #[cfg(feature = "trace")]
+            ctx.set_tracer(self.tracer.clone());
             ctx.memory.set_cancel_flag(governor.cancel_flag());
             let root = dispatch(&mut ctx, algorithm)?;
             let stats = ctx.stats();
@@ -216,6 +239,7 @@ impl<'a> Optimizer<'a> {
                     rows: root.rows,
                     root,
                     stats,
+                    profile: ctx.profile().to_vec(),
                 },
                 requested: algorithm,
                 produced: algorithm,
@@ -226,6 +250,8 @@ impl<'a> Optimizer<'a> {
 
         let mut ctx = EnumContext::new(&rewritten, &model, governor.rung_budget(rung));
         ctx.set_parallelism(self.parallelism);
+        #[cfg(feature = "trace")]
+        ctx.set_tracer(self.tracer.clone());
         ctx.memory.set_cancel_flag(governor.cancel_flag());
         #[cfg(feature = "testkit")]
         if let Some(faults) = governor.fault_plan() {
@@ -238,15 +264,31 @@ impl<'a> Optimizer<'a> {
         let mut attempt = algorithm;
         let mut degradations: Vec<DegradeEvent> = Vec::new();
         loop {
+            #[cfg(feature = "trace")]
+            ctx.tracer().emit_with(|| {
+                sdp_trace::Event::new("rung_start")
+                    .with("rung", rung.label())
+                    .with("algorithm", attempt.label())
+                    .with("budget_bytes", governor.rung_budget(rung).max_model_bytes)
+            });
             let error = match dispatch(&mut ctx, attempt) {
                 Ok(root) => {
                     let stats = ctx.stats();
+                    #[cfg(feature = "trace")]
+                    ctx.tracer().emit_with(|| {
+                        sdp_trace::Event::new("rung_complete")
+                            .with("rung", rung.label())
+                            .with("cost", root.cost)
+                            .with("plans_costed", stats.plans_costed)
+                            .with("degradations", degradations.len())
+                    });
                     return Ok(GovernedPlan {
                         plan: OptimizedPlan {
                             cost: root.cost,
                             rows: root.rows,
                             root,
                             stats,
+                            profile: ctx.profile().to_vec(),
                         },
                         requested: algorithm,
                         produced: attempt,
@@ -278,9 +320,25 @@ impl<'a> Optimizer<'a> {
                 reason,
                 elapsed: ctx.memory.elapsed(),
             });
+            // The degrade span's canonical fields carry only the
+            // deterministic facts (rungs and reason); elapsed time is
+            // wall-clock and stays out of the canonical form.
+            #[cfg(feature = "trace")]
+            ctx.tracer().emit_with(|| {
+                sdp_trace::Event::new("degrade")
+                    .with("from", rung.label())
+                    .with("to", next.label())
+                    .with("reason", format!("{reason:?}"))
+            });
             let next_budget = governor.rung_budget(next);
             prepare_handoff(&mut ctx, next_budget);
             ctx.memory.set_budget(next_budget);
+            #[cfg(feature = "trace")]
+            ctx.tracer().emit_with(|| {
+                sdp_trace::Event::new("handoff")
+                    .with("retained_groups", ctx.memo.len())
+                    .with("model_bytes", ctx.memory.used_bytes())
+            });
             rung = next;
             attempt = next.algorithm();
         }
@@ -299,6 +357,15 @@ impl<'a> Optimizer<'a> {
 /// the plain and governed entry points; the governed ladder re-invokes
 /// it on the same context so retained memo state carries across rungs.
 fn dispatch(ctx: &mut EnumContext<'_>, algorithm: Algorithm) -> Result<Arc<PlanNode>, OptError> {
+    ctx.set_phase(match algorithm {
+        Algorithm::Dp => "DP",
+        Algorithm::Idp { .. } => "IDP",
+        Algorithm::IdpStandard { .. } => "IDP-std",
+        Algorithm::Sdp(_) => "SDP",
+        Algorithm::Goo => "GOO",
+        Algorithm::IterativeImprovement(_) => "II",
+        Algorithm::SimulatedAnnealing(_) => "SA",
+    });
     match algorithm {
         Algorithm::Dp => optimize_complete(ctx, None),
         Algorithm::Idp { k } => optimize_idp(ctx, IdpConfig::paper(k)),

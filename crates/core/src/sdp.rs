@@ -36,7 +36,7 @@ use sdp_query::{hubs, RelSet};
 use sdp_skyline::{k_dominant_skyline, pairwise_union_skyline_threaded, skyline_sfs};
 
 use crate::context::EnumContext;
-use crate::dp::LevelPruner;
+use crate::dp::{LevelPruner, PruneStats};
 use crate::fx::FxHashMap;
 
 /// Minimum level size (in JCRs) before the per-partition skylines are
@@ -107,6 +107,8 @@ pub struct SdpPruner {
     /// Relations owning a column of the `ORDER BY` class, each of
     /// which sponsors an extra "interesting order" partition.
     order_relations: Vec<usize>,
+    /// Skyline accounting for the most recent `prune_level` call.
+    last: PruneStats,
 }
 
 impl SdpPruner {
@@ -135,6 +137,7 @@ impl SdpPruner {
             root_hubs,
             hub_parents,
             order_relations,
+            last: PruneStats::default(),
         }
     }
 
@@ -166,6 +169,7 @@ impl SdpPruner {
         level_sets: &[RelSet],
     ) -> Vec<RelSet> {
         let n = ctx.graph().len();
+        self.last = PruneStats::default();
         // Plain DP at level 1 and the last two levels (Figure 2.2).
         let prunable = (2..=n.saturating_sub(2)).contains(&level);
         if !prunable || level_sets.is_empty() {
@@ -273,6 +277,7 @@ impl SdpPruner {
                     })
                     .collect()
             };
+        let mut total_survivors = 0u64;
         for (key, mut winners) in keys.iter().zip(winner_lists) {
             let members = &partitions[key];
             if winners.is_empty() && !members.is_empty() {
@@ -281,6 +286,17 @@ impl SdpPruner {
                 // options, but a defensive guarantee regardless).
                 winners.push(0);
             }
+            total_survivors += winners.len() as u64;
+            // Partition spans emit in sorted-key order on the
+            // coordinating thread, so the sequence is deterministic.
+            #[cfg(feature = "trace")]
+            ctx.tracer().emit_with(|| {
+                sdp_trace::Event::new("skyline_partition")
+                    .with("level", level)
+                    .with("hub", key.0)
+                    .with("members", members.len())
+                    .with("survivors", winners.len())
+            });
             for w in winners {
                 survived_in[members[w]] += 1;
             }
@@ -294,6 +310,7 @@ impl SdpPruner {
 
         // Interesting-order partitions rescue JCRs that keep an
         // order-producing combination reachable.
+        let mut order_rescued = 0u64;
         for &t in &self.order_relations {
             let members: Vec<usize> = (0..level_sets.len())
                 .filter(|&i| !level_sets[i].contains(t))
@@ -303,15 +320,31 @@ impl SdpPruner {
             }
             let part_features: Vec<Vec<f64>> =
                 members.iter().map(|&i| features[i].clone()).collect();
+            let mut rescued_here = 0u64;
             for w in self.skyline(&part_features, threads) {
-                keep[members[w]] = true;
+                if !keep[members[w]] {
+                    keep[members[w]] = true;
+                    rescued_here += 1;
+                }
             }
+            order_rescued += rescued_here;
+            #[cfg(feature = "trace")]
+            ctx.tracer().emit_with(|| {
+                sdp_trace::Event::new("order_partition")
+                    .with("level", level)
+                    .with("relation", t)
+                    .with("members", members.len())
+                    .with("rescued", rescued_here)
+            });
         }
 
         // Per-hub completeness safeguard: if pruning eliminated every
         // JCR of some hub partition, resurrect that partition's
-        // cheapest member so the hub region can still grow.
-        for (key, members) in &partitions {
+        // cheapest member so the hub region can still grow. Iterated
+        // in sorted key order so the (rare) resurrection spans emit
+        // deterministically.
+        for key in &keys {
+            let members = &partitions[key];
             if members.iter().any(|&i| keep[i]) {
                 continue;
             }
@@ -325,8 +358,20 @@ impl SdpPruner {
                 })
                 .expect("partition non-empty");
             keep[best] = true;
-            let _ = key;
+            #[cfg(feature = "trace")]
+            ctx.tracer().emit_with(|| {
+                sdp_trace::Event::new("partition_resurrect")
+                    .with("level", level)
+                    .with("hub", key.0)
+                    .with("set", level_sets[best].0)
+            });
         }
+
+        self.last = PruneStats {
+            partitions: keys.len() as u64,
+            survivors: total_survivors,
+            order_rescued,
+        };
 
         let victims: Vec<RelSet> = (0..level_sets.len())
             .filter(|&i| !keep[i])
@@ -357,6 +402,10 @@ impl SdpPruner {
 impl LevelPruner for SdpPruner {
     fn prune(&mut self, ctx: &EnumContext<'_>, level: usize, level_sets: &[RelSet]) -> Vec<RelSet> {
         self.prune_level(ctx, level, level_sets)
+    }
+
+    fn last_prune_stats(&self) -> PruneStats {
+        self.last
     }
 }
 

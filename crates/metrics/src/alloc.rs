@@ -81,6 +81,25 @@ pub fn reset_peak() {
     PEAK.store(ALLOCATED.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
+/// Point-in-time copy of the allocator counters — what the metrics
+/// exposition endpoints report. Each field is read atomically; the
+/// pair is not a single transaction (fine for monitoring).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Bytes currently allocated.
+    pub live: u64,
+    /// Peak allocated bytes since the last [`reset_peak`].
+    pub peak: u64,
+}
+
+/// Snapshot the live and peak byte counters in one call.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        live: live_bytes(),
+        peak: peak_bytes(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +128,25 @@ mod tests {
             a.dealloc(p, layout);
         }
         assert_eq!(live_bytes(), before);
+    }
+
+    #[test]
+    fn snapshot_mirrors_the_counters() {
+        let a = CountingAllocator::new();
+        let layout = Layout::from_size_align(8192, 8).unwrap();
+        // SAFETY: valid layout; memory freed below.
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            let s = snapshot();
+            assert_eq!(s.live, live_bytes());
+            assert_eq!(s.peak, peak_bytes());
+            assert!(s.peak >= s.live, "peak can never trail live");
+            a.dealloc(p, layout);
+        }
+        reset_peak();
+        let s = snapshot();
+        assert_eq!(s.peak, s.live, "reset_peak pins peak to live");
     }
 
     #[test]

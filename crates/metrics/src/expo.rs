@@ -1,0 +1,373 @@
+//! Metrics exposition: one snapshot struct, two wire formats.
+//!
+//! [`MetricsReport`] bundles every observability surface the daemon
+//! owns — request counters, governor ladder counters, per-strategy
+//! latency aggregates, per-rung latency histograms, allocator
+//! watermarks, cache occupancy — into a plain value that renders as
+//! either Prometheus text exposition format ([`MetricsReport::
+//! prometheus_text`]) or a single JSON document
+//! ([`MetricsReport::to_json`], what `sdp-service replay
+//! --metrics-json` writes). Both renderers are hand-rolled: the
+//! formats are trivial and the workspace takes no serialization
+//! dependency for them.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::alloc::AllocSnapshot;
+use crate::service::{CountersSnapshot, GovernorSnapshot, LatencyHistogram, LatencyStats};
+
+/// Point-in-time bundle of every metric family the service exposes.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsReport {
+    /// Request/cache counters.
+    pub counters: CountersSnapshot,
+    /// Governor degradation-ladder counters.
+    pub governor: GovernorSnapshot,
+    /// Per-strategy latency aggregates, keyed by requested-strategy
+    /// label.
+    pub strategies: BTreeMap<String, LatencyStats>,
+    /// Per-rung latency histograms, keyed by the label of the rung
+    /// that produced the plan.
+    pub rungs: BTreeMap<String, LatencyHistogram>,
+    /// Process allocator watermarks (zeros when the counting allocator
+    /// is not installed).
+    pub alloc: AllocSnapshot,
+    /// Plans currently resident in the cache.
+    pub cached_plans: u64,
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+impl MetricsReport {
+    /// Render as Prometheus text exposition format (version 0.0.4):
+    /// `# HELP`/`# TYPE` headers, counters suffixed `_total`,
+    /// histograms as cumulative `_bucket{le=...}` series ending in
+    /// `+Inf`, durations in seconds.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let c = &self.counters;
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            "sdp_cache_hits_total",
+            "Requests served from the plan cache.",
+            c.hits,
+        );
+        counter(
+            "sdp_cache_misses_total",
+            "Requests that led an enumeration.",
+            c.misses,
+        );
+        counter(
+            "sdp_coalesced_total",
+            "Requests coalesced onto an in-flight enumeration.",
+            c.coalesced,
+        );
+        counter(
+            "sdp_cache_evicted_total",
+            "Cache entries evicted by LRU capacity pressure.",
+            c.evicted,
+        );
+        counter(
+            "sdp_cache_stale_evicted_total",
+            "Cache entries invalidated by statistics-epoch changes.",
+            c.stale_evicted,
+        );
+        counter(
+            "sdp_enumerations_total",
+            "Optimizer enumerations actually run.",
+            c.enumerations,
+        );
+        counter(
+            "sdp_plans_costed_total",
+            "Plan alternatives costed across all enumerations.",
+            c.plans_costed,
+        );
+        let g = &self.governor;
+        counter(
+            "sdp_degradations_total",
+            "Governor ladder descents taken.",
+            g.degradations,
+        );
+        counter(
+            "sdp_degradations_deadline_total",
+            "Descents caused by an expired deadline slice.",
+            g.deadline_degradations,
+        );
+        counter(
+            "sdp_degradations_memory_total",
+            "Descents caused by the memory budget.",
+            g.memory_degradations,
+        );
+        counter(
+            "sdp_degradations_cancel_total",
+            "Jumps to the bottom rung on caller cancellation.",
+            g.cancel_degradations,
+        );
+        counter(
+            "sdp_timeouts_total",
+            "Requests that failed outright on a deadline error.",
+            g.timeouts,
+        );
+        counter(
+            "sdp_leader_retries_total",
+            "Panicking single-flight leaders retried on a cheaper rung.",
+            g.leader_retries,
+        );
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge(
+            "sdp_cached_plans",
+            "Plans currently resident in the cache.",
+            self.cached_plans,
+        );
+        gauge(
+            "sdp_alloc_live_bytes",
+            "Bytes currently allocated by the process.",
+            self.alloc.live,
+        );
+        gauge(
+            "sdp_alloc_peak_bytes",
+            "Peak allocated bytes since the last reset.",
+            self.alloc.peak,
+        );
+
+        if !self.strategies.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP sdp_strategy_latency_seconds Enumeration latency by requested strategy."
+            );
+            let _ = writeln!(out, "# TYPE sdp_strategy_latency_seconds summary");
+            for (label, stats) in &self.strategies {
+                let _ = writeln!(
+                    out,
+                    "sdp_strategy_latency_seconds_sum{{strategy=\"{label}\"}} {}",
+                    secs(stats.total)
+                );
+                let _ = writeln!(
+                    out,
+                    "sdp_strategy_latency_seconds_count{{strategy=\"{label}\"}} {}",
+                    stats.count
+                );
+                let _ = writeln!(
+                    out,
+                    "sdp_strategy_latency_seconds_max{{strategy=\"{label}\"}} {}",
+                    secs(stats.max)
+                );
+            }
+        }
+
+        if !self.rungs.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP sdp_rung_latency_seconds Governed latency by producing rung."
+            );
+            let _ = writeln!(out, "# TYPE sdp_rung_latency_seconds histogram");
+            for (label, h) in &self.rungs {
+                let mut cumulative = 0u64;
+                for (upper, n) in h.nonzero_buckets() {
+                    cumulative += n;
+                    let _ = writeln!(
+                        out,
+                        "sdp_rung_latency_seconds_bucket{{rung=\"{label}\",le=\"{}\"}} {cumulative}",
+                        secs(upper)
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "sdp_rung_latency_seconds_bucket{{rung=\"{label}\",le=\"+Inf\"}} {}",
+                    h.count
+                );
+                let _ = writeln!(
+                    out,
+                    "sdp_rung_latency_seconds_sum{{rung=\"{label}\"}} {}",
+                    secs(h.total)
+                );
+                let _ = writeln!(
+                    out,
+                    "sdp_rung_latency_seconds_count{{rung=\"{label}\"}} {}",
+                    h.count
+                );
+            }
+        }
+        out
+    }
+
+    /// Render as one pretty-printed JSON document: counter and
+    /// governor tables verbatim, strategy aggregates and rung
+    /// histograms (with p50/p95/p99 extracted) keyed by label,
+    /// durations in microseconds.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let c = &self.counters;
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"counters\": {{");
+        let _ = writeln!(out, "    \"hits\": {},", c.hits);
+        let _ = writeln!(out, "    \"misses\": {},", c.misses);
+        let _ = writeln!(out, "    \"coalesced\": {},", c.coalesced);
+        let _ = writeln!(out, "    \"evicted\": {},", c.evicted);
+        let _ = writeln!(out, "    \"stale_evicted\": {},", c.stale_evicted);
+        let _ = writeln!(out, "    \"enumerations\": {},", c.enumerations);
+        let _ = writeln!(out, "    \"plans_costed\": {},", c.plans_costed);
+        let _ = writeln!(out, "    \"requests\": {}", c.requests());
+        let _ = writeln!(out, "  }},");
+        let g = &self.governor;
+        let _ = writeln!(out, "  \"governor\": {{");
+        let _ = writeln!(out, "    \"degradations\": {},", g.degradations);
+        let _ = writeln!(
+            out,
+            "    \"deadline_degradations\": {},",
+            g.deadline_degradations
+        );
+        let _ = writeln!(
+            out,
+            "    \"memory_degradations\": {},",
+            g.memory_degradations
+        );
+        let _ = writeln!(
+            out,
+            "    \"cancel_degradations\": {},",
+            g.cancel_degradations
+        );
+        let _ = writeln!(out, "    \"timeouts\": {},", g.timeouts);
+        let _ = writeln!(out, "    \"leader_retries\": {}", g.leader_retries);
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"strategies\": {{");
+        let n = self.strategies.len();
+        for (i, (label, s)) in self.strategies.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    \"{label}\": {{\"count\": {}, \"mean_micros\": {}, \"max_micros\": {}}}{comma}",
+                s.count,
+                s.mean().as_micros(),
+                s.max.as_micros()
+            );
+        }
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"rungs\": {{");
+        let n = self.rungs.len();
+        for (i, (label, h)) in self.rungs.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(out, "    \"{label}\": {{");
+            let _ = writeln!(out, "      \"count\": {},", h.count);
+            let _ = writeln!(out, "      \"mean_micros\": {},", h.mean().as_micros());
+            let _ = writeln!(out, "      \"p50_micros\": {},", h.p50().as_micros());
+            let _ = writeln!(out, "      \"p95_micros\": {},", h.p95().as_micros());
+            let _ = writeln!(out, "      \"p99_micros\": {},", h.p99().as_micros());
+            let _ = writeln!(out, "      \"max_micros\": {},", h.max.as_micros());
+            let buckets: Vec<String> = h
+                .nonzero_buckets()
+                .iter()
+                .map(|(upper, count)| format!("[{}, {count}]", upper.as_micros()))
+                .collect();
+            let _ = writeln!(out, "      \"buckets\": [{}]", buckets.join(", "));
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"alloc\": {{");
+        let _ = writeln!(out, "    \"live_bytes\": {},", self.alloc.live);
+        let _ = writeln!(out, "    \"peak_bytes\": {}", self.alloc.peak);
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"cached_plans\": {}", self.cached_plans);
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> MetricsReport {
+        let mut report = MetricsReport {
+            counters: CountersSnapshot {
+                hits: 5,
+                misses: 2,
+                coalesced: 1,
+                evicted: 0,
+                stale_evicted: 0,
+                enumerations: 2,
+                plans_costed: 1234,
+            },
+            governor: GovernorSnapshot {
+                degradations: 1,
+                memory_degradations: 1,
+                ..Default::default()
+            },
+            alloc: AllocSnapshot {
+                live: 1 << 20,
+                peak: 1 << 21,
+            },
+            cached_plans: 2,
+            ..Default::default()
+        };
+        let mut stats = LatencyStats::default();
+        stats.record(Duration::from_millis(4));
+        stats.record(Duration::from_millis(8));
+        report.strategies.insert("SDP".to_string(), stats);
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_micros(700));
+        h.record(Duration::from_micros(800));
+        h.record(Duration::from_millis(5));
+        report.rungs.insert("SDP".to_string(), h);
+        report
+    }
+
+    #[test]
+    fn prometheus_text_has_headers_and_series() {
+        let text = sample_report().prometheus_text();
+        assert!(text.contains("# TYPE sdp_cache_hits_total counter"));
+        assert!(text.contains("sdp_cache_hits_total 5"));
+        assert!(text.contains("sdp_degradations_memory_total 1"));
+        assert!(text.contains("sdp_cached_plans 2"));
+        assert!(text.contains("sdp_strategy_latency_seconds_count{strategy=\"SDP\"} 2"));
+        assert!(text.contains("sdp_rung_latency_seconds_bucket{rung=\"SDP\",le=\"+Inf\"} 3"));
+        // Cumulative buckets: the 2 sub-millisecond samples precede
+        // the 5 ms one.
+        assert!(text.contains("le=\"0.001023\"} 2"));
+        // Every non-comment line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "malformed line: {line}");
+        }
+    }
+
+    #[test]
+    fn json_report_is_parseable_shape() {
+        let json = sample_report().to_json();
+        assert!(json.contains("\"hits\": 5"));
+        assert!(json.contains("\"requests\": 8"));
+        assert!(json.contains("\"memory_degradations\": 1"));
+        assert!(json.contains("\"p95_micros\""));
+        assert!(json.contains("\"cached_plans\": 2"));
+        // Structural sanity without a JSON parser: balanced braces and
+        // brackets, no trailing comma before a closer.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n}"));
+        assert!(!json.contains(",\n  }"));
+        assert!(!json.contains(", }"));
+        assert!(!json.contains(",]"));
+    }
+
+    #[test]
+    fn empty_report_renders_cleanly() {
+        let report = MetricsReport::default();
+        let text = report.prometheus_text();
+        assert!(text.contains("sdp_cache_hits_total 0"));
+        assert!(!text.contains("sdp_rung_latency_seconds"));
+        let json = report.to_json();
+        assert!(json.contains("\"strategies\": {"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -20,10 +20,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod alloc;
+pub mod expo;
 pub mod overhead;
 pub mod quality;
 pub mod service;
 
+pub use alloc::AllocSnapshot;
+pub use expo::MetricsReport;
 pub use overhead::{OverheadSample, OverheadSummary};
 pub use quality::{geometric_mean_ratio, QualityClass, QualitySummary};
 pub use service::{

@@ -312,6 +312,54 @@ impl LatencyHistogram {
         }
     }
 
+    /// The latency at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket containing the `ceil(q·count)`-th smallest sample,
+    /// clamped to the observed maximum so a sparse top bucket cannot
+    /// inflate the estimate past anything actually seen. Zero when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median latency estimate.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency estimate.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency estimate.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram into this one (bucket-wise sum; `max`
+    /// and `total` combine exactly). Merging is associative and
+    /// commutative, so per-shard histograms can be combined in any
+    /// order.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
     /// The populated buckets, as `(upper_bound, count)` pairs in
     /// ascending latency order — what `sdp-service replay` prints.
     pub fn nonzero_buckets(&self) -> Vec<(Duration, u64)> {
@@ -462,6 +510,88 @@ mod tests {
         assert_eq!(nz[0], (Duration::from_micros(3), 2));
         assert_eq!(nz[1].1, 1);
         assert!(h.mean() > Duration::from_micros(300));
+    }
+
+    #[test]
+    fn histogram_bucket_edges_split_powers_of_two() {
+        // 2^i µs is the first sample of bucket i; 2^i − 1 µs is the
+        // last sample of bucket i−1 — exactly the upper-bound value.
+        for i in 1..20 {
+            let edge = 1u64 << i;
+            assert_eq!(
+                LatencyHistogram::bucket_for(Duration::from_micros(edge)),
+                i,
+                "2^{i} µs opens bucket {i}"
+            );
+            assert_eq!(
+                LatencyHistogram::bucket_for(Duration::from_micros(edge - 1)),
+                i - 1,
+                "2^{i} − 1 µs closes bucket {}",
+                i - 1
+            );
+            assert_eq!(
+                LatencyHistogram::bucket_upper_bound(i - 1),
+                Duration::from_micros(edge - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_walk_the_distribution() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), Duration::ZERO, "empty histogram");
+        // 90 fast samples in bucket 3 (8–15 µs), 9 in bucket 9
+        // (512–1023 µs), 1 slow outlier in bucket 13 (8192–16383 µs).
+        for _ in 0..90 {
+            h.record(Duration::from_micros(10));
+        }
+        for _ in 0..9 {
+            h.record(Duration::from_micros(600));
+        }
+        h.record(Duration::from_micros(9000));
+        assert_eq!(h.p50(), LatencyHistogram::bucket_upper_bound(3));
+        assert_eq!(h.p95(), LatencyHistogram::bucket_upper_bound(9));
+        assert_eq!(h.p99(), LatencyHistogram::bucket_upper_bound(9));
+        // p100 clamps to the observed max, not the bucket's upper edge.
+        assert_eq!(h.quantile(1.0), Duration::from_micros(9000));
+    }
+
+    #[test]
+    fn histogram_quantile_clamps_to_observed_max() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_micros(8200));
+        // The single sample sits in bucket 13 (upper bound 16383 µs);
+        // the estimate must not exceed what was actually observed.
+        assert_eq!(h.p50(), Duration::from_micros(8200));
+    }
+
+    #[test]
+    fn histogram_merge_is_bucketwise_sum() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        for _ in 0..50 {
+            a.record(Duration::from_micros(10));
+        }
+        for _ in 0..50 {
+            b.record(Duration::from_micros(600));
+        }
+        b.record(Duration::from_micros(9000));
+
+        // Reference: one histogram fed every sample directly.
+        let mut whole = LatencyHistogram::default();
+        for _ in 0..50 {
+            whole.record(Duration::from_micros(10));
+        }
+        for _ in 0..50 {
+            whole.record(Duration::from_micros(600));
+        }
+        whole.record(Duration::from_micros(9000));
+
+        a.merge(&b);
+        assert_eq!(a, whole, "merge must equal recording the union");
+        assert_eq!(a.count, 101);
+        assert_eq!(a.max, Duration::from_micros(9000));
+        assert_eq!(a.p50(), LatencyHistogram::bucket_upper_bound(9));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //!                    [--clients N] [--workers N] [--capacity N]
 //!                    [--shards N] [--threads N] [--seed N]
 //!                    [--deadline-ms N] [--memory-mb N]
+//!                    [--trace PATH] [--metrics-json PATH]
 //! ```
 //!
 //! `replay` generates a seeded workload of `--distinct` structurally
@@ -20,15 +21,31 @@
 //! down the ladder (DP → SDP → IDP(4) → GOO) instead of failing, and
 //! the report gains governor counters (degradations by reason,
 //! timeouts, leader retries) plus per-rung latency histograms.
+//!
+//! `--trace PATH` collects the full structured event stream (request
+//! lifecycle, governor transitions, enumeration spans) and writes it
+//! as a chrome://tracing-compatible JSON array. `--metrics-json PATH`
+//! writes the complete metrics report (counters, governor, latency
+//! tables, allocator watermarks) as one JSON document; the
+//! human-readable report stays on stdout either way. Failed requests
+//! are reported through the same trace stream, so each error line
+//! carries the query fingerprint and the rung it failed on.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sdp_catalog::Catalog;
+use sdp_metrics::alloc::CountingAllocator;
 use sdp_query::canon::stable_hash;
 use sdp_query::{Query, QueryGenerator, Topology};
 use sdp_service::{Daemon, OptimizerService, ServiceConfig, ServiceRequest};
+use sdp_trace::{chrome_trace, Event, MemorySink, TeeSink, TraceSink, Tracer};
+
+// Count heap traffic so `--metrics-json` reports real allocator
+// watermarks, same as the experiment harness.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
 
 struct ReplayArgs {
     shape: String,
@@ -43,6 +60,8 @@ struct ReplayArgs {
     seed: u64,
     deadline_ms: Option<u64>,
     memory_mb: Option<u64>,
+    trace: Option<String>,
+    metrics_json: Option<String>,
 }
 
 impl Default for ReplayArgs {
@@ -60,6 +79,8 @@ impl Default for ReplayArgs {
             seed: 42,
             deadline_ms: None,
             memory_mb: None,
+            trace: None,
+            metrics_json: None,
         }
     }
 }
@@ -68,7 +89,7 @@ fn usage() -> &'static str {
     "usage: sdp-service replay [--shape star|chain|cycle|star-chain] \
      [--relations N] [--distinct N] [--requests N] [--clients N] \
      [--workers N] [--capacity N] [--shards N] [--threads N] [--seed N] \
-     [--deadline-ms N] [--memory-mb N]"
+     [--deadline-ms N] [--memory-mb N] [--trace PATH] [--metrics-json PATH]"
 }
 
 fn parse_replay(args: &[String]) -> Result<ReplayArgs, String> {
@@ -141,6 +162,8 @@ fn parse_replay(args: &[String]) -> Result<ReplayArgs, String> {
                         .map_err(|e| format!("--memory-mb: {e}"))?,
                 )
             }
+            "--trace" => out.trace = Some(value("--trace")?.clone()),
+            "--metrics-json" => out.metrics_json = Some(value("--metrics-json")?.clone()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -167,6 +190,20 @@ fn topology_for(shape: &str, n: usize) -> Result<Topology, String> {
     }
 }
 
+/// Routes per-request failures to stderr as they happen. Replaces the
+/// client loop's bare `eprintln!`: the `request_error` events it
+/// prints carry the query fingerprint and the rung that failed, which
+/// the client-side error alone never knew.
+struct StderrErrorSink;
+
+impl TraceSink for StderrErrorSink {
+    fn record(&self, event: Event) {
+        if event.name == "request_error" {
+            eprintln!("{}", event.canonical());
+        }
+    }
+}
+
 fn replay(args: ReplayArgs) -> Result<(), String> {
     let topology = topology_for(&args.shape, args.relations)?;
     let catalog = if args.relations + 1 < 25 {
@@ -183,14 +220,30 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
         .map(|q| sdp_sql::render_sql(&catalog, q))
         .collect();
 
-    let service = Arc::new(OptimizerService::new(
-        catalog.clone(),
-        ServiceConfig {
-            cache_capacity: args.capacity,
-            cache_shards: args.shards,
-            parallelism: args.threads,
-        },
-    ));
+    // Error reporting always flows through the trace stream; a
+    // capturing sink joins the tee only when `--trace` asks for a
+    // dump.
+    let capture = args
+        .trace
+        .as_ref()
+        .map(|_| Arc::new(MemorySink::unbounded()));
+    let mut sinks: Vec<Arc<dyn TraceSink>> = vec![Arc::new(StderrErrorSink)];
+    if let Some(capture) = &capture {
+        sinks.push(Arc::clone(capture) as Arc<dyn TraceSink>);
+    }
+    let tracer = Tracer::new(Arc::new(TeeSink::new(sinks)));
+
+    let service = Arc::new(
+        OptimizerService::new(
+            catalog.clone(),
+            ServiceConfig {
+                cache_capacity: args.capacity,
+                cache_shards: args.shards,
+                parallelism: args.threads,
+            },
+        )
+        .with_tracer(tracer),
+    );
     let daemon = Daemon::spawn(Arc::clone(&service), args.workers);
 
     println!(
@@ -234,8 +287,10 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
                         if let Some(mb) = memory_mb {
                             request = request.with_memory_budget(mb << 20);
                         }
-                        if let Err(e) = daemon.execute(request) {
-                            eprintln!("request {i}: {e}");
+                        // Failures surface through the trace stream
+                        // (see StderrErrorSink), which knows the
+                        // fingerprint and rung; only count them here.
+                        if daemon.execute(request).is_err() {
                             failures += 1;
                         }
                     }
@@ -305,6 +360,23 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
     }
 
     daemon.shutdown();
+
+    if let (Some(path), Some(capture)) = (&args.trace, &capture) {
+        let events = capture.snapshot();
+        std::fs::write(path, chrome_trace(&events))
+            .map_err(|e| format!("writing --trace {path}: {e}"))?;
+        println!(
+            "trace: {} events ({} dropped) written to {path}",
+            events.len(),
+            capture.dropped(),
+        );
+    }
+    if let Some(path) = &args.metrics_json {
+        std::fs::write(path, service.metrics_report().to_json())
+            .map_err(|e| format!("writing --metrics-json {path}: {e}"))?;
+        println!("metrics: report written to {path}");
+    }
+
     if failures > 0 {
         return Err(format!("{failures} requests failed"));
     }

@@ -66,7 +66,12 @@ impl Daemon {
                         };
                         // The deadline is end-to-end: time spent
                         // queued is time the optimizer doesn't get.
-                        job.request.shrink_deadline(job.submitted.elapsed());
+                        let waited = job.submitted.elapsed();
+                        job.request.shrink_deadline(waited);
+                        service.tracer().emit_with(|| {
+                            sdp_trace::Event::new("queue_wait")
+                                .with("wait_micros", waited.as_micros() as u64)
+                        });
                         // A client that dropped its ticket just
                         // doesn't hear the answer.
                         let _ = job.reply.send(service.get_plan(&job.request));

@@ -28,9 +28,19 @@
 //!   requests from plain threads, charging queue-wait time against
 //!   each request's deadline.
 //!
+//! Attach an `sdp_trace::Tracer` with
+//! [`OptimizerService::with_tracer`] and the whole request lifecycle
+//! becomes observable: cache outcome per fingerprint, queue waits,
+//! governor degradations, leader retries and per-request errors, plus
+//! (with the default `trace` feature) the optimizer's own enumeration
+//! spans. [`OptimizerService::metrics_report`] snapshots every counter
+//! family into an `sdp_metrics::MetricsReport` for Prometheus-text or
+//! JSON exposition.
+//!
 //! The `sdp-service` binary's `replay` subcommand generates a
 //! workload, replays it through a daemon, and reports throughput plus
-//! cache behaviour.
+//! cache behaviour; `--trace` dumps a chrome://tracing-compatible
+//! event file and `--metrics-json` the full metrics report.
 //!
 //! ```
 //! use sdp_catalog::Catalog;

@@ -25,12 +25,13 @@ use sdp_core::{
     Algorithm, DegradeReason, GovernedPlan, Governor, OptError, Optimizer, PlanNode, Rung,
 };
 use sdp_metrics::{
-    CountersSnapshot, GovernorCounters, GovernorSnapshot, RungLatencies, ServiceCounters,
-    StrategyLatencies,
+    CountersSnapshot, GovernorCounters, GovernorSnapshot, MetricsReport, RungLatencies,
+    ServiceCounters, StrategyLatencies,
 };
 use sdp_query::canon::stable_hash;
 use sdp_query::Query;
 use sdp_sql::SqlError;
+use sdp_trace::{Event, Tracer};
 
 use crate::cache::{Lookup, ShardedLru};
 use crate::fingerprint::{fingerprint_query, Fingerprint};
@@ -246,7 +247,14 @@ pub struct OptimizerService {
     latencies: StrategyLatencies,
     governor_counters: GovernorCounters,
     rung_latencies: RungLatencies,
+    tracer: Tracer,
     config: ServiceConfig,
+}
+
+/// Fingerprints render as fixed-width hex in trace events so they can
+/// be grepped and joined across the request lifecycle.
+fn fp_hex(fp: Fingerprint) -> String {
+    format!("{:032x}", fp.0)
 }
 
 /// Render a panic payload as a message, as `std::panic::catch_unwind`
@@ -289,6 +297,7 @@ impl OptimizerService {
             latencies: StrategyLatencies::new(),
             governor_counters: GovernorCounters::new(),
             rung_latencies: RungLatencies::new(),
+            tracer: Tracer::disabled(),
             config,
         }
     }
@@ -296,6 +305,32 @@ impl OptimizerService {
     /// Service with default tuning.
     pub fn with_defaults(catalog: Catalog) -> Self {
         OptimizerService::new(catalog, ServiceConfig::default())
+    }
+
+    /// Attach a trace sink: request-lifecycle events (cache outcome,
+    /// degradations, errors) flow to it, and — when the `trace`
+    /// feature is on — so do the optimizer's enumeration spans.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The service's tracer (disabled unless one was attached).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// One-call snapshot of every metric family the service owns, for
+    /// the exposition endpoints (`prometheus_text`, `--metrics-json`).
+    pub fn metrics_report(&self) -> MetricsReport {
+        MetricsReport {
+            counters: self.counters.snapshot(),
+            governor: self.governor_counters.snapshot(),
+            strategies: self.latencies.snapshot(),
+            rungs: self.rung_latencies.snapshot(),
+            alloc: sdp_metrics::alloc::snapshot(),
+            cached_plans: self.cache.len() as u64,
+        }
     }
 
     /// The current catalog snapshot.
@@ -356,6 +391,12 @@ impl OptimizerService {
             match self.cache.get(key, epoch) {
                 Lookup::Hit(plan) => {
                     self.counters.record_hit();
+                    self.tracer.emit_with(|| {
+                        Event::new("request")
+                            .with("fingerprint", fp_hex(fingerprint))
+                            .with("outcome", "hit")
+                            .with("rung", plan.strategy.clone())
+                    });
                     return Ok(ServiceResponse {
                         plan,
                         source: PlanSource::Cache,
@@ -368,6 +409,11 @@ impl OptimizerService {
                 // can inspect it before letting go.
                 Lookup::Stale(_stale) => {
                     self.counters.add_stale_evicted(1);
+                    self.tracer.emit_with(|| {
+                        Event::new("cache_stale")
+                            .with("fingerprint", fp_hex(fingerprint))
+                            .with("epoch", epoch)
+                    });
                 }
                 Lookup::Miss => {}
             }
@@ -376,6 +422,10 @@ impl OptimizerService {
                 Flight::Leader(token) => {
                     let started = Instant::now();
                     let mut optimizer = Optimizer::new(&catalog);
+                    #[cfg(feature = "trace")]
+                    {
+                        optimizer = optimizer.with_tracer(self.tracer.clone());
+                    }
                     if let Some(threads) = self.config.parallelism {
                         optimizer = optimizer.with_parallelism(threads);
                     }
@@ -418,6 +468,12 @@ impl OptimizerService {
                                 if matches!(e, OptError::TimedOut { .. }) {
                                     self.governor_counters.record_timeout();
                                 }
+                                self.tracer.emit_with(|| {
+                                    Event::new("request_error")
+                                        .with("fingerprint", fp_hex(fingerprint))
+                                        .with("rung", attempt_now.label())
+                                        .with("error", format!("{e}"))
+                                });
                                 return Err(e.into());
                             }
                             Err(payload) => {
@@ -427,12 +483,26 @@ impl OptimizerService {
                                     Some(rung) if !retried => {
                                         retried = true;
                                         self.governor_counters.record_leader_retry();
+                                        self.tracer.emit_with(|| {
+                                            Event::new("leader_retry")
+                                                .with("fingerprint", fp_hex(fingerprint))
+                                                .with("from", attempt_now.label())
+                                                .with("to", rung.label())
+                                        });
                                         attempt = rung.algorithm();
                                     }
                                     _ => {
-                                        return Err(ServiceError::LeaderPanicked(panic_message(
-                                            payload.as_ref(),
-                                        )));
+                                        let message = panic_message(payload.as_ref());
+                                        self.tracer.emit_with(|| {
+                                            Event::new("request_error")
+                                                .with("fingerprint", fp_hex(fingerprint))
+                                                .with("rung", attempt_now.label())
+                                                .with(
+                                                    "error",
+                                                    format!("leader panicked: {message}"),
+                                                )
+                                        });
+                                        return Err(ServiceError::LeaderPanicked(message));
                                     }
                                 }
                             }
@@ -473,6 +543,14 @@ impl OptimizerService {
                     );
                     let evicted = self.cache.insert(key, plan.clone(), epoch);
                     self.counters.add_evicted(evicted);
+                    self.tracer.emit_with(|| {
+                        Event::new("request")
+                            .with("fingerprint", fp_hex(fingerprint))
+                            .with("outcome", "fresh")
+                            .with("rung", plan.strategy.clone())
+                            .with("plans_costed", plans_costed)
+                            .with("degradations", plan.degradations)
+                    });
                     token.publish(plan.clone());
                     return Ok(ServiceResponse {
                         plan,
@@ -482,6 +560,12 @@ impl OptimizerService {
                 }
                 Flight::Coalesced(Some(plan)) => {
                     self.counters.record_coalesced();
+                    self.tracer.emit_with(|| {
+                        Event::new("request")
+                            .with("fingerprint", fp_hex(fingerprint))
+                            .with("outcome", "coalesced")
+                            .with("rung", plan.strategy.clone())
+                    });
                     return Ok(ServiceResponse {
                         plan,
                         source: PlanSource::Coalesced,
@@ -704,6 +788,77 @@ mod tests {
             .rung_latencies()
             .snapshot()
             .contains_key(&resp.plan.strategy));
+    }
+
+    #[test]
+    fn request_lifecycle_flows_through_the_tracer() {
+        let catalog = Catalog::paper();
+        let sink = Arc::new(sdp_trace::MemorySink::unbounded());
+        let service = OptimizerService::with_defaults(catalog.clone())
+            .with_tracer(Tracer::new(Arc::clone(&sink) as _));
+        let q = QueryGenerator::new(&catalog, Topology::Star(13), 5).instance(0);
+        let request = ServiceRequest::query(q)
+            .with_algorithm(Algorithm::Dp)
+            .with_memory_budget(1 << 20);
+        service.get_plan(&request).unwrap();
+        service.get_plan(&request).unwrap();
+
+        let events = sink.snapshot();
+        let outcome = |want: &str| {
+            events
+                .iter()
+                .filter(|e| {
+                    e.name == "request"
+                        && e.fields
+                            .iter()
+                            .any(|(k, v)| *k == "outcome" && v.to_string() == want)
+                })
+                .count()
+        };
+        assert_eq!(outcome("fresh"), 1);
+        assert_eq!(outcome("hit"), 1);
+        // The fresh request degraded DP → SDP under the 1 MB budget;
+        // the fingerprint field is fixed-width hex on every event.
+        assert!(events.iter().any(|e| e.name == "request"
+            && e.fields
+                .iter()
+                .any(|(k, v)| *k == "rung" && v.to_string() == "SDP")));
+        for event in events.iter().filter(|e| e.name == "request") {
+            let fp = event
+                .fields
+                .iter()
+                .find(|(k, _)| *k == "fingerprint")
+                .map(|(_, v)| v.to_string())
+                .expect("request events carry a fingerprint");
+            assert_eq!(fp.len(), 32, "{fp}");
+        }
+    }
+
+    #[test]
+    fn metrics_report_round_trips_both_formats() {
+        let catalog = Catalog::paper();
+        let service = OptimizerService::with_defaults(catalog.clone());
+        let q = QueryGenerator::new(&catalog, Topology::Star(13), 5).instance(0);
+        let request = ServiceRequest::query(q)
+            .with_algorithm(Algorithm::Dp)
+            .with_memory_budget(1 << 20);
+        service.get_plan(&request).unwrap();
+        service.get_plan(&request).unwrap();
+
+        let report = service.metrics_report();
+        assert_eq!(report.counters.hits, 1);
+        assert_eq!(report.counters.misses, 1);
+        assert_eq!(report.governor.memory_degradations, 1);
+        assert_eq!(report.cached_plans, 1);
+        assert_eq!(report.rungs["SDP"].count, 1);
+
+        let text = report.prometheus_text();
+        assert!(text.contains("sdp_cache_hits_total 1"));
+        assert!(text.contains("sdp_degradations_memory_total 1"));
+        assert!(text.contains("sdp_rung_latency_seconds_bucket{rung=\"SDP\",le=\"+Inf\"} 1"));
+        let json = report.to_json();
+        assert!(json.contains("\"requests\": 2"));
+        assert!(json.contains("\"memory_degradations\": 1"));
     }
 
     #[test]

@@ -40,8 +40,9 @@
 //! | [`core`] | the enumerators: DP, IDP(k), **SDP**, GOO; memo, plans, budgets |
 //! | [`sql`] | SQL front-end: lexer, parser, binder, renderer |
 //! | [`engine`] | synthetic tuples + Volcano executor for validation |
-//! | [`metrics`] | plan-quality classes, ρ, overhead aggregation, service counters |
+//! | [`metrics`] | plan-quality classes, ρ, overhead aggregation, service counters, metrics exposition |
 //! | [`service`] | resident optimizer daemon: query fingerprints, sharded plan cache, single-flight coalescing |
+//! | [`trace`] | zero-dependency structured tracing: spans, sinks, chrome://tracing dumps |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -55,13 +56,15 @@ pub use sdp_query as query;
 pub use sdp_service as service;
 pub use sdp_skyline as skyline;
 pub use sdp_sql as sql;
+pub use sdp_trace as trace;
 
 /// The common imports for working with the library.
 pub mod prelude {
     pub use sdp_catalog::{Catalog, ColId, RelId, SchemaSpec};
     pub use sdp_core::{
-        explain::explain, Algorithm, Budget, CancelHandle, DegradeReason, GovernedPlan, Governor,
-        OptError, OptimizedPlan, Optimizer, Partitioning, Rung, SdpConfig, SkylineOption,
+        explain::explain, explain::explain_analyze, Algorithm, Budget, CancelHandle, DegradeReason,
+        GovernedPlan, Governor, LevelStats, OptError, OptimizedPlan, Optimizer, Partitioning, Rung,
+        SdpConfig, SkylineOption,
     };
     pub use sdp_cost::{CostModel, CostParams};
     pub use sdp_engine::{execute, scaled_catalog, Database};

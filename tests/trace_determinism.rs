@@ -1,0 +1,99 @@
+//! The merged trace must be byte-identical across parallelism.
+//!
+//! The enumerator's per-worker event buffers are forwarded at the
+//! level-merge barrier in chunk order — the same discipline that makes
+//! the memo bit-identical at any thread count — and every canonical
+//! event field is derived from deterministic enumeration state, never
+//! from wall clocks or thread identity. So a governed run with the
+//! same query and the same injected fault schedule must emit the
+//! byte-identical canonical trace at 1 thread and at 4, including runs
+//! that trip the budget mid-ladder and roll levels back.
+
+use sdp::prelude::*;
+use sdp::trace::{canonical_dump, MemorySink, Tracer};
+use sdp_testkit::FaultPlan;
+use std::sync::Arc;
+
+/// One governed, traced run at a fixed parallelism; returns the
+/// canonical dump of everything the optimizer emitted.
+fn traced_run(catalog: &Catalog, query: &Query, threads: usize, schedule: &[(u64, u64)]) -> String {
+    let sink = Arc::new(MemorySink::unbounded());
+    let mut faults = FaultPlan::new();
+    for &(barrier, bytes) in schedule {
+        faults = faults.shrink_memory_at(barrier, bytes);
+    }
+    let governor = Governor::new().with_fault_plan(faults);
+    Optimizer::new(catalog)
+        .with_tracer(Tracer::new(Arc::clone(&sink) as _))
+        .with_parallelism(threads)
+        .optimize_governed(query, Algorithm::Dp, &governor)
+        .expect("governed run must land on a feasible rung");
+    canonical_dump(&sink.snapshot())
+}
+
+#[test]
+fn governed_trace_is_parallelism_invariant() {
+    // Star-13 crosses the enumerator's parallel-pair threshold, so the
+    // 4-thread run really shards levels; the barrier-2 starvation
+    // forces a DP → SDP descent with a mid-run level rollback.
+    let catalog = Catalog::paper();
+    let query = QueryGenerator::new(&catalog, Topology::Star(13), 7).instance(0);
+    let schedule = [(2u64, 0u64)];
+    let sequential = traced_run(&catalog, &query, 1, &schedule);
+    let parallel = traced_run(&catalog, &query, 4, &schedule);
+    assert!(
+        !sequential.is_empty(),
+        "a traced governed run must emit events"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "canonical traces diverged between 1 and 4 threads"
+    );
+    // The descent really happened and is visible in the trace.
+    assert!(sequential.contains("degrade from=DP to=SDP reason=Memory"));
+    assert!(sequential.contains("level_rollback"));
+    assert!(sequential.contains("rung_complete rung=SDP"));
+    // Enumeration spans are present: per-set creations and per-level
+    // summaries with pruning counters.
+    assert!(sequential.contains("jcr level="));
+    assert!(sequential.contains("level level="));
+    assert!(sequential.contains("skyline_partitions="));
+}
+
+#[test]
+fn undegraded_trace_is_parallelism_invariant() {
+    let catalog = Catalog::paper();
+    let query = QueryGenerator::new(&catalog, Topology::star_chain(14), 11).instance(0);
+    let sequential = traced_run(&catalog, &query, 1, &[]);
+    let parallel = traced_run(&catalog, &query, 4, &[]);
+    assert_eq!(sequential, parallel);
+    assert!(sequential.contains("rung_complete rung=DP"));
+    assert!(!sequential.contains("degrade"));
+}
+
+#[test]
+fn full_descent_trace_is_parallelism_invariant() {
+    // Starve DP, SDP and IDP at their first barriers: the trace walks
+    // the whole ladder to GOO and must still match byte-for-byte.
+    let catalog = Catalog::paper();
+    let query = QueryGenerator::new(&catalog, Topology::Star(13), 5).instance(0);
+    let schedule = [(1u64, 0u64), (2, 0), (3, 0)];
+    let sequential = traced_run(&catalog, &query, 1, &schedule);
+    let parallel = traced_run(&catalog, &query, 4, &schedule);
+    assert_eq!(sequential, parallel);
+    assert!(sequential.contains("degrade from=DP to=SDP reason=Memory"));
+    assert!(sequential.contains("degrade from=SDP to=IDP(4) reason=Memory"));
+    assert!(sequential.contains("degrade from=IDP(4) to=GOO reason=Memory"));
+    assert!(sequential.contains("rung_complete rung=GOO"));
+}
+
+#[test]
+fn identical_runs_produce_identical_traces() {
+    // Same query, same schedule, same parallelism, two separate runs:
+    // the canonical dump is a pure function of the inputs.
+    let catalog = Catalog::paper();
+    let query = QueryGenerator::new(&catalog, Topology::Star(12), 3).instance(0);
+    let a = traced_run(&catalog, &query, 4, &[(2, 0)]);
+    let b = traced_run(&catalog, &query, 4, &[(2, 0)]);
+    assert_eq!(a, b);
+}
