@@ -1,0 +1,91 @@
+//! Enumeration-strategy comparison: candidate-pair generation cost in
+//! isolation (over a pre-built exhaustive survivor table) and
+//! end-to-end optimization, LevelScan versus DPccp versus DPconv,
+//! across the four canonical topologies.
+//!
+//! Infeasible combinations are omitted rather than sampled thin:
+//! exhaustive DP on Clique(15)/Clique(20) (~3^n pairs) and Star(20)
+//! does not complete in benchmark time under any pair-generation
+//! strategy — the bottleneck is costing, not generation. See
+//! EXPERIMENTS.md for the quality-versus-effort table these numbers
+//! feed.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdp_bench::paper_query;
+use sdp_catalog::Catalog;
+use sdp_core::dp::run_levels_with;
+use sdp_core::{Algorithm, Budget, EnumContext, EnumeratorKind, LevelScan, Optimizer};
+use sdp_cost::CostModel;
+use sdp_query::{Query, RelSet, Topology};
+
+/// (topology, sizes) pairs where the exhaustive table itself is cheap
+/// enough to rebuild in a bench harness.
+fn generation_cases() -> Vec<(&'static str, Topology)> {
+    vec![
+        ("chain_10", Topology::Chain(10)),
+        ("chain_15", Topology::Chain(15)),
+        ("chain_20", Topology::Chain(20)),
+        ("cycle_10", Topology::Cycle(10)),
+        ("cycle_15", Topology::Cycle(15)),
+        ("cycle_20", Topology::Cycle(20)),
+        ("star_10", Topology::Star(10)),
+        ("star_15", Topology::Star(15)),
+        ("clique_10", Topology::Clique(10)),
+    ]
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let catalog = Catalog::extended(32);
+    let model = CostModel::with_defaults(&catalog);
+    let mut g = c.benchmark_group("enumeration_pairs");
+    g.sample_size(10);
+    for (label, topo) in generation_cases() {
+        let query: Query = paper_query(&catalog, topo, 1, 0);
+        let n = query.num_relations();
+        let mut ctx = EnumContext::new(&query, &model, Budget::unlimited());
+        ctx.set_parallelism(1);
+        for i in 0..n {
+            ctx.ensure_base_group(i);
+        }
+        let atoms: Vec<RelSet> = (0..n).map(RelSet::single).collect();
+        let mut scan = LevelScan;
+        let table = run_levels_with(&mut ctx, &atoms, n, None, &mut scan).unwrap();
+        for kind in [EnumeratorKind::LevelScan, EnumeratorKind::Dpccp] {
+            g.bench_with_input(BenchmarkId::new(kind.label(), label), &table, |b, table| {
+                let mut e = kind.build();
+                e.prepare(&ctx, &atoms, n);
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for s in 2..=n {
+                        total += e.level_pairs(&ctx, table, s).len();
+                    }
+                    black_box(total)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let catalog = Catalog::extended(32);
+    let mut g = c.benchmark_group("enumeration_e2e");
+    g.sample_size(10);
+    for (label, topo) in generation_cases() {
+        let query = paper_query(&catalog, topo, 1, 0);
+        for kind in [
+            EnumeratorKind::LevelScan,
+            EnumeratorKind::Dpccp,
+            EnumeratorKind::DpConv,
+        ] {
+            let optimizer = Optimizer::new(&catalog).with_enumerator(kind);
+            g.bench_with_input(BenchmarkId::new(kind.label(), label), &query, |b, q| {
+                b.iter(|| optimizer.optimize(q, Algorithm::Dp).unwrap().cost)
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_end_to_end);
+criterion_main!(benches);

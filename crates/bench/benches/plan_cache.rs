@@ -24,6 +24,7 @@ fn service(catalog: &Catalog) -> OptimizerService {
             cache_capacity: 256,
             cache_shards: 4,
             parallelism: Some(1),
+            enumerator: None,
         },
     )
 }

@@ -18,6 +18,7 @@ use sdp_cost::{CostModel, InnerIndex, JoinInput, ScanKind};
 use sdp_query::{ClassId, EquivClasses, JoinGraph, Query, RelSet};
 
 use crate::budget::{Budget, BudgetProbe, MemoryModel, OptError};
+use crate::enumerate::EnumeratorKind;
 use crate::fx::FxHashMap;
 use crate::memo::{Group, Memo};
 use crate::plan::{NodeCounter, PlanNode, PlanOp};
@@ -88,7 +89,11 @@ pub struct LevelStats {
     /// `"IDP"`, ...). Governed descents tag each level with the rung
     /// that produced it.
     pub phase: &'static str,
-    /// Candidate connected pairs considered.
+    /// Pair-enumeration strategy that emitted the level's candidates
+    /// (`"levelscan"`, `"dpccp"`, `"dpconv"`).
+    pub enumerator: &'static str,
+    /// Candidate connected pairs considered (pairs emitted by the
+    /// enumerator).
     pub pairs: u64,
     /// Plan alternatives costed during the level.
     pub plans_costed: u64,
@@ -140,6 +145,7 @@ pub struct EnumContext<'a> {
     order_target: Option<ClassId>,
     nodes: NodeCounter,
     parallelism: usize,
+    enumerator: EnumeratorKind,
     /// The memo of JCR groups.
     pub memo: Memo,
     /// Memory model / budget tracking.
@@ -176,6 +182,7 @@ impl<'a> EnumContext<'a> {
             memory: MemoryModel::new(budget, nodes.clone()),
             nodes,
             parallelism: default_parallelism(),
+            enumerator: EnumeratorKind::from_env(),
             memo: Memo::new(),
             plans_costed: 0,
             jcrs_pruned: 0,
@@ -229,6 +236,17 @@ impl<'a> EnumContext<'a> {
     /// Set the enumeration parallelism (clamped to at least 1).
     pub fn set_parallelism(&mut self, threads: usize) {
         self.parallelism = threads.max(1);
+    }
+
+    /// The pair-enumeration strategy `run_levels` builds its
+    /// per-invocation enumerator from.
+    pub fn enumerator(&self) -> EnumeratorKind {
+        self.enumerator
+    }
+
+    /// Select the pair-enumeration strategy for this run.
+    pub fn set_enumerator(&mut self, kind: EnumeratorKind) {
+        self.enumerator = kind;
     }
 
     /// Install the structured-trace emission handle for this run.

@@ -16,6 +16,12 @@
 //!   block size, contracting the winning block into a compound atom
 //!   between iterations.
 //!
+//! Candidate-pair discovery is delegated to a
+//! [`crate::enumerate::PairEnumerator`] strategy
+//! (level-table scan, DPccp-style csg–cmp generation, or the DPconv
+//! surrogate prototype — see [`crate::enumerate`]); the engine only
+//! consumes the strategy's deterministic pair stream.
+//!
 //! A [`LevelPruner`] hook fires after each level is fully enumerated;
 //! SDP plugs its hub-partitioned skyline pruning in here, exhaustive
 //! DP passes `None`.
@@ -40,6 +46,7 @@ use sdp_query::RelSet;
 
 use crate::budget::OptError;
 use crate::context::{EnumContext, LevelStats};
+use crate::enumerate::PairEnumerator;
 use crate::fx::FxHashSet;
 use crate::plan::PlanNode;
 
@@ -96,30 +103,6 @@ impl LevelTable {
             .iter()
             .map(|&(s, _)| s)
     }
-}
-
-/// Collect the level's joinable candidate pairs in the canonical
-/// sequential visit order: splits `i + (s - i)` for `i = 1 ..= s/2`,
-/// left level in survivor order, right level in survivor order,
-/// unordered pairs visited once when `i == j`.
-fn collect_level_pairs(table: &LevelTable, s: usize) -> Vec<(RelSet, RelSet)> {
-    let mut pairs = Vec::new();
-    for i in 1..=s / 2 {
-        let j = s - i;
-        let (left_level, right_level) = (&table.levels[i - 1], &table.levels[j - 1]);
-        for (li, &(a, a_nb)) in left_level.iter().enumerate() {
-            for (ri, &(b, _)) in right_level.iter().enumerate() {
-                if i == j && li >= ri {
-                    continue; // unordered pair once
-                }
-                if !a.is_disjoint(b) || !a_nb.intersects(b) {
-                    continue; // overlapping or cartesian
-                }
-                pairs.push((a, b));
-            }
-        }
-    }
-    pairs
 }
 
 /// Enumerate one level's pairs across worker threads and merge the
@@ -244,6 +227,7 @@ fn run_one_level<'p>(
     let stats = LevelStats {
         level,
         phase: ctx.phase(),
+        enumerator: ctx.enumerator().label(),
         pairs: pair_count,
         plans_costed: ctx.plans_costed - plans_before,
         jcrs_created: created.len() as u64,
@@ -268,6 +252,7 @@ fn level_event(stats: &LevelStats) -> sdp_trace::Event {
     sdp_trace::Event::new("level")
         .with("level", stats.level)
         .with("phase", stats.phase)
+        .with("enumerator", stats.enumerator)
         .with("pairs", stats.pairs)
         .with("costed", stats.plans_costed)
         .with("created", stats.jcrs_created)
@@ -282,14 +267,32 @@ fn level_event(stats: &LevelStats) -> sdp_trace::Event {
 
 /// Run bottom-up DP over `atoms` (each must already have a memo
 /// group), building levels `2 ..= up_to` (in atom count), applying
-/// `pruner` after each level when provided.
+/// `pruner` after each level when provided. Candidate pairs come from
+/// the context's configured enumeration strategy
+/// ([`EnumContext::enumerator`]); a fresh instance is built per
+/// invocation so IDP iterations re-prepare over their shrinking atom
+/// lists.
 pub fn run_levels(
     ctx: &mut EnumContext<'_>,
     atoms: &[RelSet],
     up_to: usize,
+    pruner: Option<&mut dyn LevelPruner>,
+) -> Result<LevelTable, OptError> {
+    let mut enumerator = ctx.enumerator().build();
+    run_levels_with(ctx, atoms, up_to, pruner, enumerator.as_mut())
+}
+
+/// [`run_levels`] with an explicit [`PairEnumerator`] instance —
+/// the seam tests and benchmarks use to drive a specific strategy.
+pub fn run_levels_with(
+    ctx: &mut EnumContext<'_>,
+    atoms: &[RelSet],
+    up_to: usize,
     mut pruner: Option<&mut dyn LevelPruner>,
+    enumerator: &mut dyn PairEnumerator,
 ) -> Result<LevelTable, OptError> {
     debug_assert!(up_to >= 1 && up_to <= atoms.len());
+    enumerator.prepare(ctx, atoms, up_to);
     let mut table = LevelTable::default();
     table.levels.push(
         atoms
@@ -303,7 +306,7 @@ pub fn run_levels(
 
     let mut visits: u64 = 0;
     for s in 2..=up_to {
-        let pairs = collect_level_pairs(&table, s);
+        let pairs = enumerator.level_pairs(ctx, &table, s);
         let mut new_sets: Vec<RelSet> = Vec::new();
         let mut created: Vec<RelSet> = Vec::new();
         let mut recorded: FxHashSet<RelSet> = FxHashSet::default();

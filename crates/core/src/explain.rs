@@ -132,10 +132,11 @@ pub fn explain_analyze(governed: &GovernedPlan) -> String {
         for row in &plan.profile {
             let _ = writeln!(
                 out,
-                "  [{}] level {}: pairs={} costed={} created={} pruned={} retained={} \
+                "  [{}] level {}: enumerator={} pairs={} costed={} created={} pruned={} retained={} \
                  skyline_partitions={} skyline_survivors={} order_rescued={} memo={} model_bytes={}",
                 row.phase,
                 row.level,
+                row.enumerator,
                 row.pairs,
                 row.plans_costed,
                 row.jcrs_created,

@@ -6,6 +6,11 @@
 //! * [`dp`] — the exhaustive bushy DP enumerator (PostgreSQL's
 //!   baseline), generalized over *atoms* so that IDP can reuse it
 //!   after contracting compounds;
+//! * [`enumerate`] — candidate-pair generation strategies behind the
+//!   `PairEnumerator` trait: the level-table scan, DPccp-style
+//!   csg–cmp generation over the join graph, and a DPconv-inspired
+//!   min-plus surrogate prototype, selectable per run
+//!   (`SDP_ENUMERATOR` env or `Optimizer::with_enumerator`);
 //! * [`sdp`] — **Skyline Dynamic Programming**: localized pruning on
 //!   hub partitions with the disjunctive pairwise-skyline function
 //!   over the `[Rows, Cost, Selectivity]` feature vector, including
@@ -28,6 +33,7 @@
 pub mod budget;
 pub mod context;
 pub mod dp;
+pub mod enumerate;
 pub mod explain;
 pub mod fx;
 pub mod goo;
@@ -71,11 +77,13 @@ fn _assert_service_types_are_send_sync() {
     check::<sdp_catalog::Catalog>();
     check::<sdp_query::Query>();
     check::<context::LevelStats>();
+    check::<enumerate::EnumeratorKind>();
     #[cfg(feature = "trace")]
     check::<sdp_trace::Tracer>();
 }
 pub use context::{default_parallelism, EnumContext, LevelStats, RunStats};
 pub use dp::{LevelPruner, PruneStats};
+pub use enumerate::{DpConv, Dpccp, EnumeratorKind, LevelScan, PairEnumerator};
 pub use explain::{explain, explain_analyze};
 pub use memo::{Group, Memo};
 pub use optimizer::{Algorithm, OptimizedPlan, Optimizer};

@@ -21,6 +21,7 @@ use sdp_query::{infer_transitive_edges, Query};
 use crate::budget::{Budget, OptError};
 use crate::context::{default_parallelism, EnumContext, LevelStats, RunStats};
 use crate::dp::optimize_complete;
+use crate::enumerate::EnumeratorKind;
 use crate::goo::optimize_goo;
 use crate::governor::{prepare_handoff, DegradeEvent, DegradeReason, GovernedPlan, Governor, Rung};
 use crate::idp::{optimize_idp, IdpConfig};
@@ -109,6 +110,7 @@ pub struct Optimizer<'a> {
     budget: Budget,
     infer_closure: bool,
     parallelism: usize,
+    enumerator: EnumeratorKind,
     #[cfg(feature = "trace")]
     tracer: sdp_trace::Tracer,
 }
@@ -126,6 +128,7 @@ impl<'a> Optimizer<'a> {
             budget: Budget::default(),
             infer_closure: true,
             parallelism: default_parallelism(),
+            enumerator: EnumeratorKind::from_env(),
             #[cfg(feature = "trace")]
             tracer: sdp_trace::Tracer::disabled(),
         }
@@ -159,6 +162,17 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Select the candidate-pair enumeration strategy (`LevelScan`,
+    /// `Dpccp` or `DpConv`; see [`crate::enumerate`]). Defaults to
+    /// the `SDP_ENUMERATOR` env override, else `LevelScan`.
+    /// `LevelScan` and `Dpccp` choose bit-identical plans on
+    /// exhaustive rungs; `DpConv` trades plan quality for a
+    /// super-polynomially smaller costing effort.
+    pub fn with_enumerator(mut self, kind: EnumeratorKind) -> Self {
+        self.enumerator = kind;
+        self
+    }
+
     /// Install a structured-trace handle; every run started from this
     /// optimizer emits its level spans, skyline partition spans and
     /// governor transitions into it. Canonical event sequences are
@@ -179,6 +193,11 @@ impl<'a> Optimizer<'a> {
         self.parallelism
     }
 
+    /// The pair-enumeration strategy in force.
+    pub fn enumerator(&self) -> EnumeratorKind {
+        self.enumerator
+    }
+
     /// Optimize `query` with the chosen algorithm.
     ///
     /// The query is first passed through the rewriter (transitive
@@ -189,6 +208,7 @@ impl<'a> Optimizer<'a> {
         let model = CostModel::new(self.catalog, self.params);
         let mut ctx = EnumContext::new(&rewritten, &model, self.budget);
         ctx.set_parallelism(self.parallelism);
+        ctx.set_enumerator(self.enumerator);
         #[cfg(feature = "trace")]
         ctx.set_tracer(self.tracer.clone());
         let root = dispatch(&mut ctx, algorithm)?;
@@ -228,6 +248,7 @@ impl<'a> Optimizer<'a> {
             // ladder descent meaningless.
             let mut ctx = EnumContext::new(&rewritten, &model, governor.full_budget());
             ctx.set_parallelism(self.parallelism);
+            ctx.set_enumerator(self.enumerator);
             #[cfg(feature = "trace")]
             ctx.set_tracer(self.tracer.clone());
             ctx.memory.set_cancel_flag(governor.cancel_flag());
@@ -250,6 +271,7 @@ impl<'a> Optimizer<'a> {
 
         let mut ctx = EnumContext::new(&rewritten, &model, governor.rung_budget(rung));
         ctx.set_parallelism(self.parallelism);
+        ctx.set_enumerator(self.enumerator);
         #[cfg(feature = "trace")]
         ctx.set_tracer(self.tracer.clone());
         ctx.memory.set_cancel_flag(governor.cancel_flag());

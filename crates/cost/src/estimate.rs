@@ -139,6 +139,15 @@ impl<'a> Estimator<'a> {
         ln.min(MAX_LN_ROWS).exp().max(MIN_ROWS)
     }
 
+    /// Clamp and exponentiate a natural-log row estimate — the exact
+    /// final step of [`Estimator::rows_for_set`], exposed for callers
+    /// that accumulate the ln terms incrementally (per-vertex base
+    /// products plus per-edge selectivities) instead of recomputing
+    /// them per set.
+    pub fn rows_from_ln(&self, ln: f64) -> f64 {
+        ln.min(MAX_LN_ROWS).exp().max(MIN_ROWS)
+    }
+
     /// The paper's JCR *Selectivity* feature: output rows relative to
     /// the product of base cardinalities (`Π sel` over internal edges
     /// and local predicates; 1.0 for unfiltered singletons).

@@ -42,6 +42,7 @@ fn replay_workload(
             cache_capacity: 256,
             cache_shards: 4,
             parallelism: Some(1),
+            enumerator: None,
         },
     ));
     let daemon = Daemon::spawn(Arc::clone(&service), clients);

@@ -57,6 +57,7 @@ struct ReplayArgs {
     capacity: usize,
     shards: usize,
     threads: Option<usize>,
+    enumerator: Option<sdp_core::EnumeratorKind>,
     seed: u64,
     deadline_ms: Option<u64>,
     memory_mb: Option<u64>,
@@ -76,6 +77,7 @@ impl Default for ReplayArgs {
             capacity: 1024,
             shards: 8,
             threads: None,
+            enumerator: None,
             seed: 42,
             deadline_ms: None,
             memory_mb: None,
@@ -88,7 +90,8 @@ impl Default for ReplayArgs {
 fn usage() -> &'static str {
     "usage: sdp-service replay [--shape star|chain|cycle|star-chain] \
      [--relations N] [--distinct N] [--requests N] [--clients N] \
-     [--workers N] [--capacity N] [--shards N] [--threads N] [--seed N] \
+     [--workers N] [--capacity N] [--shards N] [--threads N] \
+     [--enumerator levelscan|dpccp|dpconv] [--seed N] \
      [--deadline-ms N] [--memory-mb N] [--trace PATH] [--metrics-json PATH]"
 }
 
@@ -141,6 +144,13 @@ fn parse_replay(args: &[String]) -> Result<ReplayArgs, String> {
                     value("--threads")?
                         .parse()
                         .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--enumerator" => {
+                let name = value("--enumerator")?;
+                out.enumerator = Some(
+                    sdp_core::EnumeratorKind::parse(name)
+                        .ok_or_else(|| format!("--enumerator: unknown strategy {name:?}"))?,
                 )
             }
             "--seed" => {
@@ -240,6 +250,7 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
                 cache_capacity: args.capacity,
                 cache_shards: args.shards,
                 parallelism: args.threads,
+                enumerator: args.enumerator,
             },
         )
         .with_tracer(tracer),

@@ -48,6 +48,9 @@ pub struct ServiceConfig {
     /// Enumeration parallelism override; `None` inherits the
     /// optimizer default (`SDP_THREADS` env or machine parallelism).
     pub parallelism: Option<usize>,
+    /// Pair-enumeration strategy override; `None` inherits the
+    /// optimizer default (`SDP_ENUMERATOR` env or `LevelScan`).
+    pub enumerator: Option<sdp_core::EnumeratorKind>,
 }
 
 impl Default for ServiceConfig {
@@ -56,6 +59,7 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             cache_shards: 8,
             parallelism: None,
+            enumerator: None,
         }
     }
 }
@@ -428,6 +432,9 @@ impl OptimizerService {
                     }
                     if let Some(threads) = self.config.parallelism {
                         optimizer = optimizer.with_parallelism(threads);
+                    }
+                    if let Some(kind) = self.config.enumerator {
+                        optimizer = optimizer.with_enumerator(kind);
                     }
                     let mut governor = Governor::new();
                     if let Some(deadline) = request.deadline {

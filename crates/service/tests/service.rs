@@ -15,6 +15,7 @@ fn small_config() -> ServiceConfig {
         cache_capacity: 64,
         cache_shards: 4,
         parallelism: None,
+        enumerator: None,
     }
 }
 
@@ -226,6 +227,7 @@ fn capacity_pressure_evicts_lru_entries() {
             cache_capacity: 2,
             cache_shards: 1,
             parallelism: None,
+            enumerator: None,
         },
     );
     let gen = QueryGenerator::new(&catalog, Topology::Chain(4), 17);
