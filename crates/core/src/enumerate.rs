@@ -50,7 +50,7 @@ use crate::dp::LevelTable;
 use crate::fx::FxHashMap;
 
 /// Which pair-enumeration strategy the level-wise engine uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EnumeratorKind {
     /// Quadratic survivor-level scan (the historical behaviour).
     #[default]
@@ -89,6 +89,27 @@ impl EnumeratorKind {
             EnumeratorKind::LevelScan => "levelscan",
             EnumeratorKind::Dpccp => "dpccp",
             EnumeratorKind::DpConv => "dpconv",
+        }
+    }
+
+    /// Stable numeric tag for the persisted plan-store format. Never
+    /// renumber; append for new strategies.
+    pub fn stable_tag(self) -> u8 {
+        match self {
+            EnumeratorKind::LevelScan => 1,
+            EnumeratorKind::Dpccp => 2,
+            EnumeratorKind::DpConv => 3,
+        }
+    }
+
+    /// Inverse of [`EnumeratorKind::stable_tag`]; `None` for unknown
+    /// tags.
+    pub fn from_stable_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(EnumeratorKind::LevelScan),
+            2 => Some(EnumeratorKind::Dpccp),
+            3 => Some(EnumeratorKind::DpConv),
+            _ => None,
         }
     }
 

@@ -103,6 +103,28 @@ impl Rung {
         }
     }
 
+    /// Stable numeric tag for the persisted plan-store format. Never
+    /// renumber; append for new rungs.
+    pub fn stable_tag(&self) -> u8 {
+        match self {
+            Rung::Dp => 1,
+            Rung::Sdp => 2,
+            Rung::Idp => 3,
+            Rung::Goo => 4,
+        }
+    }
+
+    /// Inverse of [`Rung::stable_tag`]; `None` for unknown tags.
+    pub fn from_stable_tag(tag: u8) -> Option<Rung> {
+        match tag {
+            1 => Some(Rung::Dp),
+            2 => Some(Rung::Sdp),
+            3 => Some(Rung::Idp),
+            4 => Some(Rung::Goo),
+            _ => None,
+        }
+    }
+
     /// The next-cheaper rung, or `None` at the bottom.
     pub fn next_down(&self) -> Option<Rung> {
         match self {
@@ -153,6 +175,27 @@ impl DegradeReason {
             OptError::MemoryExhausted { .. } => Some(DegradeReason::Memory),
             OptError::Cancelled => Some(DegradeReason::Cancelled),
             OptError::DisconnectedJoinGraph | OptError::EmptyQuery => None,
+        }
+    }
+
+    /// Stable numeric tag for the persisted dead-letter format. Never
+    /// renumber; append for new reasons.
+    pub fn stable_tag(&self) -> u8 {
+        match self {
+            DegradeReason::Deadline => 1,
+            DegradeReason::Memory => 2,
+            DegradeReason::Cancelled => 3,
+        }
+    }
+
+    /// Inverse of [`DegradeReason::stable_tag`]; `None` for unknown
+    /// tags.
+    pub fn from_stable_tag(tag: u8) -> Option<DegradeReason> {
+        match tag {
+            1 => Some(DegradeReason::Deadline),
+            2 => Some(DegradeReason::Memory),
+            3 => Some(DegradeReason::Cancelled),
+            _ => None,
         }
     }
 }
@@ -307,6 +350,34 @@ pub struct GovernedPlan {
     pub rung: Option<Rung>,
     /// Every descent taken, in order.
     pub degradations: Vec<DegradeEvent>,
+}
+
+/// A governed run that failed even after walking the ladder, with the
+/// descent history that led there — the raw material for a
+/// dead-letter record. [`Optimizer::optimize_governed`] flattens this
+/// to its [`OptError`]; callers that persist failures use
+/// [`Optimizer::optimize_governed_full`] to keep the history.
+///
+/// [`Optimizer::optimize_governed`]: crate::Optimizer::optimize_governed
+/// [`Optimizer::optimize_governed_full`]: crate::Optimizer::optimize_governed_full
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernedFailure {
+    /// The terminal error (from the bottom rung reached, or an
+    /// unrecoverable error no rung helps with).
+    pub error: OptError,
+    /// Every descent taken before the run gave up, in order.
+    pub degradations: Vec<DegradeEvent>,
+}
+
+impl fmt::Display for GovernedFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} degradation(s)",
+            self.error,
+            self.degradations.len()
+        )
+    }
 }
 
 impl GovernedPlan {

@@ -48,7 +48,8 @@ pub mod sdp;
 
 pub use budget::{Budget, BudgetProbe, OptError};
 pub use governor::{
-    CancelHandle, DegradeEvent, DegradeReason, GovernedPlan, Governor, Rung, LADDER,
+    CancelHandle, DegradeEvent, DegradeReason, GovernedFailure, GovernedPlan, Governor, Rung,
+    LADDER,
 };
 
 // Compile-time guarantee for the service layer: everything a resident

@@ -23,7 +23,9 @@ use crate::context::{default_parallelism, EnumContext, LevelStats, RunStats};
 use crate::dp::optimize_complete;
 use crate::enumerate::EnumeratorKind;
 use crate::goo::optimize_goo;
-use crate::governor::{prepare_handoff, DegradeEvent, DegradeReason, GovernedPlan, Governor, Rung};
+use crate::governor::{
+    prepare_handoff, DegradeEvent, DegradeReason, GovernedFailure, GovernedPlan, Governor, Rung,
+};
 use crate::idp::{optimize_idp, IdpConfig};
 use crate::plan::PlanNode;
 use crate::random::{optimize_ii, optimize_sa, RandomConfig};
@@ -239,6 +241,20 @@ impl<'a> Optimizer<'a> {
         algorithm: Algorithm,
         governor: &Governor,
     ) -> Result<GovernedPlan, OptError> {
+        self.optimize_governed_full(query, algorithm, governor)
+            .map_err(|failure| failure.error)
+    }
+
+    /// Like [`Optimizer::optimize_governed`], but a failed run returns
+    /// a [`GovernedFailure`] carrying the descent history alongside
+    /// the terminal error — what the service layer serializes into a
+    /// dead-letter record.
+    pub fn optimize_governed_full(
+        &self,
+        query: &Query,
+        algorithm: Algorithm,
+        governor: &Governor,
+    ) -> Result<GovernedPlan, GovernedFailure> {
         let rewritten = self.rewrite(query);
         let model = CostModel::new(self.catalog, self.params);
 
@@ -252,7 +268,10 @@ impl<'a> Optimizer<'a> {
             #[cfg(feature = "trace")]
             ctx.set_tracer(self.tracer.clone());
             ctx.memory.set_cancel_flag(governor.cancel_flag());
-            let root = dispatch(&mut ctx, algorithm)?;
+            let root = dispatch(&mut ctx, algorithm).map_err(|error| GovernedFailure {
+                error,
+                degradations: Vec::new(),
+            })?;
             let stats = ctx.stats();
             return Ok(GovernedPlan {
                 plan: OptimizedPlan {
@@ -321,7 +340,11 @@ impl<'a> Optimizer<'a> {
                 Err(e) => e,
             };
             let Some(reason) = DegradeReason::for_error(&error) else {
-                return Err(error); // empty/disconnected: no rung helps
+                // Empty/disconnected: no rung helps.
+                return Err(GovernedFailure {
+                    error,
+                    degradations,
+                });
             };
             let next = match reason {
                 // The caller wants out *now*: jump straight to the
@@ -333,7 +356,13 @@ impl<'a> Optimizer<'a> {
                 }
                 _ => match rung.next_down() {
                     Some(next) => next,
-                    None => return Err(error), // bottom rung failed
+                    // Bottom rung failed: the ladder is exhausted.
+                    None => {
+                        return Err(GovernedFailure {
+                            error,
+                            degradations,
+                        })
+                    }
                 },
             };
             degradations.push(DegradeEvent {

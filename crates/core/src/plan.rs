@@ -55,6 +55,8 @@ impl NodeCounter {
 /// The operator at a plan node.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanOp {
+    // Variant tags below (see `stable_tag`) are part of the persisted
+    // plan format and the structural digest — never renumber.
     /// Sequential scan of a base relation.
     SeqScan {
         /// Catalog relation scanned.
@@ -81,6 +83,20 @@ pub enum PlanOp {
         /// Order class enforced.
         class: ClassId,
     },
+}
+
+impl PlanOp {
+    /// Stable numeric tag identifying the operator kind, shared by
+    /// [`PlanNode::structural_digest`] and the `sdp-store` binary
+    /// codec so a decoded plan digests identically to the original.
+    pub fn stable_tag(&self) -> u8 {
+        match self {
+            PlanOp::SeqScan { .. } => 1,
+            PlanOp::IndexScan { .. } => 2,
+            PlanOp::Join { .. } => 3,
+            PlanOp::Sort { .. } => 4,
+        }
+    }
 }
 
 /// One node of a physical plan tree, annotated with the estimated
@@ -168,19 +184,12 @@ impl PlanNode {
     /// the determinism tests use it to assert "bit-identical plan"
     /// without walking two trees in lockstep.
     pub fn structural_digest(&self) -> u64 {
+        let tag = self.op.stable_tag() as u64;
         let op_words: [u64; 4] = match self.op {
-            PlanOp::SeqScan { rel, node } => [1, rel.0 as u64, node as u64, 0],
-            PlanOp::IndexScan { rel, node, col } => [2, rel.0 as u64, node as u64, col.0 as u64],
-            PlanOp::Join { method } => {
-                let m = match method {
-                    JoinMethod::NestedLoop => 1,
-                    JoinMethod::IndexNestedLoop => 2,
-                    JoinMethod::Hash => 3,
-                    JoinMethod::Merge => 4,
-                };
-                [3, m, 0, 0]
-            }
-            PlanOp::Sort { class } => [4, class as u64, 0, 0],
+            PlanOp::SeqScan { rel, node } => [tag, rel.0 as u64, node as u64, 0],
+            PlanOp::IndexScan { rel, node, col } => [tag, rel.0 as u64, node as u64, col.0 as u64],
+            PlanOp::Join { method } => [tag, method.stable_tag() as u64, 0, 0],
+            PlanOp::Sort { class } => [tag, class as u64, 0, 0],
         };
         let mut h = sdp_query::canon::StableHasher::new(0x70_6c_61_6e);
         for w in op_words {

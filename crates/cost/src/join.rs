@@ -30,6 +30,30 @@ pub enum JoinMethod {
 }
 
 impl JoinMethod {
+    /// Stable numeric tag for serialization and structural digests.
+    /// These values are part of the persisted plan format *and* the
+    /// plan digest — never renumber them; append for new methods.
+    pub fn stable_tag(self) -> u8 {
+        match self {
+            JoinMethod::NestedLoop => 1,
+            JoinMethod::IndexNestedLoop => 2,
+            JoinMethod::Hash => 3,
+            JoinMethod::Merge => 4,
+        }
+    }
+
+    /// Inverse of [`JoinMethod::stable_tag`]; `None` for unknown tags
+    /// (a record written by a future version).
+    pub fn from_stable_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(JoinMethod::NestedLoop),
+            2 => Some(JoinMethod::IndexNestedLoop),
+            3 => Some(JoinMethod::Hash),
+            4 => Some(JoinMethod::Merge),
+            _ => None,
+        }
+    }
+
     /// Short display label used in plan explains.
     pub fn label(self) -> &'static str {
         match self {

@@ -17,6 +17,7 @@ use std::time::Duration;
 
 use crate::alloc::AllocSnapshot;
 use crate::service::{CountersSnapshot, GovernorSnapshot, LatencyHistogram, LatencyStats};
+use crate::store::StoreSnapshot;
 
 /// Point-in-time bundle of every metric family the service exposes.
 #[derive(Debug, Clone, Default)]
@@ -34,6 +35,8 @@ pub struct MetricsReport {
     /// Process allocator watermarks (zeros when the counting allocator
     /// is not installed).
     pub alloc: AllocSnapshot,
+    /// Durable plan-store counters (zeros when no store is attached).
+    pub store: StoreSnapshot,
     /// Plans currently resident in the cache.
     pub cached_plans: u64,
 }
@@ -121,6 +124,52 @@ impl MetricsReport {
             "Panicking single-flight leaders retried on a cheaper rung.",
             g.leader_retries,
         );
+        let s = &self.store;
+        counter(
+            "sdp_store_writes_total",
+            "Plan records appended to the durable store.",
+            s.writes,
+        );
+        counter(
+            "sdp_store_write_errors_total",
+            "Durable-store appends that failed with an I/O error.",
+            s.write_errors,
+        );
+        counter(
+            "sdp_store_warm_fills_total",
+            "Recovered records that pre-populated the cache at startup.",
+            s.warm_fills,
+        );
+        counter(
+            "sdp_store_warm_hits_total",
+            "Cache hits served by entries from the persistent tier.",
+            s.warm_hits,
+        );
+        counter(
+            "sdp_store_stale_dropped_total",
+            "Recovered records dropped for a stale statistics epoch.",
+            s.stale_dropped,
+        );
+        counter(
+            "sdp_store_torn_truncations_total",
+            "Torn segment tails truncated during recovery.",
+            s.torn_truncations,
+        );
+        counter(
+            "sdp_store_compactions_total",
+            "Segment compactions run.",
+            s.compactions,
+        );
+        counter(
+            "sdp_dlq_enqueued_total",
+            "Failed requests serialized into the dead-letter queue.",
+            s.dlq_enqueued,
+        );
+        counter(
+            "sdp_dlq_drained_total",
+            "Dead-letter records re-optimized and removed.",
+            s.dlq_drained,
+        );
         let mut gauge = |name: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} gauge");
@@ -140,6 +189,11 @@ impl MetricsReport {
             "sdp_alloc_peak_bytes",
             "Peak allocated bytes since the last reset.",
             self.alloc.peak,
+        );
+        gauge(
+            "sdp_dlq_depth",
+            "Dead-letter records currently live.",
+            s.dlq_depth,
         );
 
         if !self.strategies.is_empty() {
@@ -279,6 +333,19 @@ impl MetricsReport {
         let _ = writeln!(out, "    \"live_bytes\": {},", self.alloc.live);
         let _ = writeln!(out, "    \"peak_bytes\": {}", self.alloc.peak);
         let _ = writeln!(out, "  }},");
+        let s = &self.store;
+        let _ = writeln!(out, "  \"store\": {{");
+        let _ = writeln!(out, "    \"writes\": {},", s.writes);
+        let _ = writeln!(out, "    \"write_errors\": {},", s.write_errors);
+        let _ = writeln!(out, "    \"warm_fills\": {},", s.warm_fills);
+        let _ = writeln!(out, "    \"warm_hits\": {},", s.warm_hits);
+        let _ = writeln!(out, "    \"stale_dropped\": {},", s.stale_dropped);
+        let _ = writeln!(out, "    \"torn_truncations\": {},", s.torn_truncations);
+        let _ = writeln!(out, "    \"compactions\": {},", s.compactions);
+        let _ = writeln!(out, "    \"dlq_enqueued\": {},", s.dlq_enqueued);
+        let _ = writeln!(out, "    \"dlq_drained\": {},", s.dlq_drained);
+        let _ = writeln!(out, "    \"dlq_depth\": {}", s.dlq_depth);
+        let _ = writeln!(out, "  }},");
         let _ = writeln!(out, "  \"cached_plans\": {}", self.cached_plans);
         out.push_str("}\n");
         out
@@ -309,6 +376,14 @@ mod tests {
                 live: 1 << 20,
                 peak: 1 << 21,
             },
+            store: StoreSnapshot {
+                writes: 4,
+                warm_fills: 3,
+                warm_hits: 2,
+                dlq_enqueued: 1,
+                dlq_depth: 1,
+                ..Default::default()
+            },
             cached_plans: 2,
             ..Default::default()
         };
@@ -331,6 +406,10 @@ mod tests {
         assert!(text.contains("sdp_cache_hits_total 5"));
         assert!(text.contains("sdp_degradations_memory_total 1"));
         assert!(text.contains("sdp_cached_plans 2"));
+        assert!(text.contains("# TYPE sdp_store_writes_total counter"));
+        assert!(text.contains("sdp_store_warm_hits_total 2"));
+        assert!(text.contains("# TYPE sdp_dlq_depth gauge"));
+        assert!(text.contains("sdp_dlq_depth 1"));
         assert!(text.contains("sdp_strategy_latency_seconds_count{strategy=\"SDP\"} 2"));
         assert!(text.contains("sdp_rung_latency_seconds_bucket{rung=\"SDP\",le=\"+Inf\"} 3"));
         // Cumulative buckets: the 2 sub-millisecond samples precede
@@ -350,6 +429,8 @@ mod tests {
         assert!(json.contains("\"memory_degradations\": 1"));
         assert!(json.contains("\"p95_micros\""));
         assert!(json.contains("\"cached_plans\": 2"));
+        assert!(json.contains("\"warm_hits\": 2"));
+        assert!(json.contains("\"dlq_depth\": 1"));
         // Structural sanity without a JSON parser: balanced braces and
         // brackets, no trailing comma before a closer.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

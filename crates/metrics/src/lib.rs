@@ -24,6 +24,7 @@ pub mod expo;
 pub mod overhead;
 pub mod quality;
 pub mod service;
+pub mod store;
 
 pub use alloc::AllocSnapshot;
 pub use expo::MetricsReport;
@@ -33,3 +34,4 @@ pub use service::{
     CountersSnapshot, GovernorCounters, GovernorSnapshot, LatencyHistogram, LatencyStats,
     RungLatencies, ServiceCounters, StrategyLatencies, HISTOGRAM_BUCKETS,
 };
+pub use store::{StoreCounters, StoreSnapshot};

@@ -26,12 +26,29 @@
 //! lifecycle, governor transitions, enumeration spans) and writes it
 //! as a chrome://tracing-compatible JSON array. `--metrics-json PATH`
 //! writes the complete metrics report (counters, governor, latency
-//! tables, allocator watermarks) as one JSON document; the
-//! human-readable report stays on stdout either way. Failed requests
-//! are reported through the same trace stream, so each error line
-//! carries the query fingerprint and the rung it failed on.
+//! tables, allocator watermarks, store counters) as one JSON document;
+//! the human-readable report stays on stdout either way. Failed
+//! requests are reported through the same trace stream, so each error
+//! line carries the query fingerprint and the rung it failed on — and
+//! any such error makes the run exit non-zero, even when the client
+//! thread itself saw a response.
+//!
+//! `--store-dir DIR` attaches the durable plan store: fresh plans are
+//! persisted (write-behind) into DIR's segment log, a dead-letter
+//! queue for ladder-exhausted requests lives alongside it, and the
+//! next run over the same DIR warm-starts the cache from the surviving
+//! records (same statistics epoch only). The report then carries a
+//! `store:` line and a `plan digest:` line — an order-independent fold
+//! over every served plan's structural digest, so two runs are
+//! plan-for-plan bit-identical iff the digests match.
+//!
+//! `sdp-service replay --dlq DIR` switches to drain mode: each record
+//! in DIR's dead-letter queue is verified against its stored
+//! fingerprint and re-optimized without resource limits; records that
+//! succeed leave the queue, records that fail again stay.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -39,7 +56,7 @@ use sdp_catalog::Catalog;
 use sdp_metrics::alloc::CountingAllocator;
 use sdp_query::canon::stable_hash;
 use sdp_query::{Query, QueryGenerator, Topology};
-use sdp_service::{Daemon, OptimizerService, ServiceConfig, ServiceRequest};
+use sdp_service::{fingerprint_query, Daemon, OptimizerService, ServiceConfig, ServiceRequest};
 use sdp_trace::{chrome_trace, Event, MemorySink, TeeSink, TraceSink, Tracer};
 
 // Count heap traffic so `--metrics-json` reports real allocator
@@ -63,6 +80,12 @@ struct ReplayArgs {
     memory_mb: Option<u64>,
     trace: Option<String>,
     metrics_json: Option<String>,
+    store_dir: Option<String>,
+    dlq: Option<String>,
+    // Parsed unconditionally (so the flag errors helpfully on non-test
+    // builds) but only read under the testkit feature.
+    #[cfg_attr(not(feature = "testkit"), allow(dead_code))]
+    crash_after_store_writes: Option<u64>,
 }
 
 impl Default for ReplayArgs {
@@ -83,6 +106,9 @@ impl Default for ReplayArgs {
             memory_mb: None,
             trace: None,
             metrics_json: None,
+            store_dir: None,
+            dlq: None,
+            crash_after_store_writes: None,
         }
     }
 }
@@ -92,7 +118,8 @@ fn usage() -> &'static str {
      [--relations N] [--distinct N] [--requests N] [--clients N] \
      [--workers N] [--capacity N] [--shards N] [--threads N] \
      [--enumerator levelscan|dpccp|dpconv] [--seed N] \
-     [--deadline-ms N] [--memory-mb N] [--trace PATH] [--metrics-json PATH]"
+     [--deadline-ms N] [--memory-mb N] [--trace PATH] [--metrics-json PATH] \
+     [--store-dir DIR] [--dlq DIR]"
 }
 
 fn parse_replay(args: &[String]) -> Result<ReplayArgs, String> {
@@ -174,6 +201,20 @@ fn parse_replay(args: &[String]) -> Result<ReplayArgs, String> {
             }
             "--trace" => out.trace = Some(value("--trace")?.clone()),
             "--metrics-json" => out.metrics_json = Some(value("--metrics-json")?.clone()),
+            "--store-dir" => out.store_dir = Some(value("--store-dir")?.clone()),
+            "--dlq" => out.dlq = Some(value("--dlq")?.clone()),
+            "--crash-after-store-writes" => {
+                out.crash_after_store_writes = Some(
+                    value("--crash-after-store-writes")?
+                        .parse()
+                        .map_err(|e| format!("--crash-after-store-writes: {e}"))?,
+                );
+                if cfg!(not(feature = "testkit")) {
+                    return Err(
+                        "--crash-after-store-writes needs a build with --features testkit".into(),
+                    );
+                }
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -203,18 +244,125 @@ fn topology_for(shape: &str, n: usize) -> Result<Topology, String> {
 /// Routes per-request failures to stderr as they happen. Replaces the
 /// client loop's bare `eprintln!`: the `request_error` events it
 /// prints carry the query fingerprint and the rung that failed, which
-/// the client-side error alone never knew.
-struct StderrErrorSink;
+/// the client-side error alone never knew. Every routed error is
+/// counted, and any count > 0 makes the run exit non-zero — a request
+/// error must never scroll by on a green exit status.
+#[derive(Default)]
+struct StderrErrorSink {
+    errors: AtomicU64,
+}
+
+impl StderrErrorSink {
+    fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+}
 
 impl TraceSink for StderrErrorSink {
     fn record(&self, event: Event) {
         if event.name == "request_error" {
+            self.errors.fetch_add(1, Ordering::Relaxed);
             eprintln!("{}", event.canonical());
         }
     }
 }
 
+/// Order-independent fold of served-plan digests: each response
+/// contributes its root's structural digest, combined with a
+/// commutative operation, so the line is deterministic under any
+/// client/worker interleaving. Two runs served plan-for-plan
+/// bit-identical multisets of plans iff their folds match.
+fn fold_digest(acc: u64, plan_digest: u64) -> u64 {
+    acc.wrapping_add(plan_digest.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15)
+}
+
+/// Drain mode (`replay --dlq DIR`): re-optimize every dead-letter
+/// record without resource limits and rewrite the queue with only the
+/// records that failed again.
+fn drain_dlq(args: &ReplayArgs, dir: &str) -> Result<(), String> {
+    let catalog = if args.relations + 1 < 25 {
+        Catalog::paper()
+    } else {
+        Catalog::extended(args.relations * 2)
+    };
+    let (mut dlq, recovery, undecodable) =
+        sdp_store::DeadLetterQueue::open(std::path::Path::new(dir))
+            .map_err(|e| format!("opening --dlq {dir}: {e}"))?;
+    println!(
+        "dlq: {} records recovered from {dir} ({} undecodable skipped{})",
+        dlq.len(),
+        undecodable,
+        if recovery.truncated {
+            ", torn tail truncated"
+        } else {
+            ""
+        },
+    );
+    if dlq.is_empty() {
+        return Ok(());
+    }
+
+    let service = OptimizerService::new(
+        catalog.clone(),
+        ServiceConfig {
+            cache_capacity: args.capacity,
+            cache_shards: args.shards,
+            parallelism: args.threads,
+            enumerator: args.enumerator,
+        },
+    );
+    let mut remaining = Vec::new();
+    let mut drained = 0usize;
+    for record in dlq.records().to_vec() {
+        // The queue may hold records from another catalog or schema
+        // generation; the fingerprint check catches that before an
+        // enumeration can silently answer the wrong question.
+        let fp = fingerprint_query(&catalog, &record.query);
+        if fp.0 != record.fingerprint {
+            eprintln!(
+                "dlq: fingerprint mismatch (stored {:032x}, bound {:032x}) — keeping record",
+                record.fingerprint, fp.0
+            );
+            remaining.push(record);
+            continue;
+        }
+        let mut request = ServiceRequest::query(record.query.clone());
+        if let Some(algorithm) = record.algorithm {
+            request = request.with_algorithm(algorithm);
+        }
+        match service.get_plan(&request) {
+            Ok(resp) => {
+                drained += 1;
+                println!(
+                    "dlq: {:032x} re-optimized via {} — cost {:.3}, digest {:016x} \
+                     (was: {})",
+                    record.fingerprint,
+                    resp.plan.strategy,
+                    resp.plan.cost,
+                    resp.plan.root.structural_digest(),
+                    record.error,
+                );
+            }
+            Err(e) => {
+                eprintln!("dlq: {:032x} failed again: {e}", record.fingerprint);
+                remaining.push(record);
+            }
+        }
+    }
+    let left = remaining.len();
+    dlq.rewrite(remaining)
+        .map_err(|e| format!("rewriting --dlq {dir}: {e}"))?;
+    println!("dlq: drained {drained}, {left} remain");
+    if left > 0 {
+        return Err(format!("{left} dead-letter records failed again"));
+    }
+    Ok(())
+}
+
 fn replay(args: ReplayArgs) -> Result<(), String> {
+    if let Some(dir) = &args.dlq {
+        return drain_dlq(&args, dir);
+    }
     let topology = topology_for(&args.shape, args.relations)?;
     let catalog = if args.relations + 1 < 25 {
         Catalog::paper()
@@ -237,24 +385,48 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
         .trace
         .as_ref()
         .map(|_| Arc::new(MemorySink::unbounded()));
-    let mut sinks: Vec<Arc<dyn TraceSink>> = vec![Arc::new(StderrErrorSink)];
+    let errors = Arc::new(StderrErrorSink::default());
+    let mut sinks: Vec<Arc<dyn TraceSink>> = vec![Arc::clone(&errors) as Arc<dyn TraceSink>];
     if let Some(capture) = &capture {
         sinks.push(Arc::clone(capture) as Arc<dyn TraceSink>);
     }
     let tracer = Tracer::new(Arc::new(TeeSink::new(sinks)));
 
-    let service = Arc::new(
-        OptimizerService::new(
-            catalog.clone(),
-            ServiceConfig {
-                cache_capacity: args.capacity,
-                cache_shards: args.shards,
-                parallelism: args.threads,
-                enumerator: args.enumerator,
-            },
-        )
-        .with_tracer(tracer),
-    );
+    #[allow(unused_mut)]
+    let mut service = OptimizerService::new(
+        catalog.clone(),
+        ServiceConfig {
+            cache_capacity: args.capacity,
+            cache_shards: args.shards,
+            parallelism: args.threads,
+            enumerator: args.enumerator,
+        },
+    )
+    .with_tracer(tracer);
+    #[cfg(feature = "testkit")]
+    if let Some(n) = args.crash_after_store_writes {
+        service =
+            service.with_store_faults(sdp_testkit::FaultPlan::new().crash_after_store_writes(n));
+    }
+    if let Some(dir) = &args.store_dir {
+        let dir = std::path::Path::new(dir);
+        service = service
+            .with_store(dir)
+            .map_err(|e| format!("opening --store-dir: {e}"))?
+            .with_dlq(dir)
+            .map_err(|e| format!("opening dead-letter queue: {e}"))?;
+        let snap = service.store_counters().snapshot();
+        println!(
+            "store: warm start from {} — {} plans filled, {} stale dropped, \
+             {} torn truncations, dlq depth {}",
+            dir.display(),
+            snap.warm_fills,
+            snap.stale_dropped,
+            snap.torn_truncations,
+            snap.dlq_depth,
+        );
+    }
+    let service = Arc::new(service);
     let daemon = Daemon::spawn(Arc::clone(&service), args.workers);
 
     println!(
@@ -272,7 +444,7 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
     );
 
     let started = Instant::now();
-    let failures = std::thread::scope(|scope| {
+    let (failures, plan_digest) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.clients)
             .map(|c| {
                 let (daemon, queries, sql) = (&daemon, &queries, &sql);
@@ -280,6 +452,7 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
                 let (deadline_ms, memory_mb) = (args.deadline_ms, args.memory_mb);
                 scope.spawn(move || {
                     let mut failures = 0u64;
+                    let mut digest = 0u64;
                     // Client c issues every request with index ≡ c
                     // (mod clients), drawn pseudo-randomly (seeded)
                     // from the distinct pool, alternating SQL-text and
@@ -301,15 +474,26 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
                         // Failures surface through the trace stream
                         // (see StderrErrorSink), which knows the
                         // fingerprint and rung; only count them here.
-                        if daemon.execute(request).is_err() {
-                            failures += 1;
+                        match daemon.execute(request) {
+                            Ok(resp) => {
+                                digest = fold_digest(digest, resp.plan.root.structural_digest());
+                            }
+                            Err(_) => failures += 1,
                         }
                     }
-                    failures
+                    (failures, digest)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        // fold_digest is a wrapping sum of per-plan terms, so client
+        // subtotals combine with a wrapping add — commutative, hence
+        // independent of the client/worker interleaving.
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0u64, 0u64), |(f, d), (cf, cd)| {
+                (f + cf, d.wrapping_add(cd))
+            })
     });
     let elapsed = started.elapsed();
 
@@ -370,6 +554,30 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
         }
     }
 
+    if args.store_dir.is_some() {
+        // Settle the write-behind queue so the counters (and the
+        // metrics dump below) reflect every served plan.
+        service.flush_store();
+        let store = service.store_counters().snapshot();
+        println!(
+            "store: {} writes ({} errors), {} warm fills, {} warm hits, \
+             {} stale dropped, {} compactions",
+            store.writes,
+            store.write_errors,
+            store.warm_fills,
+            store.warm_hits,
+            store.stale_dropped,
+            store.compactions,
+        );
+        println!(
+            "dlq: {} enqueued this run, depth {}",
+            store.dlq_enqueued, store.dlq_depth
+        );
+    }
+    println!("plan digest: {plan_digest:016x} over {} served", {
+        args.requests as u64 - failures
+    });
+
     daemon.shutdown();
 
     if let (Some(path), Some(capture)) = (&args.trace, &capture) {
@@ -390,6 +598,13 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
 
     if failures > 0 {
         return Err(format!("{failures} requests failed"));
+    }
+    // Belt and braces for the exit status: any request_error routed to
+    // stderr fails the run, even if no client saw the failure (e.g. a
+    // waiter that recovered by retrying after a leader error).
+    let routed = errors.errors();
+    if routed > 0 {
+        return Err(format!("{routed} request errors reported on stderr"));
     }
     Ok(())
 }

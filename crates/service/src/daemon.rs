@@ -118,12 +118,15 @@ impl Daemon {
         self.submit(request).wait()
     }
 
-    /// Drain the queue and join every worker.
+    /// Drain the queue, join every worker, and flush the durable
+    /// store (if one is attached) so every served plan has reached the
+    /// segment log before the process exits.
     pub fn shutdown(mut self) {
         self.queue = None; // close the channel; workers drain and exit
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        self.service.flush_store();
     }
 }
 
@@ -133,6 +136,7 @@ impl Drop for Daemon {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        self.service.flush_store();
     }
 }
 

@@ -26,7 +26,15 @@
 //!   that *panics* is retried exactly once, one rung cheaper;
 //! * [`daemon`] — a worker-pool front ([`Daemon`]) that serves
 //!   requests from plain threads, charging queue-wait time against
-//!   each request's deadline.
+//!   each request's deadline. Shutdown flushes the durable store;
+//! * **durability** — attach an `sdp-store` plan store with
+//!   [`OptimizerService::with_store`]: fresh plans are persisted from
+//!   a write-behind thread, and on the next startup the segment log is
+//!   replayed (stale-epoch records dropped) to pre-populate the cache
+//!   with *warm* entries. [`OptimizerService::with_dlq`] adds a
+//!   dead-letter queue: requests that exhaust the degradation ladder
+//!   or the leader-panic retry are serialized (query canon, fault
+//!   context, degradation history) for offline `replay --dlq`.
 //!
 //! Attach an `sdp_trace::Tracer` with
 //! [`OptimizerService::with_tracer`] and the whole request lifecycle
@@ -60,6 +68,7 @@
 
 pub mod cache;
 pub mod daemon;
+mod durable;
 pub mod fingerprint;
 pub mod select;
 pub mod service;

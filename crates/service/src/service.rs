@@ -17,23 +17,30 @@
 //! 5. record hit/miss/coalesced/evicted counters and per-strategy
 //!    latency into `sdp-metrics`.
 
-use std::sync::{Arc, RwLock};
+use std::path::Path;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use sdp_catalog::{AnalyzedRelation, Catalog};
 use sdp_core::{
-    Algorithm, DegradeReason, GovernedPlan, Governor, OptError, Optimizer, PlanNode, Rung,
+    Algorithm, DegradeReason, EnumeratorKind, GovernedFailure, GovernedPlan, Governor, OptError,
+    Optimizer, PlanNode, Rung,
 };
 use sdp_metrics::{
     CountersSnapshot, GovernorCounters, GovernorSnapshot, MetricsReport, RungLatencies,
-    ServiceCounters, StrategyLatencies,
+    ServiceCounters, StoreCounters, StrategyLatencies,
 };
 use sdp_query::canon::stable_hash;
 use sdp_query::Query;
 use sdp_sql::SqlError;
+use sdp_store::{
+    DeadLetterQueue, DlqDegradation, DlqErrorKind, DlqRecord, PlanRecord, PlanStore, StoreError,
+    StoreOptions,
+};
 use sdp_trace::{Event, Tracer};
 
 use crate::cache::{Lookup, ShardedLru};
+use crate::durable::StoreHandle;
 use crate::fingerprint::{fingerprint_query, Fingerprint};
 use crate::select;
 use crate::singleflight::{Flight, SingleFlight};
@@ -98,6 +105,9 @@ pub struct CachedPlan {
     pub fingerprint: Fingerprint,
     /// Statistics epoch the plan was optimized under.
     pub stats_epoch: u64,
+    /// Whether this entry was pre-populated from the durable store at
+    /// startup (a *warm* entry) rather than optimized by this process.
+    pub warm: bool,
 }
 
 /// One optimization request: a query (by text or by value) plus an
@@ -251,8 +261,17 @@ pub struct OptimizerService {
     latencies: StrategyLatencies,
     governor_counters: GovernorCounters,
     rung_latencies: RungLatencies,
+    store_counters: Arc<StoreCounters>,
+    store: Option<StoreHandle>,
+    dlq: Option<Mutex<DeadLetterQueue>>,
     tracer: Tracer,
+    /// The effective pair-enumeration strategy, resolved once at
+    /// construction (config override or `SDP_ENUMERATOR`): part of the
+    /// plan-cache key, so it must not drift between requests.
+    enumerator: EnumeratorKind,
     config: ServiceConfig,
+    #[cfg(feature = "testkit")]
+    store_faults: Option<sdp_testkit::FaultPlan>,
 }
 
 /// Fingerprints render as fixed-width hex in trace events so they can
@@ -273,19 +292,31 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Cache/flight key: the fingerprint folded with the strategy, so a
-/// pinned `Dp` request and the selector's `Sdp` choice for the same
-/// query occupy distinct entries. `Algorithm` carries `f64` tuning and
-/// is deliberately not `Hash`, so its `Debug` rendering (which shows
-/// every tuning field) stands in as the hashable identity.
-fn plan_key(fp: Fingerprint, algorithm: Algorithm) -> u128 {
+/// Cache/flight key: the fingerprint folded with the strategy *and*
+/// the active pair enumerator, so a pinned `Dp` request and the
+/// selector's `Sdp` choice for the same query occupy distinct entries,
+/// and plans enumerated under `Dpccp` never satisfy a `LevelScan`
+/// session (the enumerators may legitimately produce different plans
+/// at equal cost). `Algorithm` carries `f64` tuning and is
+/// deliberately not `Hash`, so its `Debug` rendering (which shows
+/// every tuning field) stands in as the hashable identity — which is
+/// also what lets the durable store reconstruct identical keys at warm
+/// restart from the persisted rendering ([`plan_key_repr`]).
+fn plan_key(fp: Fingerprint, algorithm: Algorithm, enumerator: EnumeratorKind) -> u128 {
+    plan_key_repr(fp, &format!("{algorithm:?}"), enumerator)
+}
+
+/// [`plan_key`] on a pre-rendered strategy identity — the form the
+/// warm-restart fill uses, since persisted records carry the rendering
+/// rather than the (non-`Hash`) `Algorithm` value.
+fn plan_key_repr(fp: Fingerprint, algo_repr: &str, enumerator: EnumeratorKind) -> u128 {
     let mut words = [0u64; 4];
-    let rendered = format!("{algorithm:?}");
-    for (i, chunk) in rendered.as_bytes().chunks(8).enumerate() {
+    for (i, chunk) in algo_repr.as_bytes().chunks(8).enumerate() {
         let mut w = [0u8; 8];
         w[..chunk.len()].copy_from_slice(chunk);
         words[i % 4] ^= u64::from_le_bytes(w).rotate_left((i / 4) as u32);
     }
+    words[3] ^= (enumerator.stable_tag() as u64) << 56;
     let algo_hash = stable_hash(0x61_6c_67_6f, &words) as u128;
     fp.0 ^ (algo_hash | (algo_hash << 64))
 }
@@ -293,6 +324,7 @@ fn plan_key(fp: Fingerprint, algorithm: Algorithm) -> u128 {
 impl OptimizerService {
     /// Service over an initial catalog with the given tuning.
     pub fn new(catalog: Catalog, config: ServiceConfig) -> Self {
+        let enumerator = config.enumerator.unwrap_or_else(EnumeratorKind::from_env);
         OptimizerService {
             catalog: RwLock::new(Arc::new(catalog)),
             cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
@@ -301,8 +333,14 @@ impl OptimizerService {
             latencies: StrategyLatencies::new(),
             governor_counters: GovernorCounters::new(),
             rung_latencies: RungLatencies::new(),
+            store_counters: Arc::new(StoreCounters::default()),
+            store: None,
+            dlq: None,
             tracer: Tracer::disabled(),
+            enumerator,
             config,
+            #[cfg(feature = "testkit")]
+            store_faults: None,
         }
     }
 
@@ -324,6 +362,107 @@ impl OptimizerService {
         &self.tracer
     }
 
+    /// Attach the durable plan store under `dir` with default tuning.
+    /// See [`with_store_options`](Self::with_store_options).
+    pub fn with_store(self, dir: &Path) -> Result<Self, StoreError> {
+        self.with_store_options(dir, StoreOptions::default())
+    }
+
+    /// Attach the durable plan store under `dir`: replay its segments
+    /// (dropping records from other statistics epochs), pre-populate
+    /// the plan cache with the live records as *warm* entries, and
+    /// start the write-behind thread that persists every fresh plan.
+    ///
+    /// Call after [`with_tracer`](Self::with_tracer) so the
+    /// `warm_start` event reaches the sink, and before the service is
+    /// shared. Warm entries satisfy requests like any cached plan and
+    /// additionally count `store_warm_hits`.
+    pub fn with_store_options(
+        mut self,
+        dir: &Path,
+        options: StoreOptions,
+    ) -> Result<Self, StoreError> {
+        let epoch = self.catalog().stats_epoch();
+        #[allow(unused_mut)]
+        let (mut store, records, stats) =
+            PlanStore::open(dir, epoch, options, Arc::clone(&self.store_counters))?;
+        #[cfg(feature = "testkit")]
+        if let Some(faults) = self.store_faults.take() {
+            store.inject_faults(faults);
+        }
+        for record in &records {
+            let key = plan_key_repr(
+                Fingerprint(record.fingerprint),
+                &record.algo_repr,
+                record.enumerator,
+            );
+            let plan = CachedPlan {
+                root: Arc::clone(&record.root),
+                cost: record.cost,
+                rows: record.rows,
+                strategy: record.strategy.clone(),
+                rung: record.rung,
+                degradations: record.degradations,
+                fingerprint: Fingerprint(record.fingerprint),
+                stats_epoch: record.stats_epoch,
+                warm: true,
+            };
+            self.cache.insert(key, plan, epoch);
+            self.store_counters.record_warm_fill();
+        }
+        self.tracer.emit_with(|| {
+            Event::new("warm_start")
+                .with("live", stats.live)
+                .with("stale_dropped", stats.stale_dropped)
+                .with("torn", stats.recovery.truncated_bytes)
+                .with("epoch", epoch)
+        });
+        self.store = Some(StoreHandle::spawn(store, Arc::clone(&self.store_counters)));
+        Ok(self)
+    }
+
+    /// Attach a dead-letter queue under `dir`: requests that exhaust
+    /// the degradation ladder or exhaust the leader-panic retry are
+    /// serialized there (query canon, fault context, degradation
+    /// history) for offline replay via `sdp-service replay --dlq`.
+    pub fn with_dlq(mut self, dir: &Path) -> Result<Self, StoreError> {
+        let (dlq, _, _) = DeadLetterQueue::open(dir)?;
+        self.store_counters.set_dlq_depth(dlq.len() as u64);
+        self.dlq = Some(Mutex::new(dlq));
+        Ok(self)
+    }
+
+    /// Arm a deterministic crash point in the durable store (consumed
+    /// by the next [`with_store_options`](Self::with_store_options)
+    /// call). Test builds only.
+    #[cfg(feature = "testkit")]
+    pub fn with_store_faults(mut self, faults: sdp_testkit::FaultPlan) -> Self {
+        self.store_faults = Some(faults);
+        self
+    }
+
+    /// Block until every plan enqueued to the write-behind store has
+    /// been applied to the segment log. No-op without a store.
+    pub fn flush_store(&self) {
+        if let Some(store) = &self.store {
+            store.flush();
+        }
+    }
+
+    /// Durable-store and DLQ counters (live handle; all zeros when no
+    /// store is attached).
+    pub fn store_counters(&self) -> &StoreCounters {
+        &self.store_counters
+    }
+
+    /// Current dead-letter queue depth (0 without a DLQ).
+    pub fn dlq_depth(&self) -> usize {
+        self.dlq
+            .as_ref()
+            .map(|d| d.lock().expect("dlq lock poisoned").len())
+            .unwrap_or(0)
+    }
+
     /// One-call snapshot of every metric family the service owns, for
     /// the exposition endpoints (`prometheus_text`, `--metrics-json`).
     pub fn metrics_report(&self) -> MetricsReport {
@@ -333,6 +472,7 @@ impl OptimizerService {
             strategies: self.latencies.snapshot(),
             rungs: self.rung_latencies.snapshot(),
             alloc: sdp_metrics::alloc::snapshot(),
+            store: self.store_counters.snapshot(),
             cached_plans: self.cache.len() as u64,
         }
     }
@@ -378,6 +518,57 @@ impl OptimizerService {
         self.cache.len()
     }
 
+    /// Serialize a failed request into the dead-letter queue (no-op
+    /// without one). Only replayable faults land here: resource
+    /// exhaustion at the bottom of the ladder, cancellation, and
+    /// exhausted leader-panic retries — semantic errors (disconnected
+    /// graph, empty query) would fail identically on replay.
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_dead_letter(
+        &self,
+        catalog: &Catalog,
+        query: &Query,
+        fingerprint: Fingerprint,
+        request: &ServiceRequest,
+        error_kind: DlqErrorKind,
+        error: String,
+        degradations: &[sdp_core::DegradeEvent],
+    ) {
+        let Some(dlq) = &self.dlq else { return };
+        let record = DlqRecord {
+            fingerprint: fingerprint.0,
+            stats_epoch: catalog.stats_epoch(),
+            enumerator: self.enumerator,
+            algorithm: request.algorithm,
+            error_kind,
+            error: error.clone(),
+            degradations: degradations
+                .iter()
+                .map(|e| DlqDegradation {
+                    from: e.from,
+                    to: e.to,
+                    reason: e.reason,
+                })
+                .collect(),
+            deadline_ms: request.deadline.map(|d| d.as_millis() as u64),
+            memory_bytes: request.memory_budget,
+            sql: sdp_sql::render_sql(catalog, query),
+            query: query.clone(),
+        };
+        match dlq.lock().expect("dlq lock poisoned").enqueue(record) {
+            Ok(()) => {
+                self.store_counters.record_dlq_enqueued();
+                self.tracer.emit_with(|| {
+                    Event::new("dlq_enqueue")
+                        .with("fingerprint", fp_hex(fingerprint))
+                        .with("kind", error_kind.label())
+                        .with("error", error.clone())
+                });
+            }
+            Err(_) => self.store_counters.record_write_error(),
+        }
+    }
+
     /// Serve one request: bind, fingerprint, probe the cache, and
     /// enumerate (or coalesce) on a miss.
     pub fn get_plan(&self, request: &ServiceRequest) -> Result<ServiceResponse, ServiceError> {
@@ -388,17 +579,21 @@ impl OptimizerService {
         };
         let algorithm = request.algorithm.unwrap_or_else(|| select::choose(&query));
         let fingerprint = fingerprint_query(&catalog, &query);
-        let key = plan_key(fingerprint, algorithm);
+        let key = plan_key(fingerprint, algorithm, self.enumerator);
         let epoch = catalog.stats_epoch();
 
         loop {
             match self.cache.get(key, epoch) {
                 Lookup::Hit(plan) => {
                     self.counters.record_hit();
+                    if plan.warm {
+                        self.store_counters.record_warm_hit();
+                    }
                     self.tracer.emit_with(|| {
                         Event::new("request")
                             .with("fingerprint", fp_hex(fingerprint))
                             .with("outcome", "hit")
+                            .with("warm", u64::from(plan.warm))
                             .with("rung", plan.strategy.clone())
                     });
                     return Ok(ServiceResponse {
@@ -467,11 +662,14 @@ impl OptimizerService {
                                     panic!("injected leader panic ({})", attempt_now.label());
                                 }
                             }
-                            optimizer.optimize_governed(&query, attempt_now, &governor)
+                            optimizer.optimize_governed_full(&query, attempt_now, &governor)
                         }));
                         match run {
                             Ok(Ok(governed)) => break governed,
-                            Ok(Err(e)) => {
+                            Ok(Err(GovernedFailure {
+                                error: e,
+                                degradations,
+                            })) => {
                                 if matches!(e, OptError::TimedOut { .. }) {
                                     self.governor_counters.record_timeout();
                                 }
@@ -481,6 +679,27 @@ impl OptimizerService {
                                         .with("rung", attempt_now.label())
                                         .with("error", format!("{e}"))
                                 });
+                                // A resource failure here means the
+                                // *bottom* rung was exhausted (the
+                                // governor already walked the ladder):
+                                // dead-letter it for offline replay.
+                                let kind = match &e {
+                                    OptError::TimedOut { .. } => Some(DlqErrorKind::Timeout),
+                                    OptError::MemoryExhausted { .. } => Some(DlqErrorKind::Memory),
+                                    OptError::Cancelled => Some(DlqErrorKind::Cancelled),
+                                    _ => None,
+                                };
+                                if let Some(kind) = kind {
+                                    self.enqueue_dead_letter(
+                                        &catalog,
+                                        &query,
+                                        fingerprint,
+                                        request,
+                                        kind,
+                                        format!("{e}"),
+                                        &degradations,
+                                    );
+                                }
                                 return Err(e.into());
                             }
                             Err(payload) => {
@@ -509,6 +728,15 @@ impl OptimizerService {
                                                     format!("leader panicked: {message}"),
                                                 )
                                         });
+                                        self.enqueue_dead_letter(
+                                            &catalog,
+                                            &query,
+                                            fingerprint,
+                                            request,
+                                            DlqErrorKind::LeaderPanicked,
+                                            message.clone(),
+                                            &[],
+                                        );
                                         return Err(ServiceError::LeaderPanicked(message));
                                     }
                                 }
@@ -538,6 +766,7 @@ impl OptimizerService {
                         degradations: governed.degradations.len() as u64,
                         fingerprint,
                         stats_epoch: epoch,
+                        warm: false,
                     };
                     let plans_costed = governed.plan.stats.plans_costed;
                     self.counters.record_miss();
@@ -550,6 +779,30 @@ impl OptimizerService {
                     );
                     let evicted = self.cache.insert(key, plan.clone(), epoch);
                     self.counters.add_evicted(evicted);
+                    if let Some(store) = &self.store {
+                        // Write-behind: the request returns without
+                        // waiting on storage. The record carries the
+                        // *requested* strategy's rendering — the key
+                        // component — alongside the producing rung.
+                        store.write(PlanRecord {
+                            fingerprint: fingerprint.0,
+                            stats_epoch: epoch,
+                            rung: plan.rung,
+                            enumerator: self.enumerator,
+                            algo_repr: format!("{algorithm:?}"),
+                            strategy: plan.strategy.clone(),
+                            degradations: plan.degradations,
+                            cost: plan.cost,
+                            rows: plan.rows,
+                            root: Arc::clone(&plan.root),
+                        });
+                        self.tracer.emit_with(|| {
+                            Event::new("store_write")
+                                .with("fingerprint", fp_hex(fingerprint))
+                                .with("rung", plan.strategy.clone())
+                                .with("epoch", epoch)
+                        });
+                    }
                     self.tracer.emit_with(|| {
                         Event::new("request")
                             .with("fingerprint", fp_hex(fingerprint))
@@ -633,16 +886,42 @@ mod tests {
     use sdp_query::{QueryGenerator, Topology};
 
     #[test]
-    fn plan_key_separates_strategies_and_fingerprints() {
+    fn plan_key_separates_strategies_fingerprints_and_enumerators() {
         let fp1 = Fingerprint(0x1234_5678_9abc_def0);
         let fp2 = Fingerprint(0x0fed_cba9_8765_4321);
-        assert_eq!(plan_key(fp1, Algorithm::Dp), plan_key(fp1, Algorithm::Dp));
-        assert_ne!(plan_key(fp1, Algorithm::Dp), plan_key(fp1, Algorithm::Goo));
-        assert_ne!(
-            plan_key(fp1, Algorithm::Idp { k: 4 }),
-            plan_key(fp1, Algorithm::Idp { k: 7 })
+        let level = EnumeratorKind::LevelScan;
+        assert_eq!(
+            plan_key(fp1, Algorithm::Dp, level),
+            plan_key(fp1, Algorithm::Dp, level)
         );
-        assert_ne!(plan_key(fp1, Algorithm::Dp), plan_key(fp2, Algorithm::Dp));
+        assert_ne!(
+            plan_key(fp1, Algorithm::Dp, level),
+            plan_key(fp1, Algorithm::Goo, level)
+        );
+        assert_ne!(
+            plan_key(fp1, Algorithm::Idp { k: 4 }, level),
+            plan_key(fp1, Algorithm::Idp { k: 7 }, level)
+        );
+        assert_ne!(
+            plan_key(fp1, Algorithm::Dp, level),
+            plan_key(fp2, Algorithm::Dp, level)
+        );
+        // The active enumerator is part of the identity: DPccp and the
+        // level scan may produce different (equal-cost) plans, so they
+        // must not share cache entries.
+        assert_ne!(
+            plan_key(fp1, Algorithm::Dp, EnumeratorKind::LevelScan),
+            plan_key(fp1, Algorithm::Dp, EnumeratorKind::Dpccp)
+        );
+        // The repr-based form (used by warm restart) matches exactly.
+        assert_eq!(
+            plan_key(fp1, Algorithm::Idp { k: 4 }, EnumeratorKind::Dpccp),
+            plan_key_repr(
+                fp1,
+                &format!("{:?}", Algorithm::Idp { k: 4 }),
+                EnumeratorKind::Dpccp
+            )
+        );
     }
 
     #[test]
@@ -866,6 +1145,110 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"requests\": 2"));
         assert!(json.contains("\"memory_degradations\": 1"));
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sdp-service-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn warm_restart_serves_bit_identical_plans_and_counts_warm_hits() {
+        let dir = temp_dir("warm");
+        let catalog = Catalog::paper();
+        let q = QueryGenerator::new(&catalog, Topology::Star(6), 11).instance(0);
+
+        let (digest, cost_bits) = {
+            let service = OptimizerService::with_defaults(catalog.clone())
+                .with_store(&dir)
+                .unwrap();
+            let resp = service.get_plan(&ServiceRequest::query(q.clone())).unwrap();
+            assert_eq!(resp.source, PlanSource::Fresh);
+            assert!(!resp.plan.warm);
+            service.flush_store();
+            assert_eq!(service.store_counters().snapshot().writes, 1);
+            (resp.plan.root.structural_digest(), resp.plan.cost.to_bits())
+        }; // service dropped = process "restart"
+
+        let service = OptimizerService::with_defaults(catalog.clone())
+            .with_store(&dir)
+            .unwrap();
+        assert_eq!(service.store_counters().snapshot().warm_fills, 1);
+        assert_eq!(service.cached_plans(), 1);
+        let resp = service.get_plan(&ServiceRequest::query(q)).unwrap();
+        assert_eq!(resp.source, PlanSource::Cache, "warm entry serves the hit");
+        assert!(resp.plan.warm);
+        assert_eq!(resp.plan.root.structural_digest(), digest, "bit-identical");
+        assert_eq!(resp.plan.cost.to_bits(), cost_bits, "costs bit-identical");
+        assert_eq!(service.store_counters().snapshot().warm_hits, 1);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_the_persisted_tier() {
+        let dir = temp_dir("epoch");
+        let catalog = Catalog::paper();
+        let q = QueryGenerator::new(&catalog, Topology::Chain(5), 3).instance(0);
+        {
+            let service = OptimizerService::with_defaults(catalog.clone())
+                .with_store(&dir)
+                .unwrap();
+            service.get_plan(&ServiceRequest::query(q.clone())).unwrap();
+            service.flush_store();
+        }
+        let mut bumped = catalog.clone();
+        bumped.bump_stats_epoch();
+        let service = OptimizerService::with_defaults(bumped)
+            .with_store(&dir)
+            .unwrap();
+        let snap = service.store_counters().snapshot();
+        assert_eq!(snap.warm_fills, 0, "stale records must not warm the cache");
+        assert_eq!(snap.stale_dropped, 1);
+        let resp = service.get_plan(&ServiceRequest::query(q)).unwrap();
+        assert_eq!(resp.source, PlanSource::Fresh, "stale plan re-optimized");
+    }
+
+    #[test]
+    fn ladder_exhaustion_lands_in_the_dlq_with_its_history() {
+        let dir = temp_dir("dlq");
+        let catalog = Catalog::paper();
+        let q = QueryGenerator::new(&catalog, Topology::Star(9), 7).instance(0);
+        {
+            let service = OptimizerService::with_defaults(catalog.clone())
+                .with_dlq(&dir)
+                .unwrap();
+            // A zero-byte memory budget fails every rung down to GOO.
+            let err = service
+                .get_plan(
+                    &ServiceRequest::query(q.clone())
+                        .with_algorithm(Algorithm::Dp)
+                        .with_memory_budget(0),
+                )
+                .unwrap_err();
+            assert!(
+                matches!(err, ServiceError::Opt(OptError::MemoryExhausted { .. })),
+                "{err}"
+            );
+            assert_eq!(service.dlq_depth(), 1);
+            assert_eq!(service.store_counters().snapshot().dlq_enqueued, 1);
+            assert_eq!(service.store_counters().dlq_depth(), 1);
+        }
+        // The record survives the restart and carries the full canon.
+        let (dlq, _, _) = sdp_store::DeadLetterQueue::open(&dir).unwrap();
+        assert_eq!(dlq.len(), 1);
+        let record = &dlq.records()[0];
+        assert_eq!(record.error_kind, sdp_store::DlqErrorKind::Memory);
+        assert_eq!(
+            record.degradations.len(),
+            3,
+            "DP → SDP → IDP → GOO descent history: {:?}",
+            record.degradations
+        );
+        assert_eq!(record.fingerprint, fingerprint_query(&catalog, &q).0);
+        assert_eq!(record.memory_bytes, Some(0));
+        assert!(record.sql.contains("SELECT"), "{}", record.sql);
+        assert_eq!(record.query.graph.relations(), q.graph.relations());
     }
 
     #[test]

@@ -1,0 +1,832 @@
+//! Versioned, deterministic binary codec for optimized plans and
+//! dead-letter records.
+//!
+//! Hand-rolled little-endian encoding, like every other wire format in
+//! the workspace (metrics JSON, chrome traces): the formats are small
+//! and taking a serialization dependency for them would be the tail
+//! wagging the dog. Determinism is structural — encoding visits the
+//! plan tree pre-order and every field has a fixed width or an
+//! explicit length prefix — so equal records encode to equal bytes on
+//! every platform.
+//!
+//! # Round-trip guarantee
+//!
+//! `decode(encode(p))` reconstructs the plan tree field-for-field:
+//! operator tags come from the *same* stable-tag surface
+//! ([`PlanOp::stable_tag`], `JoinMethod::stable_tag`,
+//! `Rung::stable_tag`, `EnumeratorKind::stable_tag`) that
+//! [`PlanNode::structural_digest`] hashes, and rows/costs are stored
+//! as exact `f64` bit patterns — so a decoded plan digests identically
+//! to the one encoded, which is what "bit-identical for costing and
+//! explain" means operationally. The encoder embeds the root digest
+//! and the decoder re-derives and checks it, so a codec regression
+//! fails loudly at decode time instead of silently serving a mutated
+//! plan.
+//!
+//! Every payload opens with a version byte. Records written by a
+//! future format version fail decoding with a versioned error; the
+//! segment replayer skips (and counts) them rather than refusing the
+//! whole log.
+
+use std::sync::Arc;
+
+use sdp_catalog::{ColId, RelId};
+use sdp_core::{
+    Algorithm, DegradeReason, EnumeratorKind, NodeCounter, PlanNode, PlanOp, Rung, SdpConfig,
+};
+use sdp_cost::JoinMethod;
+use sdp_query::{ColRef, JoinEdge, JoinGraph, PredOp, Predicate, Query, RelSet};
+
+use crate::StoreError;
+
+/// Current codec version, stamped on every payload.
+pub const CODEC_VERSION: u8 = 1;
+
+/// One persisted plan: the record of the `(fingerprint, stats_epoch,
+/// rung, enumerator) → plan` map plus the provenance the service layer
+/// caches alongside.
+#[derive(Debug, Clone)]
+pub struct PlanRecord {
+    /// WL fingerprint of the query the plan answers.
+    pub fingerprint: u128,
+    /// Statistics epoch the plan was optimized under.
+    pub stats_epoch: u64,
+    /// Ladder rung that produced the plan (`None` for off-ladder
+    /// strategies).
+    pub rung: Option<Rung>,
+    /// Pair-enumeration strategy the plan was produced with.
+    pub enumerator: EnumeratorKind,
+    /// Identity of the *requested* strategy (its `Debug` rendering) —
+    /// the in-memory cache folds this into the plan key, so warm
+    /// restart must reproduce it exactly.
+    pub algo_repr: String,
+    /// Display label of the strategy that produced the plan.
+    pub strategy: String,
+    /// Ladder descents taken while producing the plan.
+    pub degradations: u64,
+    /// Estimated plan cost.
+    pub cost: f64,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Root of the plan tree.
+    pub root: Arc<PlanNode>,
+}
+
+/// Why a request landed in the dead-letter queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DlqErrorKind {
+    /// The deadline expired on the bottom rung.
+    Timeout,
+    /// The memory budget tripped on the bottom rung.
+    Memory,
+    /// Cancellation arrived at the bottom rung.
+    Cancelled,
+    /// The single-flight leader panicked and the bounded retry was
+    /// exhausted.
+    LeaderPanicked,
+    /// Any other terminal error.
+    Other,
+}
+
+impl DlqErrorKind {
+    fn stable_tag(self) -> u8 {
+        match self {
+            DlqErrorKind::Timeout => 1,
+            DlqErrorKind::Memory => 2,
+            DlqErrorKind::Cancelled => 3,
+            DlqErrorKind::LeaderPanicked => 4,
+            DlqErrorKind::Other => 5,
+        }
+    }
+
+    fn from_stable_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(DlqErrorKind::Timeout),
+            2 => Some(DlqErrorKind::Memory),
+            3 => Some(DlqErrorKind::Cancelled),
+            4 => Some(DlqErrorKind::LeaderPanicked),
+            5 => Some(DlqErrorKind::Other),
+            _ => None,
+        }
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DlqErrorKind::Timeout => "timeout",
+            DlqErrorKind::Memory => "memory",
+            DlqErrorKind::Cancelled => "cancelled",
+            DlqErrorKind::LeaderPanicked => "leader-panicked",
+            DlqErrorKind::Other => "other",
+        }
+    }
+}
+
+/// One descent recorded in a dead-letter record (the deterministic
+/// facts of a `DegradeEvent`; elapsed wall-clock stays out of the
+/// persisted form, same policy as trace canonicalization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DlqDegradation {
+    /// Rung abandoned.
+    pub from: Rung,
+    /// Rung descended to.
+    pub to: Rung,
+    /// Why.
+    pub reason: DegradeReason,
+}
+
+/// A failed request serialized as a replayable artifact: the query
+/// canon (structural encoding + rendered SQL), the fault context, and
+/// the ladder-descent history.
+#[derive(Debug, Clone)]
+pub struct DlqRecord {
+    /// WL fingerprint of the failing query.
+    pub fingerprint: u128,
+    /// Statistics epoch the failure happened under.
+    pub stats_epoch: u64,
+    /// Pair-enumeration strategy in effect.
+    pub enumerator: EnumeratorKind,
+    /// The pinned strategy, canonicalized; `None` when the request let
+    /// the topology selector choose (re-optimization re-runs the
+    /// selector, which is deterministic for a given query).
+    pub algorithm: Option<Algorithm>,
+    /// Error classification.
+    pub error_kind: DlqErrorKind,
+    /// Rendered error message.
+    pub error: String,
+    /// Ladder descents taken before the run gave up.
+    pub degradations: Vec<DlqDegradation>,
+    /// The original request's deadline in milliseconds, if any.
+    pub deadline_ms: Option<u64>,
+    /// The original request's memory budget in bytes, if any.
+    pub memory_bytes: Option<u64>,
+    /// The query rendered as SQL (human-readable canon).
+    pub sql: String,
+    /// The query itself, structurally encoded for deterministic
+    /// re-optimization.
+    pub query: Query,
+}
+
+// ---------------------------------------------------------------------
+// byte-level helpers
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn new() -> Self {
+        Writer(Vec::with_capacity(256))
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u128(&mut self, v: u128) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64_bits(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        debug_assert!(s.len() <= u16::MAX as usize);
+        self.u16(s.len() as u16);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(StoreError::Codec(format!(
+                "record truncated: wanted {n} bytes at offset {}",
+                self.pos
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn u128(&mut self) -> Result<u128, StoreError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().expect("16")))
+    }
+
+    fn i64(&mut self) -> Result<i64, StoreError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64_bits(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String, StoreError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| StoreError::Codec(format!("invalid utf-8 string: {e}")))
+    }
+
+    fn finish(&self) -> Result<(), StoreError> {
+        if self.pos != self.bytes.len() {
+            return Err(StoreError::Codec(format!(
+                "{} trailing bytes after record",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn check_version(reader: &mut Reader<'_>) -> Result<(), StoreError> {
+    let version = reader.u8()?;
+    if version != CODEC_VERSION {
+        return Err(StoreError::Codec(format!(
+            "unsupported codec version {version} (this build reads {CODEC_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// plan trees
+
+fn encode_node(w: &mut Writer, node: &PlanNode) {
+    w.u8(node.op.stable_tag());
+    match node.op {
+        PlanOp::SeqScan { rel, node: idx } => {
+            w.u32(rel.0);
+            w.u16(idx as u16);
+        }
+        PlanOp::IndexScan {
+            rel,
+            node: idx,
+            col,
+        } => {
+            w.u32(rel.0);
+            w.u16(idx as u16);
+            w.u16(col.0);
+        }
+        PlanOp::Join { method } => w.u8(method.stable_tag()),
+        PlanOp::Sort { class } => w.u32(class),
+    }
+    w.u64(node.set.0);
+    w.f64_bits(node.rows);
+    w.f64_bits(node.cost);
+    w.u64(match node.ordering {
+        None => u64::MAX,
+        Some(class) => class as u64,
+    });
+    w.u8(node.children.len() as u8);
+    for child in &node.children {
+        encode_node(w, child);
+    }
+}
+
+fn decode_node(r: &mut Reader<'_>, counter: &NodeCounter) -> Result<Arc<PlanNode>, StoreError> {
+    let tag = r.u8()?;
+    let op = match tag {
+        1 => PlanOp::SeqScan {
+            rel: RelId(r.u32()?),
+            node: r.u16()? as usize,
+        },
+        2 => PlanOp::IndexScan {
+            rel: RelId(r.u32()?),
+            node: r.u16()? as usize,
+            col: ColId(r.u16()?),
+        },
+        3 => {
+            let m = r.u8()?;
+            PlanOp::Join {
+                method: JoinMethod::from_stable_tag(m)
+                    .ok_or_else(|| StoreError::Codec(format!("unknown join-method tag {m}")))?,
+            }
+        }
+        4 => PlanOp::Sort { class: r.u32()? },
+        other => {
+            return Err(StoreError::Codec(format!("unknown plan-op tag {other}")));
+        }
+    };
+    let set = RelSet(r.u64()?);
+    let rows = r.f64_bits()?;
+    let cost = r.f64_bits()?;
+    let ordering = match r.u64()? {
+        u64::MAX => None,
+        class if class <= u64::from(u32::MAX) => Some(class as u32),
+        other => {
+            return Err(StoreError::Codec(format!(
+                "implausible ordering class {other}"
+            )));
+        }
+    };
+    if !rows.is_finite() || rows < 0.0 || !cost.is_finite() || cost < 0.0 {
+        return Err(StoreError::Codec(format!(
+            "implausible node estimates (rows {rows}, cost {cost})"
+        )));
+    }
+    let n_children = r.u8()? as usize;
+    let mut children = Vec::with_capacity(n_children);
+    for _ in 0..n_children {
+        children.push(decode_node(r, counter)?);
+    }
+    Ok(PlanNode::new(
+        counter, op, set, rows, cost, ordering, children,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// plan records
+
+/// Encode a plan record as one log payload.
+pub fn encode_plan(record: &PlanRecord) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(CODEC_VERSION);
+    w.u128(record.fingerprint);
+    w.u64(record.stats_epoch);
+    w.u8(record.rung.map(|r| r.stable_tag()).unwrap_or(0));
+    w.u8(record.enumerator.stable_tag());
+    w.str(&record.algo_repr);
+    w.str(&record.strategy);
+    w.u64(record.degradations);
+    w.f64_bits(record.cost);
+    w.f64_bits(record.rows);
+    w.u64(record.root.structural_digest());
+    encode_node(&mut w, &record.root);
+    w.0
+}
+
+/// Decode a plan record. The plan tree is rebuilt under a fresh
+/// [`NodeCounter`] (persisted plans do not charge any optimization
+/// run's memory model), and the embedded structural digest is
+/// re-checked so a corrupt-but-CRC-valid or version-skewed payload
+/// cannot smuggle in a mutated plan.
+pub fn decode_plan(payload: &[u8]) -> Result<PlanRecord, StoreError> {
+    let mut r = Reader::new(payload);
+    check_version(&mut r)?;
+    let fingerprint = r.u128()?;
+    let stats_epoch = r.u64()?;
+    let rung = match r.u8()? {
+        0 => None,
+        tag => Some(
+            Rung::from_stable_tag(tag)
+                .ok_or_else(|| StoreError::Codec(format!("unknown rung tag {tag}")))?,
+        ),
+    };
+    let enumerator_tag = r.u8()?;
+    let enumerator = EnumeratorKind::from_stable_tag(enumerator_tag)
+        .ok_or_else(|| StoreError::Codec(format!("unknown enumerator tag {enumerator_tag}")))?;
+    let algo_repr = r.str()?;
+    let strategy = r.str()?;
+    let degradations = r.u64()?;
+    let cost = r.f64_bits()?;
+    let rows = r.f64_bits()?;
+    let digest = r.u64()?;
+    let counter = NodeCounter::new();
+    let root = decode_node(&mut r, &counter)?;
+    r.finish()?;
+    if root.structural_digest() != digest {
+        return Err(StoreError::Codec(
+            "plan digest mismatch after decode".to_string(),
+        ));
+    }
+    Ok(PlanRecord {
+        fingerprint,
+        stats_epoch,
+        rung,
+        enumerator,
+        algo_repr,
+        strategy,
+        degradations,
+        cost,
+        rows,
+        root,
+    })
+}
+
+// ---------------------------------------------------------------------
+// queries and algorithms (dead-letter records)
+
+fn pred_op_tag(op: PredOp) -> u8 {
+    match op {
+        PredOp::Eq => 1,
+        PredOp::Lt => 2,
+        PredOp::Le => 3,
+        PredOp::Gt => 4,
+        PredOp::Ge => 5,
+    }
+}
+
+fn pred_op_from_tag(tag: u8) -> Option<PredOp> {
+    match tag {
+        1 => Some(PredOp::Eq),
+        2 => Some(PredOp::Lt),
+        3 => Some(PredOp::Le),
+        4 => Some(PredOp::Gt),
+        5 => Some(PredOp::Ge),
+        _ => None,
+    }
+}
+
+fn encode_colref(w: &mut Writer, col: ColRef) {
+    w.u16(col.node as u16);
+    w.u16(col.col.0);
+}
+
+fn decode_colref(r: &mut Reader<'_>) -> Result<ColRef, StoreError> {
+    let node = r.u16()? as usize;
+    let col = ColId(r.u16()?);
+    Ok(ColRef::new(node, col))
+}
+
+fn encode_query(w: &mut Writer, query: &Query) {
+    let graph = &query.graph;
+    w.u16(graph.relations().len() as u16);
+    for rel in graph.relations() {
+        w.u32(rel.0);
+    }
+    w.u16(graph.edges().len() as u16);
+    for edge in graph.edges() {
+        encode_colref(w, edge.left);
+        encode_colref(w, edge.right);
+    }
+    w.u16(graph.filters().len() as u16);
+    for filter in graph.filters() {
+        encode_colref(w, filter.column);
+        w.u8(pred_op_tag(filter.op));
+        w.i64(filter.value);
+    }
+    match query.order_by {
+        None => w.u8(0),
+        Some(order) => {
+            w.u8(1);
+            encode_colref(w, order.column);
+        }
+    }
+}
+
+fn decode_query(r: &mut Reader<'_>) -> Result<Query, StoreError> {
+    let n_rels = r.u16()? as usize;
+    let mut relations = Vec::with_capacity(n_rels);
+    for _ in 0..n_rels {
+        relations.push(RelId(r.u32()?));
+    }
+    let n_edges = r.u16()? as usize;
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        let left = decode_colref(r)?;
+        let right = decode_colref(r)?;
+        edges.push(JoinEdge::new(left, right));
+    }
+    let mut graph = JoinGraph::new(relations, edges);
+    let n_filters = r.u16()? as usize;
+    for _ in 0..n_filters {
+        let column = decode_colref(r)?;
+        let tag = r.u8()?;
+        let op = pred_op_from_tag(tag)
+            .ok_or_else(|| StoreError::Codec(format!("unknown predicate-op tag {tag}")))?;
+        let value = r.i64()?;
+        graph.add_filter(Predicate::new(column, op, value));
+    }
+    let mut query = Query::new(graph);
+    if r.u8()? == 1 {
+        let column = decode_colref(r)?;
+        query = query.with_order_by(column);
+    }
+    Ok(query)
+}
+
+/// The requested strategy, canonicalized to the nearest paper-default
+/// configuration (non-default `f64` tunings do not survive the trip;
+/// the fault context is what matters for replay, and descents use
+/// canonical configurations anyway). Tag 0 means "let the selector
+/// choose".
+fn encode_algorithm(w: &mut Writer, algorithm: Option<Algorithm>) {
+    let (tag, param): (u8, u64) = match algorithm {
+        None => (0, 0),
+        Some(Algorithm::Dp) => (1, 0),
+        Some(Algorithm::Sdp(_)) => (2, 0),
+        Some(Algorithm::Idp { k }) => (3, k as u64),
+        Some(Algorithm::IdpStandard { k }) => (4, k as u64),
+        Some(Algorithm::Goo) => (5, 0),
+        Some(Algorithm::IterativeImprovement(_)) => (6, 0),
+        Some(Algorithm::SimulatedAnnealing(_)) => (7, 0),
+    };
+    w.u8(tag);
+    w.u64(param);
+}
+
+fn decode_algorithm(r: &mut Reader<'_>) -> Result<Option<Algorithm>, StoreError> {
+    let tag = r.u8()?;
+    let param = r.u64()?;
+    Ok(match tag {
+        0 => None,
+        1 => Some(Algorithm::Dp),
+        2 => Some(Algorithm::Sdp(SdpConfig::paper())),
+        3 => Some(Algorithm::Idp { k: param as usize }),
+        4 => Some(Algorithm::IdpStandard { k: param as usize }),
+        5 => Some(Algorithm::Goo),
+        6 => Some(Algorithm::ii()),
+        7 => Some(Algorithm::sa()),
+        other => {
+            return Err(StoreError::Codec(format!("unknown algorithm tag {other}")));
+        }
+    })
+}
+
+/// Encode a dead-letter record as one log payload.
+pub fn encode_dlq(record: &DlqRecord) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(CODEC_VERSION);
+    w.u128(record.fingerprint);
+    w.u64(record.stats_epoch);
+    w.u8(record.enumerator.stable_tag());
+    encode_algorithm(&mut w, record.algorithm);
+    w.u8(record.error_kind.stable_tag());
+    w.str(&record.error);
+    w.u16(record.degradations.len() as u16);
+    for d in &record.degradations {
+        w.u8(d.from.stable_tag());
+        w.u8(d.to.stable_tag());
+        w.u8(d.reason.stable_tag());
+    }
+    w.u8(record.deadline_ms.is_some() as u8);
+    w.u64(record.deadline_ms.unwrap_or(0));
+    w.u8(record.memory_bytes.is_some() as u8);
+    w.u64(record.memory_bytes.unwrap_or(0));
+    w.str(&record.sql);
+    encode_query(&mut w, &record.query);
+    w.0
+}
+
+/// Decode a dead-letter record.
+pub fn decode_dlq(payload: &[u8]) -> Result<DlqRecord, StoreError> {
+    let mut r = Reader::new(payload);
+    check_version(&mut r)?;
+    let fingerprint = r.u128()?;
+    let stats_epoch = r.u64()?;
+    let enumerator_tag = r.u8()?;
+    let enumerator = EnumeratorKind::from_stable_tag(enumerator_tag)
+        .ok_or_else(|| StoreError::Codec(format!("unknown enumerator tag {enumerator_tag}")))?;
+    let algorithm = decode_algorithm(&mut r)?;
+    let kind_tag = r.u8()?;
+    let error_kind = DlqErrorKind::from_stable_tag(kind_tag)
+        .ok_or_else(|| StoreError::Codec(format!("unknown error-kind tag {kind_tag}")))?;
+    let error = r.str()?;
+    let n_degradations = r.u16()? as usize;
+    let mut degradations = Vec::with_capacity(n_degradations);
+    for _ in 0..n_degradations {
+        let from = r.u8()?;
+        let to = r.u8()?;
+        let reason = r.u8()?;
+        degradations.push(DlqDegradation {
+            from: Rung::from_stable_tag(from)
+                .ok_or_else(|| StoreError::Codec(format!("unknown rung tag {from}")))?,
+            to: Rung::from_stable_tag(to)
+                .ok_or_else(|| StoreError::Codec(format!("unknown rung tag {to}")))?,
+            reason: DegradeReason::from_stable_tag(reason)
+                .ok_or_else(|| StoreError::Codec(format!("unknown reason tag {reason}")))?,
+        });
+    }
+    let deadline_ms = match (r.u8()?, r.u64()?) {
+        (0, _) => None,
+        (_, ms) => Some(ms),
+    };
+    let memory_bytes = match (r.u8()?, r.u64()?) {
+        (0, _) => None,
+        (_, bytes) => Some(bytes),
+    };
+    let sql = r.str()?;
+    let query = decode_query(&mut r)?;
+    r.finish()?;
+    Ok(DlqRecord {
+        fingerprint,
+        stats_epoch,
+        enumerator,
+        algorithm,
+        error_kind,
+        error,
+        degradations,
+        deadline_ms,
+        memory_bytes,
+        sql,
+        query,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(counter: &NodeCounter, node: usize) -> Arc<PlanNode> {
+        PlanNode::new(
+            counter,
+            PlanOp::SeqScan {
+                rel: RelId(node as u32),
+                node,
+            },
+            RelSet::single(node),
+            100.0,
+            3.5,
+            None,
+            vec![],
+        )
+    }
+
+    fn sample_plan() -> PlanRecord {
+        let c = NodeCounter::new();
+        let left = scan(&c, 0);
+        let right = PlanNode::new(
+            &c,
+            PlanOp::IndexScan {
+                rel: RelId(7),
+                node: 1,
+                col: ColId(2),
+            },
+            RelSet::single(1),
+            40.0,
+            1.25,
+            Some(5),
+            vec![],
+        );
+        let join = PlanNode::new(
+            &c,
+            PlanOp::Join {
+                method: JoinMethod::Merge,
+            },
+            left.set | right.set,
+            60.0,
+            9.75,
+            Some(5),
+            vec![left, right],
+        );
+        let root = PlanNode::new(
+            &c,
+            PlanOp::Sort { class: 3 },
+            join.set,
+            60.0,
+            12.0,
+            Some(3),
+            vec![join],
+        );
+        PlanRecord {
+            fingerprint: 0xdead_beef_0123_4567_89ab_cdef_0011_2233,
+            stats_epoch: 4,
+            rung: Some(Rung::Sdp),
+            enumerator: EnumeratorKind::Dpccp,
+            algo_repr: "Sdp(SdpConfig { .. })".to_string(),
+            strategy: "SDP".to_string(),
+            degradations: 1,
+            cost: 12.0,
+            rows: 60.0,
+            root,
+        }
+    }
+
+    #[test]
+    fn plan_round_trip_is_bit_identical() {
+        let record = sample_plan();
+        let payload = encode_plan(&record);
+        let decoded = decode_plan(&payload).unwrap();
+        assert_eq!(
+            decoded.root.structural_digest(),
+            record.root.structural_digest()
+        );
+        assert_eq!(decoded.fingerprint, record.fingerprint);
+        assert_eq!(decoded.stats_epoch, 4);
+        assert_eq!(decoded.rung, Some(Rung::Sdp));
+        assert_eq!(decoded.enumerator, EnumeratorKind::Dpccp);
+        assert_eq!(decoded.algo_repr, record.algo_repr);
+        assert_eq!(decoded.strategy, "SDP");
+        assert_eq!(decoded.degradations, 1);
+        assert_eq!(decoded.cost.to_bits(), record.cost.to_bits());
+        assert_eq!(decoded.rows.to_bits(), record.rows.to_bits());
+        // Encoding is deterministic: same record, same bytes.
+        assert_eq!(payload, encode_plan(&decoded));
+    }
+
+    #[test]
+    fn future_version_is_rejected_with_a_codec_error() {
+        let mut payload = encode_plan(&sample_plan());
+        payload[0] = CODEC_VERSION + 1;
+        let err = decode_plan(&payload).unwrap_err();
+        assert!(matches!(err, StoreError::Codec(_)), "{err}");
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn digest_check_catches_payload_mutation() {
+        let mut payload = encode_plan(&sample_plan());
+        // Flip a bit inside the cost of the last node (tail of the
+        // payload), past the embedded digest.
+        let n = payload.len();
+        payload[n - 20] ^= 0x40;
+        let err = decode_plan(&payload).unwrap_err();
+        assert!(matches!(err, StoreError::Codec(_)), "{err}");
+    }
+
+    #[test]
+    fn dlq_round_trip_preserves_query_and_context() {
+        let mut graph = JoinGraph::new(
+            vec![RelId(0), RelId(3), RelId(5)],
+            vec![
+                JoinEdge::new(ColRef::new(0, ColId(0)), ColRef::new(1, ColId(1))),
+                JoinEdge::new(ColRef::new(1, ColId(0)), ColRef::new(2, ColId(2))),
+            ],
+        );
+        graph.add_filter(Predicate::new(ColRef::new(2, ColId(1)), PredOp::Lt, -42));
+        let query = Query::new(graph).with_order_by(ColRef::new(0, ColId(0)));
+        let record = DlqRecord {
+            fingerprint: 77,
+            stats_epoch: 2,
+            enumerator: EnumeratorKind::LevelScan,
+            algorithm: Some(Algorithm::Idp { k: 4 }),
+            error_kind: DlqErrorKind::Memory,
+            error: "memory exhausted at GOO".to_string(),
+            degradations: vec![
+                DlqDegradation {
+                    from: Rung::Dp,
+                    to: Rung::Sdp,
+                    reason: DegradeReason::Memory,
+                },
+                DlqDegradation {
+                    from: Rung::Sdp,
+                    to: Rung::Idp,
+                    reason: DegradeReason::Memory,
+                },
+            ],
+            deadline_ms: Some(250),
+            memory_bytes: None,
+            sql: "SELECT * FROM ...".to_string(),
+            query,
+        };
+        let payload = encode_dlq(&record);
+        let decoded = decode_dlq(&payload).unwrap();
+        assert_eq!(decoded.fingerprint, 77);
+        assert_eq!(decoded.enumerator, EnumeratorKind::LevelScan);
+        assert!(matches!(decoded.algorithm, Some(Algorithm::Idp { k: 4 })));
+        assert_eq!(decoded.error_kind, DlqErrorKind::Memory);
+        assert_eq!(decoded.degradations, record.degradations);
+        assert_eq!(decoded.deadline_ms, Some(250));
+        assert_eq!(decoded.memory_bytes, None);
+        assert_eq!(
+            decoded.query.graph.relations(),
+            record.query.graph.relations()
+        );
+        assert_eq!(decoded.query.graph.edges(), record.query.graph.edges());
+        assert_eq!(
+            decoded.query.graph.filters().len(),
+            record.query.graph.filters().len()
+        );
+        assert_eq!(decoded.query.order_by, record.query.order_by);
+        assert_eq!(payload, encode_dlq(&decoded));
+    }
+
+    #[test]
+    fn truncated_payload_is_a_codec_error() {
+        let payload = encode_plan(&sample_plan());
+        let err = decode_plan(&payload[..payload.len() - 3]).unwrap_err();
+        assert!(matches!(err, StoreError::Codec(_)), "{err}");
+    }
+}

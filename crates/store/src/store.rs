@@ -1,0 +1,464 @@
+//! The write-behind plan segment store.
+//!
+//! A store directory holds numbered segments `seg-NNNNNN.log` (kind-1
+//! framed logs of encoded [`PlanRecord`]s). Appends go to the
+//! highest-numbered segment; when it crosses the size threshold the
+//! store *rotates* to a fresh segment, and once enough sealed segments
+//! pile up it *compacts*: the live view (latest record per key at the
+//! current stats epoch) is rewritten into one new segment and every
+//! older file is deleted. A crash anywhere in that sequence is safe —
+//! replay is latest-wins in `(segment, offset)` order, so duplicate
+//! records left by an interrupted compaction dedup to the same view,
+//! and a torn tail in any segment truncates to the last intact frame.
+//!
+//! Epoch discipline: records are stamped with the stats epoch they
+//! were optimized under. On open, records from other epochs are
+//! dropped (counted as `stale_dropped`) — a plan costed against old
+//! statistics is not merely suboptimal, its cached cost is a lie.
+//! Stale records also don't survive the next compaction, so an epoch
+//! bump physically garbage-collects the old generation over time.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use sdp_core::EnumeratorKind;
+use sdp_metrics::StoreCounters;
+
+use crate::codec::{decode_plan, encode_plan, PlanRecord};
+use crate::log::{FramedLog, RecoveryStats};
+use crate::StoreError;
+
+/// Log-kind tag for plan segments.
+pub const PLAN_LOG_KIND: u32 = 1;
+
+/// Identity of a persisted plan: the same triple the service folds
+/// into its in-memory cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RecordKey {
+    /// WL fingerprint of the query.
+    pub fingerprint: u128,
+    /// `Debug` rendering of the requested strategy.
+    pub algo_repr: String,
+    /// Pair-enumeration strategy in effect.
+    pub enumerator: EnumeratorKind,
+}
+
+impl RecordKey {
+    /// The key under which `record` is stored.
+    pub fn of(record: &PlanRecord) -> Self {
+        RecordKey {
+            fingerprint: record.fingerprint,
+            algo_repr: record.algo_repr.clone(),
+            enumerator: record.enumerator,
+        }
+    }
+}
+
+/// Store tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Rotate the active segment once it exceeds this many bytes.
+    pub max_segment_bytes: u64,
+    /// Compact once this many sealed segments have accumulated.
+    pub compact_after_segments: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            max_segment_bytes: 4 << 20,
+            compact_after_segments: 4,
+        }
+    }
+}
+
+/// What opening a store directory found.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpenStats {
+    /// Per-file recovery outcomes, merged.
+    pub recovery: RecoveryStats,
+    /// Records dropped because their stats epoch is not current.
+    pub stale_dropped: u64,
+    /// Records whose payload frame-checked but failed to decode
+    /// (version skew from an older/newer build); skipped, not fatal.
+    pub undecodable: u64,
+    /// Live records handed back for the warm fill.
+    pub live: u64,
+}
+
+/// The plan segment store, positioned for appends.
+///
+/// Not internally synchronized: the intended owner is a single
+/// write-behind thread (plus the startup replay before that thread
+/// exists).
+#[derive(Debug)]
+pub struct PlanStore {
+    dir: PathBuf,
+    epoch: u64,
+    options: StoreOptions,
+    counters: Arc<StoreCounters>,
+    active: FramedLog,
+    active_index: u64,
+    sealed: Vec<(u64, PathBuf)>,
+    /// Latest encoded payload per key at the current epoch — the
+    /// compaction source. Payload bytes, not decoded trees: compaction
+    /// must not re-encode (bit-stability) and plan trees are the
+    /// expensive part to keep around twice.
+    live: HashMap<RecordKey, Vec<u8>>,
+    #[cfg(feature = "testkit")]
+    faults: Option<sdp_testkit::FaultPlan>,
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("seg-{index:06}.log"))
+}
+
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut segments = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| StoreError::io(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(stem) = name
+            .strip_prefix("seg-")
+            .and_then(|s| s.strip_suffix(".log"))
+        {
+            if let Ok(index) = stem.parse::<u64>() {
+                segments.push((index, entry.path()));
+            }
+        }
+    }
+    segments.sort_by_key(|(index, _)| *index);
+    Ok(segments)
+}
+
+impl PlanStore {
+    /// Open (creating if needed) the store under `dir`, replay every
+    /// segment, and return the store plus the live records — latest
+    /// per key, current epoch only — for the warm fill.
+    ///
+    /// Counter effects: `torn_truncations` and `stale_dropped` are
+    /// recorded here; `warm_fills` / `warm_hits` belong to the cache
+    /// layer that consumes the returned records.
+    pub fn open(
+        dir: &Path,
+        epoch: u64,
+        options: StoreOptions,
+        counters: Arc<StoreCounters>,
+    ) -> Result<(Self, Vec<PlanRecord>, OpenStats), StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, e))?;
+        let mut stats = OpenStats::default();
+        let mut live_payloads: HashMap<RecordKey, Vec<u8>> = HashMap::new();
+        // Insertion order of keys, so the warm fill is deterministic
+        // (HashMap iteration order is not).
+        let mut key_order: Vec<RecordKey> = Vec::new();
+
+        let segments = list_segments(dir)?;
+        let mut last_index = 0u64;
+        for (index, path) in &segments {
+            last_index = *index;
+            let (_log, payloads, recovery) = FramedLog::open(path, PLAN_LOG_KIND)?;
+            if recovery.truncated {
+                counters.record_torn_truncation();
+            }
+            stats.recovery.merge(recovery);
+            for payload in payloads {
+                let record = match decode_plan(&payload) {
+                    Ok(record) => record,
+                    Err(StoreError::Codec(_)) => {
+                        stats.undecodable += 1;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
+                let key = RecordKey::of(&record);
+                if record.stats_epoch != epoch {
+                    stats.stale_dropped += 1;
+                    counters.record_stale_dropped();
+                    // A stale record shadows an older live one for the
+                    // same key: the plan was re-optimized under a
+                    // different epoch, so neither version is current.
+                    if live_payloads.remove(&key).is_some() {
+                        key_order.retain(|k| k != &key);
+                    }
+                    continue;
+                }
+                if live_payloads.insert(key.clone(), payload).is_none() {
+                    key_order.push(key);
+                }
+            }
+        }
+
+        // Append to the highest existing segment (recovery left it
+        // clean) or start segment 0.
+        let active_index = if segments.is_empty() { 0 } else { last_index };
+        let active_path = segment_path(dir, active_index);
+        let (active, _, _) = FramedLog::open(&active_path, PLAN_LOG_KIND)?;
+        let sealed = segments
+            .into_iter()
+            .filter(|(index, _)| *index != active_index)
+            .collect();
+
+        let mut records = Vec::with_capacity(key_order.len());
+        for key in &key_order {
+            let payload = &live_payloads[key];
+            // Live payloads decoded once already; decoding again keeps
+            // `live` as bytes without cloning trees around.
+            records.push(decode_plan(payload)?);
+        }
+        stats.live = records.len() as u64;
+
+        Ok((
+            PlanStore {
+                dir: dir.to_path_buf(),
+                epoch,
+                options,
+                counters,
+                active,
+                active_index,
+                sealed,
+                live: live_payloads,
+                #[cfg(feature = "testkit")]
+                faults: None,
+            },
+            records,
+            stats,
+        ))
+    }
+
+    /// Arm deterministic crash-point injection: the process aborts
+    /// (leaving whatever tail the OS got) once the fault plan's
+    /// store-write countdown fires.
+    #[cfg(feature = "testkit")]
+    pub fn inject_faults(&mut self, faults: sdp_testkit::FaultPlan) {
+        self.faults = Some(faults);
+    }
+
+    /// Persist one plan record. Rotates and compacts as thresholds
+    /// dictate; on I/O failure the record is dropped from the durable
+    /// tier (counted) but the in-memory cache above is unaffected.
+    pub fn append(&mut self, record: &PlanRecord) -> Result<(), StoreError> {
+        debug_assert_eq!(
+            record.stats_epoch, self.epoch,
+            "caller must stamp records with the store's epoch"
+        );
+        let payload = encode_plan(record);
+        self.active.append(&payload)?;
+        self.counters.record_write();
+        self.live.insert(RecordKey::of(record), payload);
+
+        #[cfg(feature = "testkit")]
+        if let Some(faults) = &self.faults {
+            if faults.take_store_crash() {
+                // Simulated power loss at an append boundary; the
+                // recovery path must cope with whatever hit the disk.
+                std::process::abort();
+            }
+        }
+
+        if self.active.len_bytes() > self.options.max_segment_bytes {
+            self.rotate()?;
+        }
+        if self.sealed.len() >= self.options.compact_after_segments {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> Result<(), StoreError> {
+        let sealed_path = self.active.path().to_path_buf();
+        self.sealed.push((self.active_index, sealed_path));
+        self.active_index += 1;
+        let path = segment_path(&self.dir, self.active_index);
+        let (active, _, _) = FramedLog::open(&path, PLAN_LOG_KIND)?;
+        self.active = active;
+        Ok(())
+    }
+
+    /// Rewrite the live view into one fresh segment and delete every
+    /// older file. Crash-safe without a rename dance: the new segment
+    /// is written before anything is deleted, and replay is
+    /// latest-wins, so an interruption leaves duplicates, not loss.
+    fn compact(&mut self) -> Result<(), StoreError> {
+        let old_active = self.active.path().to_path_buf();
+        let old_index = self.active_index;
+        self.active_index += 1;
+        let path = segment_path(&self.dir, self.active_index);
+        let (mut active, _, _) = FramedLog::open(&path, PLAN_LOG_KIND)?;
+        for payload in self.live.values() {
+            active.append(payload)?;
+        }
+        self.active = active;
+        for (_, path) in self.sealed.drain(..) {
+            std::fs::remove_file(&path).map_err(|e| StoreError::io(&path, e))?;
+        }
+        std::fs::remove_file(&old_active).map_err(|e| StoreError::io(&old_active, e))?;
+        let _ = old_index;
+        self.counters.record_compaction();
+        Ok(())
+    }
+
+    /// Number of live records (latest per key, current epoch).
+    pub fn live_len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of sealed (rotation-closed) segments awaiting
+    /// compaction.
+    pub fn sealed_segments(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The stats epoch this store was opened under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use sdp_catalog::RelId;
+    use sdp_core::{NodeCounter, PlanNode, PlanOp, Rung};
+    use sdp_query::RelSet;
+
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sdp-store-seg-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(fingerprint: u128, epoch: u64, cost: f64) -> PlanRecord {
+        let counter = NodeCounter::new();
+        let root = PlanNode::new(
+            &counter,
+            PlanOp::SeqScan {
+                rel: RelId(0),
+                node: 0,
+            },
+            RelSet::single(0),
+            10.0,
+            cost,
+            None,
+            vec![],
+        );
+        PlanRecord {
+            fingerprint,
+            stats_epoch: epoch,
+            rung: Some(Rung::Dp),
+            enumerator: EnumeratorKind::LevelScan,
+            algo_repr: "auto".to_string(),
+            strategy: "DP".to_string(),
+            degradations: 0,
+            cost,
+            rows: 10.0,
+            root,
+        }
+    }
+
+    fn open(
+        dir: &Path,
+        epoch: u64,
+        options: StoreOptions,
+    ) -> (PlanStore, Vec<PlanRecord>, OpenStats) {
+        PlanStore::open(dir, epoch, options, Arc::new(StoreCounters::default())).unwrap()
+    }
+
+    #[test]
+    fn replay_is_latest_wins_and_epoch_checked() {
+        let dir = temp_dir("latest-wins");
+        {
+            let (mut store, _, _) = open(&dir, 1, StoreOptions::default());
+            store.append(&record(1, 1, 5.0)).unwrap();
+            store.append(&record(2, 1, 7.0)).unwrap();
+            store.append(&record(1, 1, 3.0)).unwrap(); // re-optimized
+        }
+        let (store, records, stats) = open(&dir, 1, StoreOptions::default());
+        assert_eq!(stats.live, 2);
+        assert_eq!(store.live_len(), 2);
+        let fp1 = records.iter().find(|r| r.fingerprint == 1).unwrap();
+        assert_eq!(fp1.cost, 3.0);
+        drop(store);
+
+        // Same directory, bumped epoch: everything is stale.
+        let (_, records, stats) = open(&dir, 2, StoreOptions::default());
+        assert!(records.is_empty());
+        assert_eq!(stats.stale_dropped, 3);
+        assert_eq!(stats.live, 0);
+    }
+
+    #[test]
+    fn rotation_and_compaction_preserve_the_live_view() {
+        let dir = temp_dir("compact");
+        let options = StoreOptions {
+            max_segment_bytes: 256, // force a rotation every couple of records
+            compact_after_segments: 2,
+        };
+        let counters = Arc::new(StoreCounters::default());
+        {
+            let (mut store, _, _) =
+                PlanStore::open(&dir, 1, options, Arc::clone(&counters)).unwrap();
+            for i in 0..20u128 {
+                store.append(&record(i % 5, 1, i as f64)).unwrap();
+            }
+            assert!(counters.snapshot().compactions > 0, "compaction never ran");
+        }
+        // Fewer files than one per rotation — compaction deleted them.
+        let files = list_segments(&dir).unwrap();
+        assert!(
+            files.len() <= 3,
+            "expected compacted store, found {files:?}"
+        );
+
+        let (_, records, _) = open(&dir, 1, options);
+        assert_eq!(records.len(), 5);
+        for r in &records {
+            // Latest write for key k was iteration 15 + k.
+            assert_eq!(r.cost, 15.0 + r.fingerprint as f64);
+        }
+    }
+
+    #[test]
+    fn mixed_epoch_log_drops_only_stale_records() {
+        let dir = temp_dir("mixed-epoch");
+        {
+            let (mut store, _, _) = open(&dir, 1, StoreOptions::default());
+            store.append(&record(1, 1, 5.0)).unwrap();
+        }
+        {
+            let (mut store, _, _) = open(&dir, 2, StoreOptions::default());
+            store.append(&record(2, 2, 6.0)).unwrap();
+        }
+        let (_, records, stats) = open(&dir, 2, StoreOptions::default());
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].fingerprint, 2);
+        assert_eq!(stats.stale_dropped, 1);
+    }
+
+    #[test]
+    fn stale_record_shadows_older_live_one_for_same_key() {
+        let dir = temp_dir("shadow");
+        {
+            let (mut store, _, _) = open(&dir, 1, StoreOptions::default());
+            store.append(&record(1, 1, 5.0)).unwrap();
+        }
+        {
+            // Same key re-optimized under epoch 2: the epoch-1 record
+            // must not resurface when reopening at epoch 1.
+            let (mut store, _, _) = open(&dir, 2, StoreOptions::default());
+            store.append(&record(1, 2, 6.0)).unwrap();
+        }
+        let (_, records, _) = open(&dir, 1, StoreOptions::default());
+        assert!(records.is_empty(), "epoch-1 plan resurfaced: {records:?}");
+    }
+}

@@ -58,6 +58,9 @@ struct Inner {
     leader_panics: HashMap<String, u64>,
     /// Leader panics actually fired (by label), for assertions.
     fired_panics: HashMap<String, u64>,
+    /// Crash the process after this many more durable-store writes
+    /// (`None` = never).
+    store_crash_after: Option<u64>,
 }
 
 /// A deterministic, shareable fault schedule. Cloning is cheap and
@@ -134,6 +137,38 @@ impl FaultPlan {
         }
     }
 
+    /// Arm a crash point in the durable plan store: the process
+    /// aborts immediately after the `n`-th store write (1-based) —
+    /// simulated power loss at an append boundary, for torn-tail
+    /// recovery tests.
+    pub fn crash_after_store_writes(self, n: u64) -> Self {
+        assert!(n > 0, "crash point counts writes from 1");
+        self.inner
+            .lock()
+            .expect("fault plan poisoned")
+            .store_crash_after = Some(n);
+        self
+    }
+
+    /// Tick the store-write crash countdown. Returns `true` when the
+    /// armed write count has just been reached (the caller should now
+    /// abort the process).
+    pub fn take_store_crash(&self) -> bool {
+        let mut inner = self.inner.lock().expect("fault plan poisoned");
+        match inner.store_crash_after.as_mut() {
+            Some(n) => {
+                *n -= 1;
+                if *n == 0 {
+                    inner.store_crash_after = None;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+
     /// How many leader panics have fired for `label` so far.
     pub fn fired_panics(&self, label: &str) -> u64 {
         self.inner
@@ -191,6 +226,15 @@ mod tests {
         assert_eq!(plan.fired_panics("DP"), 2);
         assert_eq!(plan.armed_panics("DP"), 0);
         assert!(!plan.take_leader_panic("SDP"), "labels are independent");
+    }
+
+    #[test]
+    fn store_crash_countdown_fires_exactly_once() {
+        let plan = FaultPlan::new().crash_after_store_writes(3);
+        assert!(!plan.take_store_crash());
+        assert!(!plan.take_store_crash());
+        assert!(plan.take_store_crash(), "third write trips the crash");
+        assert!(!plan.take_store_crash(), "countdown disarms after firing");
     }
 
     #[test]
