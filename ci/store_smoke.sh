@@ -82,4 +82,27 @@ $BIN replay --relations 7 --dlq "$DLQ" | grep -q '0 records recovered' || {
   echo "error: drained DLQ should be empty on reopen" >&2
   exit 1
 }
+echo "== 5. ordered workload: warm restart must reproduce ordered plans =="
+OSTORE="$WORK/ordered-store"
+ORDERED="$BIN replay --requests 32 --distinct 4 --relations 7 --ordered"
+$ORDERED --store-dir "$OSTORE" | tee "$WORK/ord1.out"
+$ORDERED --store-dir "$OSTORE" --metrics-json "$WORK/ord2.json" \
+  | tee "$WORK/ord2.out"
+python3 - "$WORK/ord2.json" <<'EOF'
+import json, sys
+store = json.load(open(sys.argv[1]))["store"]
+assert store["warm_fills"] > 0, f"no warm fills after ordered restart: {store}"
+assert store["warm_hits"] > 0, f"no warm hits after ordered restart: {store}"
+assert store["write_errors"] == 0, store
+print(f"ordered restart ok: {store['warm_fills']} warm fills, "
+      f"{store['warm_hits']} warm hits")
+EOF
+o1=$(grep -o 'plan digest: [0-9a-f]*' "$WORK/ord1.out")
+o2=$(grep -o 'plan digest: [0-9a-f]*' "$WORK/ord2.out")
+[ -n "$o1" ] && [ "$o1" = "$o2" ] || {
+  echo "error: ordered plan digests diverged across restart: '$o1' vs '$o2'" >&2
+  exit 1
+}
+echo "ordered digests match across restart: $o1"
+
 echo "store smoke ok (SDP_THREADS=${SDP_THREADS:-default})"

@@ -110,6 +110,10 @@ pub struct LevelStats {
     pub skyline_survivors: u64,
     /// JCRs kept only by interesting-order retention.
     pub order_rescued: u64,
+    /// Sort-ahead enforcer plans retained at the level barrier
+    /// (explicit `Sort` nodes placed below future joins so
+    /// order-preserving joins can carry the order to the root).
+    pub sort_enforcers: u64,
     /// Memo size in groups after the barrier.
     pub memo_groups: u64,
     /// Modeled memory in bytes after the barrier.
@@ -154,6 +158,8 @@ pub struct EnumContext<'a> {
     pub plans_costed: u64,
     /// JCRs pruned so far.
     pub jcrs_pruned: u64,
+    /// Sort-ahead enforcer plans retained so far.
+    pub sort_enforcers: u64,
     /// Set by the greedy completion fallback.
     pub completed_greedily: bool,
     /// Per-level profile rows, one per completed level barrier.
@@ -172,7 +178,12 @@ impl<'a> EnumContext<'a> {
     /// override with [`EnumContext::set_parallelism`].
     pub fn new(query: &'a Query, model: &'a CostModel<'a>, budget: Budget) -> Self {
         let classes = query.equiv_classes();
-        let order_target = query.order_by.and_then(|o| classes.class_of(o.column));
+        // The effective interesting order: ORDER BY, else GROUP BY
+        // (sort-based grouping wants sorted input, so a grouping
+        // column is an interesting order in exactly the same sense).
+        let order_target = query
+            .interesting_order()
+            .and_then(|o| classes.class_of(o.column));
         let nodes = NodeCounter::new();
         EnumContext {
             query,
@@ -186,6 +197,7 @@ impl<'a> EnumContext<'a> {
             memo: Memo::new(),
             plans_costed: 0,
             jcrs_pruned: 0,
+            sort_enforcers: 0,
             completed_greedily: false,
             profile: Vec::new(),
             phase: "",
@@ -216,8 +228,8 @@ impl<'a> EnumContext<'a> {
         &self.classes
     }
 
-    /// Order class the user's `ORDER BY` requires, when it is on a
-    /// join column.
+    /// Order class the user's `ORDER BY` (or, failing that, `GROUP
+    /// BY`) requires, when it is on a join column.
     pub fn order_target(&self) -> Option<ClassId> {
         self.order_target
     }
@@ -374,7 +386,78 @@ impl<'a> EnumContext<'a> {
         debug_assert!(!group.is_empty());
         if self.memo.insert(group) {
             self.memory.add_groups(1);
+            // Sort-ahead at the leaves: a base relation owning a
+            // column of the order target can be sorted before any
+            // join, where it is at its smallest.
+            self.offer_sort_enforcer(set);
         }
+    }
+
+    /// Sort-ahead enforcer placement (Guravannavar et al., "Reducing
+    /// Order Enforcement Cost in Complex Query Plans"): offer the
+    /// group an explicit `Sort` over its cheapest plan, producing the
+    /// order target *below* future joins. Order-preserving joins
+    /// (nested-loop variants with the sorted side outer) then carry
+    /// the order to the root, which can beat sorting the — typically
+    /// much larger — final result. The group's dominance rule decides
+    /// whether the enforcer survives; it can never evict the cheapest
+    /// unordered plan, so order-blind plan quality is unaffected.
+    ///
+    /// Returns `true` if the enforcer entry was retained. Runs only on
+    /// the coordinating thread (base-group creation and level
+    /// barriers), so parallelism cannot perturb the offer order.
+    pub fn offer_sort_enforcer(&mut self, set: RelSet) -> bool {
+        let Some(target) = self.order_target else {
+            return false;
+        };
+        // The executor sorts by a column it can see: the order class
+        // needs a member column on a relation inside the set.
+        if !self
+            .classes
+            .members(target)
+            .iter()
+            .any(|m| set.contains(m.node))
+        {
+            return false;
+        }
+        let candidate = {
+            let Some(group) = self.memo.get(set) else {
+                return false;
+            };
+            let best = group.best().clone();
+            if best.ordering == Some(target) {
+                None // already ordered for free
+            } else {
+                let cost = best.cost + self.model.sort_cost(group.rows, group.width);
+                let retain = group.would_retain(cost, Some(target));
+                Some((best, group.rows, cost, retain))
+            }
+        };
+        let Some((best, rows, cost, retain)) = candidate else {
+            return false;
+        };
+        self.plans_costed += 1;
+        if !retain {
+            return false;
+        }
+        let node = PlanNode::new(
+            &self.nodes,
+            PlanOp::Sort { class: target },
+            set,
+            rows,
+            cost,
+            Some(target),
+            vec![best],
+        );
+        let inserted = self
+            .memo
+            .get_mut(set)
+            .expect("group present")
+            .add_plan(node);
+        if inserted {
+            self.sort_enforcers += 1;
+        }
+        inserted
     }
 
     /// Build the (empty) union group for `a ∪ b` with its canonical

@@ -169,6 +169,7 @@ fn run_one_level<'p>(
     let pair_count = pairs.len() as u64;
     let plans_before = ctx.plans_costed;
     let pruned_before = ctx.jcrs_pruned;
+    let enforcers_before = ctx.sort_enforcers;
     if threads > 1 && pairs.len() >= PARALLEL_PAIR_THRESHOLD {
         run_level_parallel(ctx, pairs, threads, new_sets, created, recorded)?;
     } else {
@@ -224,6 +225,17 @@ fn run_one_level<'p>(
     }
     ctx.memory.barrier_check()?;
 
+    // Sort-ahead placement (post-barrier, coordinating thread only):
+    // offer each surviving JCR of the level an explicit Sort enforcer
+    // producing the order target, so order-preserving joins at higher
+    // levels can carry the order up instead of paying a root sort over
+    // the full result. `new_sets` is in deterministic creation order,
+    // so the offers — and hence plans, counters and traces — are
+    // bit-identical at any parallelism.
+    for &set in new_sets.iter() {
+        ctx.offer_sort_enforcer(set);
+    }
+
     let stats = LevelStats {
         level,
         phase: ctx.phase(),
@@ -236,6 +248,7 @@ fn run_one_level<'p>(
         skyline_partitions: prune_stats.partitions,
         skyline_survivors: prune_stats.survivors,
         order_rescued: prune_stats.order_rescued,
+        sort_enforcers: ctx.sort_enforcers - enforcers_before,
         memo_groups: ctx.memo.len() as u64,
         model_bytes: ctx.memory.used_bytes(),
     };
@@ -261,6 +274,7 @@ fn level_event(stats: &LevelStats) -> sdp_trace::Event {
         .with("skyline_partitions", stats.skyline_partitions)
         .with("skyline_survivors", stats.skyline_survivors)
         .with("order_rescued", stats.order_rescued)
+        .with("sort_enforcers", stats.sort_enforcers)
         .with("memo", stats.memo_groups)
         .with("model_bytes", stats.model_bytes)
 }

@@ -133,7 +133,8 @@ pub fn explain_analyze(governed: &GovernedPlan) -> String {
             let _ = writeln!(
                 out,
                 "  [{}] level {}: enumerator={} pairs={} costed={} created={} pruned={} retained={} \
-                 skyline_partitions={} skyline_survivors={} order_rescued={} memo={} model_bytes={}",
+                 skyline_partitions={} skyline_survivors={} order_rescued={} sort_enforcers={} \
+                 memo={} model_bytes={}",
                 row.phase,
                 row.level,
                 row.enumerator,
@@ -145,6 +146,7 @@ pub fn explain_analyze(governed: &GovernedPlan) -> String {
                 row.skyline_partitions,
                 row.skyline_survivors,
                 row.order_rescued,
+                row.sort_enforcers,
                 row.memo_groups,
                 row.model_bytes
             );

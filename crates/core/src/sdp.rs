@@ -312,21 +312,15 @@ impl SdpPruner {
         // order-producing combination reachable.
         let mut order_rescued = 0u64;
         for &t in &self.order_relations {
-            let members: Vec<usize> = (0..level_sets.len())
-                .filter(|&i| !level_sets[i].contains(t))
-                .collect();
+            let members =
+                sdp_skyline::exclusion_partition(level_sets.len(), |i| level_sets[i].contains(t));
             if members.is_empty() {
                 continue;
             }
-            let part_features: Vec<Vec<f64>> =
-                members.iter().map(|&i| features[i].clone()).collect();
-            let mut rescued_here = 0u64;
-            for w in self.skyline(&part_features, threads) {
-                if !keep[members[w]] {
-                    keep[members[w]] = true;
-                    rescued_here += 1;
-                }
-            }
+            let rescued_here =
+                sdp_skyline::rescue_order_partition(&features, &members, &mut keep, |part| {
+                    self.skyline(part, threads)
+                });
             order_rescued += rescued_here;
             #[cfg(feature = "trace")]
             ctx.tracer().emit_with(|| {

@@ -27,6 +27,14 @@ use crate::predicate::{PredOp, Predicate};
 use crate::query::Query;
 use crate::topology::Topology;
 
+/// Which order clause (if any) an instance carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OrderMode {
+    None,
+    OrderBy,
+    GroupBy,
+}
+
 /// Generates reproducible query instances of one topology over a
 /// catalog.
 #[derive(Debug, Clone)]
@@ -73,13 +81,21 @@ impl<'a> QueryGenerator<'a> {
 
     /// Deterministically build instance number `k` (unordered).
     pub fn instance(&self, k: u64) -> Query {
-        self.build(k, false)
+        self.build(k, OrderMode::None)
     }
 
     /// Deterministically build the ordered variant of instance `k`
     /// (`ORDER BY` a randomly chosen join column).
     pub fn ordered_instance(&self, k: u64) -> Query {
-        self.build(k, true)
+        self.build(k, OrderMode::OrderBy)
+    }
+
+    /// Deterministically build the grouped variant of instance `k`
+    /// (`GROUP BY` a randomly chosen join column — the same column the
+    /// ordered variant would have picked, so ordered/grouped variants
+    /// of one instance share their interesting order).
+    pub fn grouped_instance(&self, k: u64) -> Query {
+        self.build(k, OrderMode::GroupBy)
     }
 
     /// Iterator over the first `count` (unordered) instances.
@@ -102,7 +118,7 @@ impl<'a> QueryGenerator<'a> {
         }
     }
 
-    fn build(&self, k: u64, ordered: bool) -> Query {
+    fn build(&self, k: u64, mode: OrderMode) -> Query {
         let mut rng = StdRng::seed_from_u64(self.seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let n = self.topology.n();
         let bindings = self.choose_relations(n, &mut rng);
@@ -110,13 +126,18 @@ impl<'a> QueryGenerator<'a> {
         let mut graph = JoinGraph::new(bindings, edges);
         self.attach_filters(&mut graph, &mut rng);
         let query = Query::new(graph);
-        if ordered {
-            let edges = query.graph.edges();
-            let e = edges[rng.gen_range(0..edges.len())];
-            let column = if rng.gen::<bool>() { e.left } else { e.right };
-            query.with_order_by(column)
-        } else {
-            query
+        match mode {
+            OrderMode::None => query,
+            OrderMode::OrderBy | OrderMode::GroupBy => {
+                let edges = query.graph.edges();
+                let e = edges[rng.gen_range(0..edges.len())];
+                let column = if rng.gen::<bool>() { e.left } else { e.right };
+                if matches!(mode, OrderMode::OrderBy) {
+                    query.with_order_by(column)
+                } else {
+                    query.with_group_by(column)
+                }
+            }
         }
     }
 
@@ -381,6 +402,26 @@ mod tests {
             let q = gen.ordered_instance(k);
             assert!(q.order_by.is_some());
             assert!(q.order_on_join_column());
+        }
+    }
+
+    #[test]
+    fn grouped_instance_groups_on_the_same_column_as_ordered() {
+        let cat = Catalog::paper();
+        let gen = QueryGenerator::new(&cat, Topology::Chain(8), 5);
+        for k in 0..5 {
+            let ordered = gen.ordered_instance(k);
+            let grouped = gen.grouped_instance(k);
+            assert!(grouped.order_by.is_none());
+            assert!(grouped.group_by.is_some());
+            assert!(grouped.order_on_join_column());
+            // Same interesting order: an ordered and a grouped variant
+            // of one instance target the same column.
+            assert_eq!(
+                ordered.interesting_order().unwrap().column,
+                grouped.interesting_order().unwrap().column
+            );
+            assert_eq!(ordered.graph.edges(), grouped.graph.edges());
         }
     }
 

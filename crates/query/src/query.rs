@@ -23,6 +23,11 @@ pub struct Query {
     pub graph: JoinGraph,
     /// Optional `ORDER BY`.
     pub order_by: Option<OrderSpec>,
+    /// Optional `GROUP BY`. Sort-based grouping makes a grouping
+    /// column an interesting order exactly like `ORDER BY` does
+    /// (Selinger's original observation); when both are present the
+    /// explicit `ORDER BY` wins as the optimizer's order target.
+    pub group_by: Option<OrderSpec>,
 }
 
 impl Query {
@@ -31,6 +36,7 @@ impl Query {
         Query {
             graph,
             order_by: None,
+            group_by: None,
         }
     }
 
@@ -38,6 +44,19 @@ impl Query {
     pub fn with_order_by(mut self, column: ColRef) -> Self {
         self.order_by = Some(OrderSpec { column });
         self
+    }
+
+    /// Attach a `GROUP BY` on the given column.
+    pub fn with_group_by(mut self, column: ColRef) -> Self {
+        self.group_by = Some(OrderSpec { column });
+        self
+    }
+
+    /// The effective interesting order the optimizer should target:
+    /// the `ORDER BY` column if present, else the `GROUP BY` column
+    /// (sorted output is grouped output).
+    pub fn interesting_order(&self) -> Option<OrderSpec> {
+        self.order_by.or(self.group_by)
     }
 
     /// Number of relations joined.
@@ -54,7 +73,7 @@ impl Query {
     /// only case the paper's interesting-order handling concerns
     /// itself with.
     pub fn order_on_join_column(&self) -> bool {
-        match self.order_by {
+        match self.interesting_order() {
             None => false,
             Some(o) => self.equiv_classes().class_of(o.column).is_some(),
         }
@@ -96,5 +115,29 @@ mod tests {
         let q = Query::new(two_rel_graph()).with_order_by(ColRef::new(0, ColId(5)));
         assert!(q.order_by.is_some());
         assert!(!q.order_on_join_column());
+    }
+
+    #[test]
+    fn group_by_is_an_interesting_order() {
+        let q = Query::new(two_rel_graph()).with_group_by(ColRef::new(0, ColId(0)));
+        assert!(q.order_by.is_none());
+        assert_eq!(
+            q.interesting_order(),
+            Some(OrderSpec {
+                column: ColRef::new(0, ColId(0))
+            })
+        );
+        assert!(q.order_on_join_column());
+    }
+
+    #[test]
+    fn order_by_wins_over_group_by_as_order_target() {
+        let q = Query::new(two_rel_graph())
+            .with_group_by(ColRef::new(1, ColId(1)))
+            .with_order_by(ColRef::new(0, ColId(0)));
+        assert_eq!(
+            q.interesting_order().unwrap().column,
+            ColRef::new(0, ColId(0))
+        );
     }
 }

@@ -75,6 +75,7 @@ struct ReplayArgs {
     shards: usize,
     threads: Option<usize>,
     enumerator: Option<sdp_core::EnumeratorKind>,
+    ordered: bool,
     seed: u64,
     deadline_ms: Option<u64>,
     memory_mb: Option<u64>,
@@ -101,6 +102,7 @@ impl Default for ReplayArgs {
             shards: 8,
             threads: None,
             enumerator: None,
+            ordered: false,
             seed: 42,
             deadline_ms: None,
             memory_mb: None,
@@ -117,7 +119,7 @@ fn usage() -> &'static str {
     "usage: sdp-service replay [--shape star|chain|cycle|star-chain] \
      [--relations N] [--distinct N] [--requests N] [--clients N] \
      [--workers N] [--capacity N] [--shards N] [--threads N] \
-     [--enumerator levelscan|dpccp|dpconv] [--seed N] \
+     [--enumerator levelscan|dpccp|dpconv] [--ordered] [--seed N] \
      [--deadline-ms N] [--memory-mb N] [--trace PATH] [--metrics-json PATH] \
      [--store-dir DIR] [--dlq DIR]"
 }
@@ -180,6 +182,7 @@ fn parse_replay(args: &[String]) -> Result<ReplayArgs, String> {
                         .ok_or_else(|| format!("--enumerator: unknown strategy {name:?}"))?,
                 )
             }
+            "--ordered" => out.ordered = true,
             "--seed" => {
                 out.seed = value("--seed")?
                     .parse()
@@ -371,7 +374,13 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
     };
     let generator = QueryGenerator::new(&catalog, topology, args.seed);
     let queries: Vec<Query> = (0..args.distinct as u64)
-        .map(|k| generator.instance(k))
+        .map(|k| {
+            if args.ordered {
+                generator.ordered_instance(k)
+            } else {
+                generator.instance(k)
+            }
+        })
         .collect();
     let sql: Vec<String> = queries
         .iter()
@@ -430,10 +439,11 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
     let daemon = Daemon::spawn(Arc::clone(&service), args.workers);
 
     println!(
-        "replaying {} requests over {} distinct {} queries ({} relations) \
+        "replaying {} requests over {} distinct {}{} queries ({} relations) \
          with {} clients, {} workers, cache {} x{} shards, seed {}",
         args.requests,
         args.distinct,
+        if args.ordered { "ordered " } else { "" },
         args.shape,
         args.relations,
         args.clients,

@@ -13,8 +13,9 @@
 //!
 //! * **node label** — the bound relation id, its tuple count, the
 //!   sorted multiset of local filter digests (column statistics +
-//!   operator + constant), and an order marker when the query's
-//!   `ORDER BY` lands on this node;
+//!   operator + constant), and order/group markers when the query's
+//!   `ORDER BY` / `GROUP BY` land on this node (distinct positions, so
+//!   an ordered, a grouped, and an unordered request never collide);
 //! * **directional edge label** — per endpoint: own column, own
 //!   distinct count, peer column, peer distinct count. Distinct counts
 //!   are what the paper's equi-join selectivity `1/max(d₁,d₂)` is made
@@ -79,10 +80,15 @@ pub fn fingerprint_query(catalog: &Catalog, query: &Query) -> Fingerprint {
                 Some(o) if o.column.node == v => 1 + o.column.col.0 as u64,
                 _ => 0,
             };
+            let group_marker = match query.group_by {
+                Some(g) if g.column.node == v => 1 + g.column.col.0 as u64,
+                _ => 0,
+            };
             let mut h = StableHasher::new(0x6670_6e64);
             h.write_u64(rel.0 as u64);
             h.write_u64(tuples);
             h.write_u64(order_marker);
+            h.write_u64(group_marker);
             for f in filters {
                 h.write_u64(f);
             }
@@ -139,6 +145,9 @@ mod tests {
         if let Some(o) = q.order_by {
             permuted = permuted.with_order_by(ColRef::new(perm[o.column.node], o.column.col));
         }
+        if let Some(g) = q.group_by {
+            permuted = permuted.with_group_by(ColRef::new(perm[g.column.node], g.column.col));
+        }
         assert_eq!(base, fingerprint_query(&catalog, &permuted));
     }
 
@@ -148,10 +157,24 @@ mod tests {
         let gen = QueryGenerator::new(&catalog, Topology::Star(7), 5);
         let unordered = gen.instance(0);
         let ordered = gen.ordered_instance(0);
+        let grouped = gen.grouped_instance(0);
         assert_ne!(
             fingerprint_query(&catalog, &unordered),
             fingerprint_query(&catalog, &ordered),
             "order marker must be part of the key"
+        );
+        // GROUP BY shares the optimizer's order target with ORDER BY
+        // on the same column, but the requests are not interchangeable
+        // — the markers sit at distinct label positions.
+        assert_ne!(
+            fingerprint_query(&catalog, &unordered),
+            fingerprint_query(&catalog, &grouped),
+            "group marker must be part of the key"
+        );
+        assert_ne!(
+            fingerprint_query(&catalog, &ordered),
+            fingerprint_query(&catalog, &grouped),
+            "ordered and grouped requests must not collide"
         );
 
         // Doubling one relation's tuple count changes the key.

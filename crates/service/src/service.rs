@@ -943,6 +943,59 @@ mod tests {
     }
 
     #[test]
+    fn ordered_requests_never_serve_order_blind_cache_entries() {
+        // Regression for the plan-cache key: the requested output
+        // order is part of the fingerprint, so an ORDER BY (or GROUP
+        // BY) request must never be satisfied by a cached order-blind
+        // plan for the same join graph — and vice versa.
+        let catalog = Catalog::paper();
+        let service = OptimizerService::with_defaults(catalog.clone());
+        let gen = QueryGenerator::new(&catalog, Topology::Chain(5), 6);
+        let unordered = gen.instance(0);
+        let ordered = gen.ordered_instance(0);
+        let grouped = gen.grouped_instance(0);
+
+        let blind = service
+            .get_plan(&ServiceRequest::query(unordered.clone()).with_algorithm(Algorithm::Dp))
+            .unwrap();
+        assert_eq!(blind.source, PlanSource::Fresh);
+
+        let with_order = service
+            .get_plan(&ServiceRequest::query(ordered.clone()).with_algorithm(Algorithm::Dp))
+            .unwrap();
+        assert_eq!(
+            with_order.source,
+            PlanSource::Fresh,
+            "ordered request must not hit the order-blind entry"
+        );
+        assert!(
+            with_order.plan.root.ordering.is_some(),
+            "served plan delivers the requested order"
+        );
+
+        let with_group = service
+            .get_plan(&ServiceRequest::query(grouped).with_algorithm(Algorithm::Dp))
+            .unwrap();
+        assert_eq!(
+            with_group.source,
+            PlanSource::Fresh,
+            "grouped request is a third distinct entry"
+        );
+        assert!(with_group.plan.root.ordering.is_some());
+        assert_eq!(service.cached_plans(), 3);
+
+        // Repeats hit their own entries — including the unordered one,
+        // which still serves order-blind requests.
+        for (q, want_order) in [(ordered, true), (unordered, false)] {
+            let again = service
+                .get_plan(&ServiceRequest::query(q).with_algorithm(Algorithm::Dp))
+                .unwrap();
+            assert_eq!(again.source, PlanSource::Cache);
+            assert_eq!(again.plan.root.ordering.is_some(), want_order);
+        }
+    }
+
+    #[test]
     fn sql_errors_surface_without_touching_counters() {
         let service = OptimizerService::with_defaults(Catalog::paper());
         let err = service

@@ -38,7 +38,7 @@ fn permutation(n: usize, seed: u64) -> Vec<usize> {
 }
 
 /// Restate `q` isomorphically: permute node indices, rotate + flip
-/// edges, reverse filter order, remap the order column.
+/// edges, reverse filter order, remap the order/group columns.
 fn restate(q: &Query, perm: &[usize], rotate: usize, flip: bool) -> Query {
     let permuted = permute_graph(&q.graph, perm);
     let mut edges: Vec<JoinEdge> = permuted.edges().to_vec();
@@ -63,6 +63,9 @@ fn restate(q: &Query, perm: &[usize], rotate: usize, flip: bool) -> Query {
     if let Some(o) = q.order_by {
         out = out.with_order_by(ColRef::new(perm[o.column.node], o.column.col));
     }
+    if let Some(g) = q.group_by {
+        out = out.with_group_by(ColRef::new(perm[g.column.node], g.column.col));
+    }
     out
 }
 
@@ -78,11 +81,15 @@ proptest! {
         perm_seed in 0u64..10_000,
         rotate in 0usize..16,
         flip in any::<bool>(),
-        ordered in any::<bool>(),
+        mode in 0u8..3,
     ) {
         let catalog = Catalog::paper();
         let gen = QueryGenerator::new(&catalog, topo, seed).with_filter_probability(0.5);
-        let q = if ordered { gen.ordered_instance(0) } else { gen.instance(0) };
+        let q = match mode {
+            0 => gen.instance(0),
+            1 => gen.ordered_instance(0),
+            _ => gen.grouped_instance(0),
+        };
         let perm = permutation(q.graph.len(), perm_seed);
         let restated = restate(&q, &perm, rotate, flip);
         prop_assert_eq!(
@@ -140,6 +147,26 @@ proptest! {
             fingerprint_query(&rescaled, &q),
             "statistics change invisible to the fingerprint"
         );
+    }
+
+    /// Discrimination: the same join graph requested unordered, with
+    /// ORDER BY, and with GROUP BY (on the same column) yields three
+    /// distinct fingerprints — the plan cache must never cross-serve.
+    #[test]
+    fn order_and_group_requests_never_collide(
+        topo in arb_topology(),
+        seed in 0u64..10_000,
+    ) {
+        let catalog = Catalog::paper();
+        let gen = QueryGenerator::new(&catalog, topo, seed);
+        let prints = [
+            fingerprint_query(&catalog, &gen.instance(0)),
+            fingerprint_query(&catalog, &gen.ordered_instance(0)),
+            fingerprint_query(&catalog, &gen.grouped_instance(0)),
+        ];
+        prop_assert_ne!(prints[0], prints[1]);
+        prop_assert_ne!(prints[0], prints[2]);
+        prop_assert_ne!(prints[1], prints[2]);
     }
 
     /// Discrimination: chain vs star vs cycle of the same size over

@@ -20,7 +20,10 @@
 //! * [`kdominant::k_dominant_skyline`] — the "strong skyline" of the
 //!   paper’s future-work reference \[12\] (Chan et al.), where an object
 //!   is excluded if some other object dominates it on *some* `k` of
-//!   the `d` dimensions.
+//!   the `d` dimensions;
+//! * [`orders`] — interesting-order exclusion partitions (§2.1.4):
+//!   per-relation partition membership and the skyline *rescue* pass
+//!   that keeps order-producing subplans alive through pruning.
 //!
 //! All functions return indices into the input slice, preserving input
 //! order, so callers can prune their own structures.
@@ -32,12 +35,14 @@ pub mod bnl;
 pub mod dnc;
 pub mod kdominant;
 pub mod multiway;
+pub mod orders;
 pub mod sfs;
 
 pub use bnl::skyline_bnl;
 pub use dnc::skyline_dnc;
 pub use kdominant::k_dominant_skyline;
 pub use multiway::{pairwise_union_skyline, pairwise_union_skyline_threaded, projected_skyline};
+pub use orders::{exclusion_partition, rescue_order_partition};
 pub use sfs::skyline_sfs;
 
 /// Dominance under minimization: `a` dominates `b` iff `a[i] ≤ b[i]`

@@ -1,0 +1,203 @@
+//! Interesting-order skyline partitions (paper §2.1.4).
+//!
+//! The paper keeps order-producing subplans alive by giving each
+//! relation `t` that can supply an interesting order its own skyline
+//! partition: the JCRs that do *not* contain `t` (and therefore could
+//! still join with `t` via an order-preserving method). Any member of
+//! that partition's skyline is *rescued* — marked as a survivor even
+//! if the hub partitions pruned it — so the cheap-but-ordered frontier
+//! is never lost to cost-only dominance.
+//!
+//! This module hosts the partition mechanics generically: callers
+//! provide the feature matrix, the exclusion-partition membership, the
+//! current survivor mask, and whichever skyline routine their config
+//! selects. Keeping the logic here (rather than inline in the pruner)
+//! lets the property tests below pin the rescue invariant — *an
+//! interesting-order partition never prunes the order-satisfying
+//! skyline member* — against the oracle, independent of the pruner.
+
+/// Indices of the exclusion partition for relation `t`: every object
+/// whose relation set does **not** contain `t`, per `contains_t`.
+///
+/// Returned in ascending index order, so downstream skyline calls see
+/// a deterministic sub-matrix regardless of thread count.
+pub fn exclusion_partition(len: usize, contains_t: impl Fn(usize) -> bool) -> Vec<usize> {
+    (0..len).filter(|&i| !contains_t(i)).collect()
+}
+
+/// Rescue the skyline of one interesting-order partition.
+///
+/// `members` are indices into `features`/`keep` (as produced by
+/// [`exclusion_partition`]); `skyline` maps a feature sub-matrix to
+/// the indices of its skyline (any of this crate's algorithms, or the
+/// pruner's configured variant). Every skyline winner has its `keep`
+/// flag forced on; the return value counts how many were newly rescued
+/// (i.e. flipped from pruned to kept).
+///
+/// # Panics
+/// Debug-asserts `features` and `keep` agree in length and that
+/// `members` is in bounds.
+pub fn rescue_order_partition<F>(
+    features: &[Vec<f64>],
+    members: &[usize],
+    keep: &mut [bool],
+    skyline: F,
+) -> u64
+where
+    F: FnOnce(&[Vec<f64>]) -> Vec<usize>,
+{
+    debug_assert_eq!(features.len(), keep.len(), "mask/feature length mismatch");
+    debug_assert!(members.iter().all(|&i| i < features.len()));
+    if members.is_empty() {
+        return 0;
+    }
+    let part: Vec<Vec<f64>> = members.iter().map(|&i| features[i].clone()).collect();
+    let mut rescued = 0u64;
+    for w in skyline(&part) {
+        let idx = members[w];
+        if !keep[idx] {
+            keep[idx] = true;
+            rescued += 1;
+        }
+    }
+    rescued
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skyline_naive;
+
+    #[test]
+    fn empty_partition_rescues_nothing() {
+        let features = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let mut keep = vec![false, false];
+        assert_eq!(
+            rescue_order_partition(&features, &[], &mut keep, skyline_naive),
+            0
+        );
+        assert_eq!(keep, vec![false, false]);
+    }
+
+    #[test]
+    fn rescues_pruned_partition_skyline_only() {
+        // Object 2 dominates object 0 globally, but 2 contains `t`
+        // (it is outside the partition), so 0 is the partition skyline
+        // and must come back; 1 is dominated *within* the partition by
+        // 0 and stays pruned.
+        let features = vec![vec![2.0, 2.0], vec![3.0, 3.0], vec![1.0, 1.0]];
+        let mut keep = vec![false, false, true];
+        let rescued = rescue_order_partition(&features, &[0, 1], &mut keep, skyline_naive);
+        assert_eq!(rescued, 1);
+        assert_eq!(keep, vec![true, false, true]);
+    }
+
+    #[test]
+    fn already_kept_winners_are_not_double_counted() {
+        let features = vec![vec![1.0], vec![2.0]];
+        let mut keep = vec![true, false];
+        let rescued = rescue_order_partition(&features, &[0, 1], &mut keep, skyline_naive);
+        assert_eq!(rescued, 0, "winner was already a survivor");
+        assert_eq!(keep, vec![true, false]);
+    }
+
+    #[test]
+    fn exclusion_partition_filters_by_membership() {
+        // "Sets" 0..5 where even indices contain t.
+        let part = exclusion_partition(5, |i| i % 2 == 0);
+        assert_eq!(part, vec![1, 3]);
+        assert!(exclusion_partition(4, |_| true).is_empty());
+        assert_eq!(exclusion_partition(3, |_| false), vec![0, 1, 2]);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use crate::{dominates, skyline_naive, skyline_sfs};
+    use proptest::prelude::*;
+
+    fn arb_case() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<bool>, Vec<bool>)> {
+        // Per-object rows of (feature vector, initial keep, contains-t),
+        // unzipped so the three columns always agree in length.
+        prop::collection::vec(
+            (
+                prop::collection::vec(0.0f64..1000.0, 3usize),
+                any::<bool>(),
+                any::<bool>(),
+            ),
+            1..40,
+        )
+        .prop_map(|rows| {
+            let mut features = Vec::with_capacity(rows.len());
+            let mut keep = Vec::with_capacity(rows.len());
+            let mut has_t = Vec::with_capacity(rows.len());
+            for (f, k, t) in rows {
+                features.push(f);
+                keep.push(k);
+                has_t.push(t);
+            }
+            (features, keep, has_t)
+        })
+    }
+
+    proptest! {
+        /// The tentpole invariant: after the rescue pass, *no* member
+        /// of the interesting-order partition's skyline is pruned —
+        /// whatever the hub partitions decided beforehand.
+        #[test]
+        fn never_prunes_the_order_satisfying_skyline_member(
+            (features, mut keep, has_t) in arb_case()
+        ) {
+            let members = exclusion_partition(features.len(), |i| has_t[i]);
+            rescue_order_partition(&features, &members, &mut keep, skyline_sfs);
+            for &i in &members {
+                let dominated_in_partition = members
+                    .iter()
+                    .any(|&j| j != i && dominates(&features[j], &features[i]));
+                if !dominated_in_partition {
+                    prop_assert!(
+                        keep[i],
+                        "partition skyline member {} was left pruned",
+                        i
+                    );
+                }
+            }
+        }
+
+        /// Rescue is monotone: it only ever flips `keep` from false to
+        /// true, and never touches objects outside the partition.
+        #[test]
+        fn rescue_is_monotone_and_scoped((features, keep, has_t) in arb_case()) {
+            let members = exclusion_partition(features.len(), |i| has_t[i]);
+            let before = keep.clone();
+            let mut after = keep;
+            let rescued =
+                rescue_order_partition(&features, &members, &mut after, skyline_naive);
+            let mut flips = 0u64;
+            for i in 0..before.len() {
+                if before[i] && !after[i] {
+                    prop_assert!(false, "rescue demoted a survivor at {}", i);
+                }
+                if !before[i] && after[i] {
+                    prop_assert!(members.contains(&i), "rescued non-member {}", i);
+                    flips += 1;
+                }
+            }
+            prop_assert_eq!(rescued, flips);
+        }
+
+        /// The rescue count and final mask are independent of the
+        /// skyline algorithm used (they all compute the same skyline).
+        #[test]
+        fn rescue_is_algorithm_invariant((features, keep, has_t) in arb_case()) {
+            let members = exclusion_partition(features.len(), |i| has_t[i]);
+            let mut a = keep.clone();
+            let mut b = keep;
+            let ra = rescue_order_partition(&features, &members, &mut a, skyline_naive);
+            let rb = rescue_order_partition(&features, &members, &mut b, skyline_sfs);
+            prop_assert_eq!(ra, rb);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

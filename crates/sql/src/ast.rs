@@ -61,6 +61,13 @@ pub struct OrderByItem {
     pub column: QualifiedColumn,
 }
 
+/// `GROUP BY a.x`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupByItem {
+    /// Grouping column.
+    pub column: QualifiedColumn,
+}
+
 /// A parsed `SELECT` statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SelectStatement {
@@ -68,6 +75,8 @@ pub struct SelectStatement {
     pub from: Vec<TableRef>,
     /// `WHERE` conjuncts (empty when absent).
     pub conditions: Vec<Condition>,
+    /// Optional `GROUP BY`.
+    pub group_by: Option<GroupByItem>,
     /// Optional `ORDER BY`.
     pub order_by: Option<OrderByItem>,
 }

@@ -90,6 +90,11 @@ pub fn bind(catalog: &Catalog, stmt: &SelectStatement) -> Result<Query, SqlError
         }
     }
 
+    let group_column = stmt
+        .group_by
+        .as_ref()
+        .map(|gb| resolve(&gb.column))
+        .transpose()?;
     let order_column = stmt
         .order_by
         .as_ref()
@@ -103,6 +108,9 @@ pub fn bind(catalog: &Catalog, stmt: &SelectStatement) -> Result<Query, SqlError
         graph.add_filter(f);
     }
     let mut query = Query::new(graph);
+    if let Some(col) = group_column {
+        query = query.with_group_by(col);
+    }
     if let Some(col) = order_column {
         query = query.with_order_by(col);
     }
@@ -163,6 +171,36 @@ mod tests {
     }
 
     #[test]
+    fn group_by_binds_as_interesting_order() {
+        let catalog = Catalog::paper();
+        let q = parse_query(
+            &catalog,
+            "SELECT * FROM R3 a, R4 b WHERE a.c0 = b.c0 GROUP BY b.c0",
+        )
+        .unwrap();
+        assert!(q.order_by.is_none());
+        assert!(q.group_by.is_some());
+        assert!(q.order_on_join_column());
+    }
+
+    #[test]
+    fn group_by_and_order_by_both_bind() {
+        let catalog = Catalog::paper();
+        let q = parse_query(
+            &catalog,
+            "SELECT * FROM R3 a, R4 b WHERE a.c0 = b.c0 GROUP BY a.c0 ORDER BY b.c0",
+        )
+        .unwrap();
+        assert!(q.group_by.is_some());
+        assert!(q.order_by.is_some());
+        // ORDER BY wins as the optimizer's order target.
+        assert_eq!(
+            q.interesting_order().unwrap().column,
+            q.order_by.unwrap().column
+        );
+    }
+
+    #[test]
     fn helpful_bind_errors() {
         let catalog = Catalog::paper();
         for (sql, needle) in [
@@ -173,6 +211,11 @@ mod tests {
                 "SELECT * FROM R1 a, R2 b WHERE a.c0 = a.c1",
                 "references one table",
             ),
+            // Unbound order/group columns are rejected, not ignored.
+            ("SELECT * FROM R1 a ORDER BY b.c0", "unknown table alias"),
+            ("SELECT * FROM R1 a ORDER BY a.zz", "no column"),
+            ("SELECT * FROM R1 a GROUP BY b.c0", "unknown table alias"),
+            ("SELECT * FROM R1 a GROUP BY a.zz", "no column"),
         ] {
             let err = parse_query(&catalog, sql).unwrap_err();
             assert!(err.to_string().contains(needle), "{sql}: {err}");

@@ -25,7 +25,8 @@
 //! inhabit): `SELECT *` over a comma-separated `FROM` list with
 //! optional aliases, a `WHERE` conjunction of equi-joins
 //! (`a.x = b.y`) and constant comparisons (`a.x < 10`, `=`, `<=`,
-//! `>`, `>=`), and an optional single-column `ORDER BY`.
+//! `>`, `>=`), and optional single-column `GROUP BY` / `ORDER BY`
+//! clauses (both register as interesting orders with the optimizer).
 //!
 //! [`render_sql`] is the inverse: it prints any [`sdp_query::Query`]
 //! back as SQL, which the round-trip property tests lean on.
@@ -39,7 +40,9 @@ mod lexer;
 mod parser;
 mod render;
 
-pub use ast::{Comparison, Condition, OrderByItem, QualifiedColumn, SelectStatement, TableRef};
+pub use ast::{
+    Comparison, Condition, GroupByItem, OrderByItem, QualifiedColumn, SelectStatement, TableRef,
+};
 pub use binder::bind;
 pub use lexer::{tokenize, Token, TokenKind};
 pub use parser::parse;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! select    := SELECT '*' FROM tables [WHERE condition (AND condition)*]
-//!              [ORDER BY qualified] EOF
+//!              [GROUP BY qualified] [ORDER BY qualified] EOF
 //! tables    := table (',' table)*
 //! table     := ident [[AS] ident]
 //! condition := qualified cmp (qualified | number)
@@ -10,7 +10,9 @@
 //! cmp       := '=' | '<' | '<=' | '>' | '>='
 //! ```
 
-use crate::ast::{Comparison, Condition, OrderByItem, QualifiedColumn, SelectStatement, TableRef};
+use crate::ast::{
+    Comparison, Condition, GroupByItem, OrderByItem, QualifiedColumn, SelectStatement, TableRef,
+};
 use crate::lexer::{Token, TokenKind};
 use crate::SqlError;
 
@@ -104,6 +106,15 @@ impl Parser<'_> {
             }
         }
 
+        let group_by = if self.peek_keyword("GROUP") {
+            self.pos += 1;
+            self.keyword("BY")?;
+            let column = self.qualified()?;
+            Some(GroupByItem { column })
+        } else {
+            None
+        };
+
         let order_by = if self.peek_keyword("ORDER") {
             self.pos += 1;
             self.keyword("BY")?;
@@ -120,6 +131,7 @@ impl Parser<'_> {
         Ok(SelectStatement {
             from,
             conditions,
+            group_by,
             order_by,
         })
     }
@@ -146,9 +158,11 @@ impl Parser<'_> {
     }
 
     fn is_reserved(s: &str) -> bool {
-        ["SELECT", "FROM", "WHERE", "AND", "ORDER", "BY", "AS", "ASC"]
-            .iter()
-            .any(|k| s.eq_ignore_ascii_case(k))
+        [
+            "SELECT", "FROM", "WHERE", "AND", "GROUP", "ORDER", "BY", "AS", "ASC",
+        ]
+        .iter()
+        .any(|k| s.eq_ignore_ascii_case(k))
     }
 
     fn qualified(&mut self) -> Result<QualifiedColumn, SqlError> {
@@ -251,6 +265,33 @@ mod tests {
     #[test]
     fn keywords_are_case_insensitive() {
         assert!(parse_str("sElEcT * fRoM t1 WhErE t1.a = 5 oRdEr bY t1.a").is_ok());
+        assert!(parse_str("select * from t1 gRoUp By t1.a").is_ok());
+    }
+
+    #[test]
+    fn group_by_parses_before_order_by() {
+        let s = parse_str("SELECT * FROM t1 a, t2 b WHERE a.x = b.y GROUP BY a.x ORDER BY b.y")
+            .unwrap();
+        assert_eq!(s.group_by.as_ref().unwrap().column.column, "x");
+        assert_eq!(s.order_by.as_ref().unwrap().column.column, "y");
+    }
+
+    #[test]
+    fn group_by_alone_parses() {
+        let s = parse_str("SELECT * FROM t1 a GROUP BY a.x").unwrap();
+        assert!(s.group_by.is_some());
+        assert!(s.order_by.is_none());
+    }
+
+    #[test]
+    fn group_by_after_order_by_is_rejected() {
+        // The grammar fixes clause order: GROUP BY precedes ORDER BY.
+        assert!(parse_str("SELECT * FROM t1 a ORDER BY a.x GROUP BY a.x").is_err());
+    }
+
+    #[test]
+    fn group_is_reserved() {
+        assert!(parse_str("SELECT * FROM group").is_err());
     }
 
     #[test]

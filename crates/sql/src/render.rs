@@ -51,6 +51,14 @@ pub fn render_sql(catalog: &Catalog, query: &Query) -> String {
         let _ = write!(sql, " WHERE {}", conjuncts.join(" AND "));
     }
 
+    if let Some(gb) = query.group_by {
+        let _ = write!(
+            sql,
+            " GROUP BY t{}.{}",
+            gb.column.node,
+            column_name(catalog, graph.relation(gb.column.node), gb.column.col)
+        );
+    }
     if let Some(ob) = query.order_by {
         let _ = write!(
             sql,
@@ -101,6 +109,13 @@ pub fn render_statement(stmt: &SelectStatement) -> String {
     if !conjuncts.is_empty() {
         let _ = write!(sql, " WHERE {}", conjuncts.join(" AND "));
     }
+    if let Some(gb) = &stmt.group_by {
+        let _ = write!(
+            sql,
+            " GROUP BY {}.{}",
+            gb.column.qualifier, gb.column.column
+        );
+    }
     if let Some(ob) = &stmt.order_by {
         let _ = write!(
             sql,
@@ -143,7 +158,11 @@ mod tests {
         ] {
             for seed in 0..3 {
                 let gen = QueryGenerator::new(&catalog, topo, seed).with_filter_probability(0.5);
-                for q in [gen.instance(0), gen.ordered_instance(1)] {
+                for q in [
+                    gen.instance(0),
+                    gen.ordered_instance(1),
+                    gen.grouped_instance(2),
+                ] {
                     let sql = render_sql(&catalog, &q);
                     let tokens = crate::tokenize(&sql).unwrap();
                     let stmt = crate::parse(&tokens)
@@ -162,8 +181,9 @@ mod tests {
         let sql = "select * from R1, R2 b, R3 c \
                    where R1.c0 = b.c1 and b.c2 = c.c3 \
                    and R1.c4 < 10 and b.c5 <= 20 and c.c6 > 30 and c.c0 >= 40 and R1.c1 = 5 \
-                   order by b.c1";
+                   group by c.c3 order by b.c1";
         let stmt = crate::parse(&crate::tokenize(sql).unwrap()).unwrap();
+        assert!(stmt.group_by.is_some() && stmt.order_by.is_some());
         let stmt2 = crate::parse(&crate::tokenize(&render_statement(&stmt)).unwrap()).unwrap();
         assert_eq!(stmt, stmt2);
     }
@@ -178,16 +198,17 @@ mod tests {
             Topology::Cycle(5),
         ] {
             for seed in 0..3 {
-                let original = QueryGenerator::new(&catalog, topo, seed)
-                    .with_filter_probability(0.5)
-                    .ordered_instance(0);
-                let sql = render_sql(&catalog, &original);
-                let parsed = parse_query(&catalog, &sql)
-                    .unwrap_or_else(|e| panic!("{topo} seed {seed}: {e}\n{sql}"));
-                assert_eq!(parsed.graph.relations(), original.graph.relations());
-                assert_eq!(parsed.graph.edges(), original.graph.edges());
-                assert_eq!(parsed.graph.filters(), original.graph.filters());
-                assert_eq!(parsed.order_by, original.order_by);
+                let gen = QueryGenerator::new(&catalog, topo, seed).with_filter_probability(0.5);
+                for original in [gen.ordered_instance(0), gen.grouped_instance(0)] {
+                    let sql = render_sql(&catalog, &original);
+                    let parsed = parse_query(&catalog, &sql)
+                        .unwrap_or_else(|e| panic!("{topo} seed {seed}: {e}\n{sql}"));
+                    assert_eq!(parsed.graph.relations(), original.graph.relations());
+                    assert_eq!(parsed.graph.edges(), original.graph.edges());
+                    assert_eq!(parsed.graph.filters(), original.graph.filters());
+                    assert_eq!(parsed.order_by, original.order_by);
+                    assert_eq!(parsed.group_by, original.group_by);
+                }
             }
         }
     }

@@ -26,7 +26,13 @@
 //! Every payload opens with a version byte. Records written by a
 //! future format version fail decoding with a versioned error; the
 //! segment replayer skips (and counts) them rather than refusing the
-//! whole log.
+//! whole log. Older supported versions decode compatibly:
+//!
+//! * **v1 → v2** — v2 appends the query's `GROUP BY` column to the
+//!   dead-letter query encoding (plan payloads are byte-identical
+//!   apart from the version stamp). v1 records decode with
+//!   `group_by = None` — they replay group-blind rather than being
+//!   dropped.
 
 use std::sync::Arc;
 
@@ -40,7 +46,10 @@ use sdp_query::{ColRef, JoinEdge, JoinGraph, PredOp, Predicate, Query, RelSet};
 use crate::StoreError;
 
 /// Current codec version, stamped on every payload.
-pub const CODEC_VERSION: u8 = 1;
+pub const CODEC_VERSION: u8 = 2;
+
+/// Oldest codec version this build still decodes.
+pub const MIN_CODEC_VERSION: u8 = 1;
 
 /// One persisted plan: the record of the `(fingerprint, stats_epoch,
 /// rung, enumerator) → plan` map plus the provenance the service layer
@@ -280,14 +289,15 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn check_version(reader: &mut Reader<'_>) -> Result<(), StoreError> {
+fn check_version(reader: &mut Reader<'_>) -> Result<u8, StoreError> {
     let version = reader.u8()?;
-    if version != CODEC_VERSION {
+    if !(MIN_CODEC_VERSION..=CODEC_VERSION).contains(&version) {
         return Err(StoreError::Codec(format!(
-            "unsupported codec version {version} (this build reads {CODEC_VERSION})"
+            "unsupported codec version {version} \
+             (this build reads {MIN_CODEC_VERSION}..={CODEC_VERSION})"
         )));
     }
-    Ok(())
+    Ok(version)
 }
 
 // ---------------------------------------------------------------------
@@ -504,9 +514,17 @@ fn encode_query(w: &mut Writer, query: &Query) {
             encode_colref(w, order.column);
         }
     }
+    // v2: GROUP BY, appended last so v1 payloads are a strict prefix.
+    match query.group_by {
+        None => w.u8(0),
+        Some(group) => {
+            w.u8(1);
+            encode_colref(w, group.column);
+        }
+    }
 }
 
-fn decode_query(r: &mut Reader<'_>) -> Result<Query, StoreError> {
+fn decode_query(r: &mut Reader<'_>, version: u8) -> Result<Query, StoreError> {
     let n_rels = r.u16()? as usize;
     let mut relations = Vec::with_capacity(n_rels);
     for _ in 0..n_rels {
@@ -533,6 +551,11 @@ fn decode_query(r: &mut Reader<'_>) -> Result<Query, StoreError> {
     if r.u8()? == 1 {
         let column = decode_colref(r)?;
         query = query.with_order_by(column);
+    }
+    // v1 records predate GROUP BY; they replay group-blind.
+    if version >= 2 && r.u8()? == 1 {
+        let column = decode_colref(r)?;
+        query = query.with_group_by(column);
     }
     Ok(query)
 }
@@ -603,7 +626,7 @@ pub fn encode_dlq(record: &DlqRecord) -> Vec<u8> {
 /// Decode a dead-letter record.
 pub fn decode_dlq(payload: &[u8]) -> Result<DlqRecord, StoreError> {
     let mut r = Reader::new(payload);
-    check_version(&mut r)?;
+    let version = check_version(&mut r)?;
     let fingerprint = r.u128()?;
     let stats_epoch = r.u64()?;
     let enumerator_tag = r.u8()?;
@@ -638,7 +661,7 @@ pub fn decode_dlq(payload: &[u8]) -> Result<DlqRecord, StoreError> {
         (_, bytes) => Some(bytes),
     };
     let sql = r.str()?;
-    let query = decode_query(&mut r)?;
+    let query = decode_query(&mut r, version)?;
     r.finish()?;
     Ok(DlqRecord {
         fingerprint,
@@ -753,6 +776,91 @@ mod tests {
         let err = decode_plan(&payload).unwrap_err();
         assert!(matches!(err, StoreError::Codec(_)), "{err}");
         assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn v1_plan_records_still_decode() {
+        // Plan payloads are byte-identical between v1 and v2 apart
+        // from the version stamp; a pre-bump record must be served,
+        // not dropped. (The sample carries sort enforcers and order
+        // properties — exactly the plans the bump was about.)
+        let record = sample_plan();
+        let mut payload = encode_plan(&record);
+        payload[0] = 1;
+        let decoded = decode_plan(&payload).expect("v1 plan record decodes");
+        assert_eq!(
+            decoded.root.structural_digest(),
+            record.root.structural_digest()
+        );
+        // Re-encoding writes the current version; only byte 0 differs.
+        let reencoded = encode_plan(&decoded);
+        assert_eq!(reencoded[0], CODEC_VERSION);
+        assert_eq!(reencoded[1..], payload[1..]);
+    }
+
+    #[test]
+    fn v1_dlq_records_decode_group_blind() {
+        // A v1 dead-letter payload ends at the ORDER BY field: strip
+        // the trailing GROUP BY flag (encoded as one 0x00 byte when
+        // absent) and stamp version 1. It must decode with
+        // `group_by = None`, not error out.
+        let graph = JoinGraph::new(
+            vec![RelId(1), RelId(2)],
+            vec![JoinEdge::new(
+                ColRef::new(0, ColId(0)),
+                ColRef::new(1, ColId(1)),
+            )],
+        );
+        let record = DlqRecord {
+            fingerprint: 9,
+            stats_epoch: 1,
+            enumerator: EnumeratorKind::LevelScan,
+            algorithm: None,
+            error_kind: DlqErrorKind::Timeout,
+            error: "deadline".to_string(),
+            degradations: vec![],
+            deadline_ms: Some(10),
+            memory_bytes: None,
+            sql: "SELECT * FROM ...".to_string(),
+            query: Query::new(graph).with_order_by(ColRef::new(0, ColId(0))),
+        };
+        let mut payload = encode_dlq(&record);
+        assert_eq!(*payload.last().unwrap(), 0, "absent GROUP BY is one 0x00");
+        payload.pop();
+        payload[0] = 1;
+        let decoded = decode_dlq(&payload).expect("v1 dlq record decodes");
+        assert_eq!(decoded.query.order_by, record.query.order_by);
+        assert_eq!(decoded.query.group_by, None);
+        assert_eq!(decoded.fingerprint, 9);
+    }
+
+    #[test]
+    fn dlq_round_trip_preserves_group_by() {
+        let graph = JoinGraph::new(
+            vec![RelId(4), RelId(6)],
+            vec![JoinEdge::new(
+                ColRef::new(0, ColId(2)),
+                ColRef::new(1, ColId(0)),
+            )],
+        );
+        let record = DlqRecord {
+            fingerprint: 11,
+            stats_epoch: 3,
+            enumerator: EnumeratorKind::Dpccp,
+            algorithm: Some(Algorithm::Goo),
+            error_kind: DlqErrorKind::Cancelled,
+            error: "cancelled".to_string(),
+            degradations: vec![],
+            deadline_ms: None,
+            memory_bytes: Some(1 << 20),
+            sql: "SELECT * FROM ...".to_string(),
+            query: Query::new(graph).with_group_by(ColRef::new(1, ColId(0))),
+        };
+        let payload = encode_dlq(&record);
+        let decoded = decode_dlq(&payload).unwrap();
+        assert_eq!(decoded.query.group_by, record.query.group_by);
+        assert_eq!(decoded.query.order_by, None);
+        assert_eq!(payload, encode_dlq(&decoded));
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod dlq;
 pub mod log;
 pub mod store;
 
-pub use codec::{DlqDegradation, DlqErrorKind, DlqRecord, PlanRecord, CODEC_VERSION};
+pub use codec::{
+    DlqDegradation, DlqErrorKind, DlqRecord, PlanRecord, CODEC_VERSION, MIN_CODEC_VERSION,
+};
 pub use dlq::DeadLetterQueue;
 pub use log::{crc32, FramedLog, RecoveryStats, LOG_MAGIC, MAX_RECORD_BYTES};
 pub use store::{OpenStats, PlanStore, RecordKey, StoreOptions};
