@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Overload-control smoke for the bounded-admission daemon.
+#
+# Runs the `replay --overload` battery — a poison ladder that trips
+# one fingerprint's circuit breaker and recovers it through the
+# counted half-open probe, then paused 4x-capacity bursts against a
+# bounded queue with statistics-epoch bumps pushing plans onto the
+# stale shelf — at SDP_THREADS=1 and SDP_THREADS=4, and asserts:
+#
+# 1. Nonzero sheds and stale serves, exactly one breaker trip and one
+#    recovery, exactly probe_every-1 fail-fast rejections, and fully
+#    released queue/in-flight gauges (metrics JSON).
+# 2. The DLQ captured every poison failure AND every breaker-open
+#    rejection; `replay --dlq` re-optimizes all of them to zero.
+# 3. Every overload decision — the per-round admit/stale/shed split,
+#    the shed/breaker counters, and the plan-digest fold — is
+#    identical across enumeration thread counts: overload policy is
+#    counted, never wall-clock.
+
+set -euo pipefail
+
+BIN=target/release/sdp-service
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== build =="
+cargo build --release -p sdp-service
+
+REPLAY="$BIN replay --overload 3 --queue-cap 4 --distinct 4 --relations 7 --workers 2 --seed 42"
+
+for threads in 1 4; do
+  echo "== overload battery (SDP_THREADS=$threads) =="
+  SDP_THREADS=$threads $REPLAY --store-dir "$WORK/store-$threads" \
+    --metrics-json "$WORK/metrics-$threads.json" | tee "$WORK/run-$threads.out"
+  python3 - "$WORK/metrics-$threads.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+o = m["overload"]
+assert o["shed_queue_full"] > 0, f"no queue-full sheds: {o}"
+assert o["served_stale"] > 0, f"stale-serve never engaged: {o}"
+assert o["breaker_trips"] == 1, f"expected exactly one breaker trip: {o}"
+assert o["breaker_recoveries"] == 1, f"the half-open probe must recover: {o}"
+assert o["breaker_rejections"] == 3, f"expected probe_every-1 fail-fasts: {o}"
+assert o["queue_depth"] == 0 and o["inflight"] == 0, f"gauges not released: {o}"
+assert o["queue_depth_hwm"] == 4, f"high-water must equal the queue cap: {o}"
+s = m["store"]
+assert s["dlq_enqueued"] == 6, f"expected 3 poison + 3 breaker-open dead letters: {s}"
+print(f"overload ok: {o['shed_queue_full']} shed, {o['served_stale']} stale, "
+      f"breaker {o['breaker_trips']} trip / {o['breaker_rejections']} rejected / "
+      f"{o['breaker_recoveries']} recovered")
+EOF
+done
+
+echo "== decisions identical across thread counts =="
+for threads in 1 4; do
+  { grep '^overload: round' "$WORK/run-$threads.out"
+    grep '^breaker:' "$WORK/run-$threads.out"
+    grep -o 'plan digest: [0-9a-f]*' "$WORK/run-$threads.out"
+  } > "$WORK/decisions-$threads.txt"
+done
+diff -u "$WORK/decisions-1.txt" "$WORK/decisions-4.txt" || {
+  echo "error: overload decisions diverged across SDP_THREADS" >&2
+  exit 1
+}
+python3 - "$WORK/metrics-1.json" "$WORK/metrics-4.json" <<'EOF'
+import json, sys
+a, b = (json.load(open(p))["overload"] for p in sys.argv[1:3])
+# The in-flight high-water depends on worker scheduling, not on any
+# admission decision; everything else must match bit-for-bit.
+a.pop("inflight_hwm"), b.pop("inflight_hwm")
+assert a == b, f"overload counters diverged across SDP_THREADS:\n  {a}\n  {b}"
+print("decision counters identical across SDP_THREADS=1 and 4")
+EOF
+cat "$WORK/decisions-1.txt"
+
+echo "== dlq drain re-optimizes poison and breaker-open records =="
+$BIN replay --relations 7 --dlq "$WORK/store-1" | tee "$WORK/drain.out"
+rejected=$(grep -c 'was: circuit breaker open' "$WORK/drain.out" || true)
+[ "$rejected" -eq 3 ] || {
+  echo "error: expected 3 breaker-open dead letters in the drain, saw $rejected" >&2
+  exit 1
+}
+grep -q 'drained 6, 0 remain' "$WORK/drain.out" || {
+  echo "error: DLQ did not drain all 6 records to zero" >&2
+  exit 1
+}
+
+echo "overload smoke ok"

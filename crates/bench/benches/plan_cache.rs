@@ -25,6 +25,7 @@ fn service(catalog: &Catalog) -> OptimizerService {
             cache_shards: 4,
             parallelism: Some(1),
             enumerator: None,
+            ..ServiceConfig::default()
         },
     )
 }

@@ -63,6 +63,13 @@ pub enum Rung {
 /// The full ladder, top to bottom.
 pub const LADDER: [Rung; 4] = [Rung::Dp, Rung::Sdp, Rung::Idp, Rung::Goo];
 
+/// The floor under the cheapest rung: below this much remaining
+/// deadline not even GOO — O(n) greedy joins on an already-bound
+/// query — can be expected to produce a plan, so admission control
+/// sheds the request instead of burning a worker on a run that can
+/// only end in [`OptError::TimedOut`].
+pub const CHEAPEST_RUNG_FLOOR: Duration = Duration::from_micros(100);
+
 impl Rung {
     /// Display label, matching [`Algorithm::label`] for the rung's
     /// canonical configuration.

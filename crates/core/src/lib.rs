@@ -49,7 +49,7 @@ pub mod sdp;
 pub use budget::{Budget, BudgetProbe, OptError};
 pub use governor::{
     CancelHandle, DegradeEvent, DegradeReason, GovernedFailure, GovernedPlan, Governor, Rung,
-    LADDER,
+    CHEAPEST_RUNG_FLOOR, LADDER,
 };
 
 // Compile-time guarantee for the service layer: everything a resident

@@ -43,6 +43,7 @@ fn replay_workload(
             cache_shards: 4,
             parallelism: Some(1),
             enumerator: None,
+            ..ServiceConfig::default()
         },
     ));
     let daemon = Daemon::spawn(Arc::clone(&service), clients);

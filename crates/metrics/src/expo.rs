@@ -16,7 +16,9 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use crate::alloc::AllocSnapshot;
-use crate::service::{CountersSnapshot, GovernorSnapshot, LatencyHistogram, LatencyStats};
+use crate::service::{
+    CountersSnapshot, GovernorSnapshot, LatencyHistogram, LatencyStats, OverloadSnapshot,
+};
 use crate::store::StoreSnapshot;
 
 /// Point-in-time bundle of every metric family the service exposes.
@@ -37,6 +39,9 @@ pub struct MetricsReport {
     pub alloc: AllocSnapshot,
     /// Durable plan-store counters (zeros when no store is attached).
     pub store: StoreSnapshot,
+    /// Overload-control counters and occupancy gauges (sheds, stale
+    /// serves, circuit breaker, queue depth, in-flight).
+    pub overload: OverloadSnapshot,
     /// Plans currently resident in the cache.
     pub cached_plans: u64,
 }
@@ -170,6 +175,42 @@ impl MetricsReport {
             "Dead-letter records re-optimized and removed.",
             s.dlq_drained,
         );
+        let o = &self.overload;
+        counter(
+            "sdp_shed_queue_full_total",
+            "Requests rejected at submit because the admission queue was full.",
+            o.shed_queue_full,
+        );
+        counter(
+            "sdp_shed_deadline_total",
+            "Dequeued requests dropped for an already-expired deadline.",
+            o.shed_deadline,
+        );
+        counter(
+            "sdp_served_stale_total",
+            "Requests answered with an epoch-stale plan under admission pressure.",
+            o.served_stale,
+        );
+        counter(
+            "sdp_breaker_trips_total",
+            "Per-fingerprint circuit breakers opened.",
+            o.breaker_trips,
+        );
+        counter(
+            "sdp_breaker_rejections_total",
+            "Arrivals rejected fast by an open circuit breaker.",
+            o.breaker_rejections,
+        );
+        counter(
+            "sdp_breaker_probes_total",
+            "Arrivals admitted through an open breaker as half-open probes.",
+            o.breaker_probes,
+        );
+        counter(
+            "sdp_breaker_recoveries_total",
+            "Half-open probes that succeeded and closed their breaker.",
+            o.breaker_recoveries,
+        );
         let mut gauge = |name: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} gauge");
@@ -194,6 +235,26 @@ impl MetricsReport {
             "sdp_dlq_depth",
             "Dead-letter records currently live.",
             s.dlq_depth,
+        );
+        gauge(
+            "sdp_queue_depth",
+            "Requests currently waiting in the admission queue.",
+            o.queue_depth,
+        );
+        gauge(
+            "sdp_queue_depth_high_water",
+            "High-water admission-queue depth.",
+            o.queue_depth_hwm,
+        );
+        gauge(
+            "sdp_inflight",
+            "Requests currently being optimized by workers.",
+            o.inflight,
+        );
+        gauge(
+            "sdp_inflight_high_water",
+            "High-water in-flight request count.",
+            o.inflight_hwm,
         );
 
         if !self.strategies.is_empty() {
@@ -346,6 +407,20 @@ impl MetricsReport {
         let _ = writeln!(out, "    \"dlq_drained\": {},", s.dlq_drained);
         let _ = writeln!(out, "    \"dlq_depth\": {}", s.dlq_depth);
         let _ = writeln!(out, "  }},");
+        let o = &self.overload;
+        let _ = writeln!(out, "  \"overload\": {{");
+        let _ = writeln!(out, "    \"shed_queue_full\": {},", o.shed_queue_full);
+        let _ = writeln!(out, "    \"shed_deadline\": {},", o.shed_deadline);
+        let _ = writeln!(out, "    \"served_stale\": {},", o.served_stale);
+        let _ = writeln!(out, "    \"breaker_trips\": {},", o.breaker_trips);
+        let _ = writeln!(out, "    \"breaker_rejections\": {},", o.breaker_rejections);
+        let _ = writeln!(out, "    \"breaker_probes\": {},", o.breaker_probes);
+        let _ = writeln!(out, "    \"breaker_recoveries\": {},", o.breaker_recoveries);
+        let _ = writeln!(out, "    \"queue_depth\": {},", o.queue_depth);
+        let _ = writeln!(out, "    \"queue_depth_hwm\": {},", o.queue_depth_hwm);
+        let _ = writeln!(out, "    \"inflight\": {},", o.inflight);
+        let _ = writeln!(out, "    \"inflight_hwm\": {}", o.inflight_hwm);
+        let _ = writeln!(out, "  }},");
         let _ = writeln!(out, "  \"cached_plans\": {}", self.cached_plans);
         out.push_str("}\n");
         out
@@ -384,6 +459,19 @@ mod tests {
                 dlq_depth: 1,
                 ..Default::default()
             },
+            overload: OverloadSnapshot {
+                shed_queue_full: 7,
+                shed_deadline: 2,
+                served_stale: 3,
+                breaker_trips: 1,
+                breaker_rejections: 4,
+                breaker_probes: 2,
+                breaker_recoveries: 1,
+                queue_depth: 0,
+                queue_depth_hwm: 9,
+                inflight: 1,
+                inflight_hwm: 4,
+            },
             cached_plans: 2,
             ..Default::default()
         };
@@ -410,6 +498,13 @@ mod tests {
         assert!(text.contains("sdp_store_warm_hits_total 2"));
         assert!(text.contains("# TYPE sdp_dlq_depth gauge"));
         assert!(text.contains("sdp_dlq_depth 1"));
+        assert!(text.contains("# TYPE sdp_shed_queue_full_total counter"));
+        assert!(text.contains("sdp_shed_queue_full_total 7"));
+        assert!(text.contains("sdp_served_stale_total 3"));
+        assert!(text.contains("sdp_breaker_trips_total 1"));
+        assert!(text.contains("# TYPE sdp_queue_depth_high_water gauge"));
+        assert!(text.contains("sdp_queue_depth_high_water 9"));
+        assert!(text.contains("sdp_inflight_high_water 4"));
         assert!(text.contains("sdp_strategy_latency_seconds_count{strategy=\"SDP\"} 2"));
         assert!(text.contains("sdp_rung_latency_seconds_bucket{rung=\"SDP\",le=\"+Inf\"} 3"));
         // Cumulative buckets: the 2 sub-millisecond samples precede
@@ -431,6 +526,11 @@ mod tests {
         assert!(json.contains("\"cached_plans\": 2"));
         assert!(json.contains("\"warm_hits\": 2"));
         assert!(json.contains("\"dlq_depth\": 1"));
+        assert!(json.contains("\"shed_queue_full\": 7"));
+        assert!(json.contains("\"served_stale\": 3"));
+        assert!(json.contains("\"breaker_rejections\": 4"));
+        assert!(json.contains("\"queue_depth_hwm\": 9"));
+        assert!(json.contains("\"inflight_hwm\": 4"));
         // Structural sanity without a JSON parser: balanced braces and
         // brackets, no trailing comma before a closer.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -32,6 +32,7 @@ pub use overhead::{OverheadSample, OverheadSummary};
 pub use quality::{geometric_mean_ratio, QualityClass, QualitySummary};
 pub use service::{
     CountersSnapshot, GovernorCounters, GovernorSnapshot, LatencyHistogram, LatencyStats,
-    RungLatencies, ServiceCounters, StrategyLatencies, HISTOGRAM_BUCKETS,
+    OverloadCounters, OverloadSnapshot, RungLatencies, ServiceCounters, StrategyLatencies,
+    HISTOGRAM_BUCKETS,
 };
 pub use store::{StoreCounters, StoreSnapshot};

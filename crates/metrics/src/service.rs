@@ -252,6 +252,156 @@ pub struct GovernorSnapshot {
     pub leader_retries: u64,
 }
 
+/// Monotonic counters and gauges for the daemon's overload-control
+/// layer: bounded-admission sheds, stale serves, the per-fingerprint
+/// circuit breaker, and queue-depth / in-flight occupancy (current
+/// value plus high-water mark).
+///
+/// The gauges are updated through paired enter/leave methods so the
+/// high-water marks are exact regardless of interleaving: the mark is
+/// folded in with `fetch_max` at every increment.
+#[derive(Debug, Default)]
+pub struct OverloadCounters {
+    shed_queue_full: AtomicU64,
+    shed_deadline: AtomicU64,
+    served_stale: AtomicU64,
+    breaker_trips: AtomicU64,
+    breaker_rejections: AtomicU64,
+    breaker_probes: AtomicU64,
+    breaker_recoveries: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_hwm: AtomicU64,
+    inflight: AtomicU64,
+    inflight_hwm: AtomicU64,
+}
+
+impl OverloadCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        OverloadCounters::default()
+    }
+
+    /// A request was rejected at submit because the admission queue
+    /// was full.
+    pub fn record_shed_queue_full(&self) {
+        self.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A dequeued request was dropped because its remaining deadline
+    /// (after charged queue-wait) was below the cheapest rung's floor.
+    pub fn record_shed_deadline(&self) {
+        self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request under admission pressure was answered with an
+    /// epoch-stale plan instead of being shed.
+    pub fn record_served_stale(&self) {
+        self.served_stale.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A fingerprint's circuit breaker opened (K consecutive
+    /// failures).
+    pub fn record_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An arrival was rejected fast by an open breaker.
+    pub fn record_breaker_rejection(&self) {
+        self.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An arrival was let through an open breaker as a half-open
+    /// probe.
+    pub fn record_breaker_probe(&self) {
+        self.breaker_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A probe succeeded and closed its breaker.
+    pub fn record_breaker_recovery(&self) {
+        self.breaker_recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request entered the admission queue; returns the new depth.
+    pub fn queue_entered(&self) -> u64 {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+        depth
+    }
+
+    /// A request left the admission queue (dequeued past the gate, or
+    /// answered at submit).
+    pub fn queue_left(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// A worker started optimizing a request.
+    pub fn job_started(&self) {
+        let now = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inflight_hwm.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// A worker finished (successfully or not) a request it started.
+    pub fn job_finished(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of all counters and gauges.
+    pub fn snapshot(&self) -> OverloadSnapshot {
+        OverloadSnapshot {
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            served_stale: self.served_stale.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
+            breaker_probes: self.breaker_probes.load(Ordering::Relaxed),
+            breaker_recoveries: self.breaker_recoveries.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+            inflight_hwm: self.inflight_hwm.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`OverloadCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadSnapshot {
+    /// Requests rejected at submit (admission queue full).
+    pub shed_queue_full: u64,
+    /// Dequeued requests dropped for an already-expired deadline.
+    pub shed_deadline: u64,
+    /// Requests answered with an epoch-stale plan under pressure.
+    pub served_stale: u64,
+    /// Circuit-breaker opens.
+    pub breaker_trips: u64,
+    /// Arrivals rejected fast by an open breaker.
+    pub breaker_rejections: u64,
+    /// Arrivals admitted through an open breaker as half-open probes.
+    pub breaker_probes: u64,
+    /// Probes that succeeded and closed their breaker.
+    pub breaker_recoveries: u64,
+    /// Current admission-queue depth.
+    pub queue_depth: u64,
+    /// High-water admission-queue depth.
+    pub queue_depth_hwm: u64,
+    /// Requests currently being optimized by workers.
+    pub inflight: u64,
+    /// High-water in-flight count.
+    pub inflight_hwm: u64,
+}
+
+impl OverloadSnapshot {
+    /// Total requests shed (either at submit or at dequeue).
+    pub fn sheds(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline
+    }
+}
+
 /// Number of log2 buckets in a [`LatencyHistogram`] — bucket 31 tops
 /// out above half an hour, far past any optimization deadline.
 pub const HISTOGRAM_BUCKETS: usize = 32;
@@ -604,6 +754,42 @@ mod tests {
         assert_eq!(snap.len(), 2);
         assert_eq!(snap["GOO"].count, 2);
         assert_eq!(snap["SDP"].count, 1);
+    }
+
+    #[test]
+    fn overload_counters_track_decisions_and_high_water_gauges() {
+        let o = OverloadCounters::new();
+        assert_eq!(o.queue_entered(), 1);
+        assert_eq!(o.queue_entered(), 2);
+        o.queue_left();
+        assert_eq!(o.queue_depth(), 1);
+        assert_eq!(o.queue_entered(), 2, "depth refills below the mark");
+        o.queue_left();
+        o.queue_left();
+        o.job_started();
+        o.job_started();
+        o.job_finished();
+        o.record_shed_queue_full();
+        o.record_shed_queue_full();
+        o.record_shed_deadline();
+        o.record_served_stale();
+        o.record_breaker_trip();
+        o.record_breaker_rejection();
+        o.record_breaker_probe();
+        o.record_breaker_recovery();
+        let s = o.snapshot();
+        assert_eq!(s.shed_queue_full, 2);
+        assert_eq!(s.shed_deadline, 1);
+        assert_eq!(s.sheds(), 3);
+        assert_eq!(s.served_stale, 1);
+        assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.breaker_rejections, 1);
+        assert_eq!(s.breaker_probes, 1);
+        assert_eq!(s.breaker_recoveries, 1);
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.queue_depth_hwm, 2, "high-water survives the drain");
+        assert_eq!(s.inflight, 1);
+        assert_eq!(s.inflight_hwm, 2);
     }
 
     #[test]

@@ -46,6 +46,16 @@
 //! in DIR's dead-letter queue is verified against its stored
 //! fingerprint and re-optimized without resource limits; records that
 //! succeed leave the queue, records that fail again stay.
+//!
+//! `--queue-cap N` bounds the daemon's admission queue: submissions
+//! that find it full are answered immediately (stale-serve or shed)
+//! instead of queueing. `--overload ROUNDS` (requires `--queue-cap`)
+//! switches to the overload battery: a poison ladder trips one
+//! fingerprint's circuit breaker and recovers it through the
+//! half-open probe, then ROUNDS paused bursts of 4·cap submissions
+//! exercise bounded admission and stale-serve; the report gains
+//! `overload:` and `breaker:` counter lines, and any deviation from
+//! the deterministic expectations fails the run.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,7 +66,10 @@ use sdp_catalog::Catalog;
 use sdp_metrics::alloc::CountingAllocator;
 use sdp_query::canon::stable_hash;
 use sdp_query::{Query, QueryGenerator, Topology};
-use sdp_service::{fingerprint_query, Daemon, OptimizerService, ServiceConfig, ServiceRequest};
+use sdp_service::{
+    fingerprint_query, Daemon, DaemonConfig, OptimizerService, PlanSource, ServiceConfig,
+    ServiceError, ServiceRequest,
+};
 use sdp_trace::{chrome_trace, Event, MemorySink, TeeSink, TraceSink, Tracer};
 
 // Count heap traffic so `--metrics-json` reports real allocator
@@ -83,6 +96,8 @@ struct ReplayArgs {
     metrics_json: Option<String>,
     store_dir: Option<String>,
     dlq: Option<String>,
+    queue_cap: Option<usize>,
+    overload: Option<usize>,
     // Parsed unconditionally (so the flag errors helpfully on non-test
     // builds) but only read under the testkit feature.
     #[cfg_attr(not(feature = "testkit"), allow(dead_code))]
@@ -110,6 +125,8 @@ impl Default for ReplayArgs {
             metrics_json: None,
             store_dir: None,
             dlq: None,
+            queue_cap: None,
+            overload: None,
             crash_after_store_writes: None,
         }
     }
@@ -121,7 +138,7 @@ fn usage() -> &'static str {
      [--workers N] [--capacity N] [--shards N] [--threads N] \
      [--enumerator levelscan|dpccp|dpconv] [--ordered] [--seed N] \
      [--deadline-ms N] [--memory-mb N] [--trace PATH] [--metrics-json PATH] \
-     [--store-dir DIR] [--dlq DIR]"
+     [--store-dir DIR] [--dlq DIR] [--queue-cap N] [--overload ROUNDS]"
 }
 
 fn parse_replay(args: &[String]) -> Result<ReplayArgs, String> {
@@ -202,6 +219,20 @@ fn parse_replay(args: &[String]) -> Result<ReplayArgs, String> {
                         .map_err(|e| format!("--memory-mb: {e}"))?,
                 )
             }
+            "--queue-cap" => {
+                out.queue_cap = Some(
+                    value("--queue-cap")?
+                        .parse()
+                        .map_err(|e| format!("--queue-cap: {e}"))?,
+                )
+            }
+            "--overload" => {
+                out.overload = Some(
+                    value("--overload")?
+                        .parse()
+                        .map_err(|e| format!("--overload: {e}"))?,
+                )
+            }
             "--trace" => out.trace = Some(value("--trace")?.clone()),
             "--metrics-json" => out.metrics_json = Some(value("--metrics-json")?.clone()),
             "--store-dir" => out.store_dir = Some(value("--store-dir")?.clone()),
@@ -223,6 +254,18 @@ fn parse_replay(args: &[String]) -> Result<ReplayArgs, String> {
     }
     if out.distinct == 0 || out.requests == 0 || out.clients == 0 {
         return Err("--distinct, --requests and --clients must be positive".into());
+    }
+    if out.queue_cap == Some(0) {
+        return Err("--queue-cap must be positive".into());
+    }
+    match out.overload {
+        Some(0) => return Err("--overload needs at least one round".into()),
+        Some(_) if out.queue_cap.is_none() => {
+            return Err(
+                "--overload needs --queue-cap (the burst overfills the bounded queue)".into(),
+            )
+        }
+        _ => {}
     }
     Ok(out)
 }
@@ -312,6 +355,7 @@ fn drain_dlq(args: &ReplayArgs, dir: &str) -> Result<(), String> {
             cache_shards: args.shards,
             parallelism: args.threads,
             enumerator: args.enumerator,
+            ..ServiceConfig::default()
         },
     );
     let mut remaining = Vec::new();
@@ -362,102 +406,18 @@ fn drain_dlq(args: &ReplayArgs, dir: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn replay(args: ReplayArgs) -> Result<(), String> {
-    if let Some(dir) = &args.dlq {
-        return drain_dlq(&args, dir);
-    }
-    let topology = topology_for(&args.shape, args.relations)?;
-    let catalog = if args.relations + 1 < 25 {
-        Catalog::paper()
-    } else {
-        Catalog::extended(args.relations * 2)
-    };
-    let generator = QueryGenerator::new(&catalog, topology, args.seed);
-    let queries: Vec<Query> = (0..args.distinct as u64)
-        .map(|k| {
-            if args.ordered {
-                generator.ordered_instance(k)
-            } else {
-                generator.instance(k)
-            }
-        })
-        .collect();
-    let sql: Vec<String> = queries
-        .iter()
-        .map(|q| sdp_sql::render_sql(&catalog, q))
-        .collect();
-
-    // Error reporting always flows through the trace stream; a
-    // capturing sink joins the tee only when `--trace` asks for a
-    // dump.
-    let capture = args
-        .trace
-        .as_ref()
-        .map(|_| Arc::new(MemorySink::unbounded()));
-    let errors = Arc::new(StderrErrorSink::default());
-    let mut sinks: Vec<Arc<dyn TraceSink>> = vec![Arc::clone(&errors) as Arc<dyn TraceSink>];
-    if let Some(capture) = &capture {
-        sinks.push(Arc::clone(capture) as Arc<dyn TraceSink>);
-    }
-    let tracer = Tracer::new(Arc::new(TeeSink::new(sinks)));
-
-    #[allow(unused_mut)]
-    let mut service = OptimizerService::new(
-        catalog.clone(),
-        ServiceConfig {
-            cache_capacity: args.capacity,
-            cache_shards: args.shards,
-            parallelism: args.threads,
-            enumerator: args.enumerator,
-        },
-    )
-    .with_tracer(tracer);
-    #[cfg(feature = "testkit")]
-    if let Some(n) = args.crash_after_store_writes {
-        service =
-            service.with_store_faults(sdp_testkit::FaultPlan::new().crash_after_store_writes(n));
-    }
-    if let Some(dir) = &args.store_dir {
-        let dir = std::path::Path::new(dir);
-        service = service
-            .with_store(dir)
-            .map_err(|e| format!("opening --store-dir: {e}"))?
-            .with_dlq(dir)
-            .map_err(|e| format!("opening dead-letter queue: {e}"))?;
-        let snap = service.store_counters().snapshot();
-        println!(
-            "store: warm start from {} — {} plans filled, {} stale dropped, \
-             {} torn truncations, dlq depth {}",
-            dir.display(),
-            snap.warm_fills,
-            snap.stale_dropped,
-            snap.torn_truncations,
-            snap.dlq_depth,
-        );
-    }
-    let service = Arc::new(service);
-    let daemon = Daemon::spawn(Arc::clone(&service), args.workers);
-
-    println!(
-        "replaying {} requests over {} distinct {}{} queries ({} relations) \
-         with {} clients, {} workers, cache {} x{} shards, seed {}",
-        args.requests,
-        args.distinct,
-        if args.ordered { "ordered " } else { "" },
-        args.shape,
-        args.relations,
-        args.clients,
-        args.workers,
-        args.capacity,
-        args.shards,
-        args.seed,
-    );
-
-    let started = Instant::now();
-    let (failures, plan_digest) = std::thread::scope(|scope| {
+/// The standard replay workload: `--clients` threads issuing seeded
+/// picks from the distinct pool, alternating SQL-text and
+/// programmatic submissions. Returns (failures, plan-digest fold).
+fn run_clients(
+    daemon: &Daemon,
+    queries: &[Query],
+    sql: &[String],
+    args: &ReplayArgs,
+) -> (u64, u64) {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.clients)
             .map(|c| {
-                let (daemon, queries, sql) = (&daemon, &queries, &sql);
                 let (seed, requests, clients) = (args.seed, args.requests, args.clients);
                 let (deadline_ms, memory_mb) = (args.deadline_ms, args.memory_mb);
                 scope.spawn(move || {
@@ -504,15 +464,293 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
             .fold((0u64, 0u64), |(f, d), (cf, cd)| {
                 (f + cf, d.wrapping_add(cd))
             })
-    });
+    })
+}
+
+/// The overload battery (`--overload ROUNDS --queue-cap C`): first a
+/// poison ladder that trips one fingerprint's circuit breaker, rides
+/// out the fail-fast rejections and recovers through the half-open
+/// probe; then `ROUNDS` paused bursts of `4·C` submissions against
+/// the bounded queue, bumping the statistics epoch between rounds so
+/// overflow arrivals exercise stale-serve. Every outcome is checked
+/// against the deterministic expectation; any deviation is an error.
+/// Returns (requests served OK, plan-digest fold over them).
+#[allow(clippy::too_many_arguments)]
+fn run_overload(
+    daemon: &Daemon,
+    queries: &[Query],
+    sql: &[String],
+    args: &ReplayArgs,
+    rounds: usize,
+    queue_cap: usize,
+    breaker_threshold: u32,
+    breaker_probe_every: u64,
+) -> Result<(u64, u64), String> {
+    let service = daemon.service();
+    let mut served = 0u64;
+    let mut digest = 0u64;
+
+    // Poison phase: the same fingerprint exhausts the ladder (a
+    // zero-byte memory budget fails every rung down to GOO) exactly
+    // `breaker_threshold` times in a row.
+    println!("overload: poison phase — {breaker_threshold} ladder exhaustions on one fingerprint");
+    for attempt in 0..breaker_threshold {
+        let poison = ServiceRequest::query(queries[0].clone())
+            .with_algorithm(sdp_core::Algorithm::Dp)
+            .with_memory_budget(0);
+        match daemon.execute(poison) {
+            Err(ServiceError::Opt(_)) => {}
+            other => {
+                return Err(format!(
+                    "poison attempt {attempt}: expected ladder exhaustion, got {other:?}"
+                ))
+            }
+        }
+    }
+    let snap = service.overload_counters().snapshot();
+    if snap.breaker_trips != 1 {
+        return Err(format!(
+            "expected the breaker to trip exactly once after {breaker_threshold} failures, \
+             counted {} trips",
+            snap.breaker_trips
+        ));
+    }
+    // While open, arrivals fail fast into the DLQ until the probe slot.
+    for arrival in 1..breaker_probe_every {
+        match daemon.execute(ServiceRequest::query(queries[0].clone())) {
+            Err(ServiceError::BreakerOpen { .. }) => {}
+            other => {
+                return Err(format!(
+                    "breaker-open arrival {arrival}: expected fail-fast, got {other:?}"
+                ))
+            }
+        }
+    }
+    // The probe arrival runs for real; without the poison limits it
+    // succeeds and closes the breaker.
+    let probe = daemon
+        .execute(ServiceRequest::query(queries[0].clone()))
+        .map_err(|e| format!("recovery probe failed: {e}"))?;
+    served += 1;
+    digest = fold_digest(digest, probe.plan.root.structural_digest());
+    let snap = service.overload_counters().snapshot();
+    if snap.breaker_recoveries != 1 {
+        return Err(format!(
+            "expected one breaker recovery after the probe, counted {}",
+            snap.breaker_recoveries
+        ));
+    }
+    println!(
+        "overload: breaker tripped after {breaker_threshold} failures, rejected {} arrivals, \
+         recovered via probe ({})",
+        snap.breaker_rejections, probe.plan.strategy,
+    );
+
+    // Burst phase: each round bumps the statistics epoch (pushing the
+    // previous round's plans onto the stale shelf), pauses the
+    // workers, floods the bounded queue with 4·cap submissions, and
+    // releases. Decisions depend only on submission order, so the
+    // admit/stale/shed split is identical across worker counts.
+    let (mut total_shed, mut total_stale) = (0u64, 0u64);
+    for round in 0..rounds {
+        service.bump_stats_epoch();
+        daemon.pause();
+        let burst = 4 * queue_cap;
+        let tickets: Vec<_> = (0..burst)
+            .map(|i| {
+                let pick = stable_hash(args.seed ^ 0x6f_76_6c ^ round as u64, &[i as u64]) as usize
+                    % queries.len();
+                let request = if i % 2 == 0 {
+                    ServiceRequest::sql(sql[pick].clone())
+                } else {
+                    ServiceRequest::query(queries[pick].clone())
+                };
+                daemon.submit(request)
+            })
+            .collect();
+        daemon.resume();
+        let (mut optimized, mut stale, mut shed) = (0u64, 0u64, 0u64);
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            match ticket.wait() {
+                Ok(resp) => {
+                    if resp.source == PlanSource::Stale {
+                        stale += 1;
+                    } else {
+                        optimized += 1;
+                    }
+                    served += 1;
+                    digest = fold_digest(digest, resp.plan.root.structural_digest());
+                }
+                Err(ServiceError::Shed(_)) => shed += 1,
+                Err(e) => return Err(format!("round {round} submission {i}: {e}")),
+            }
+        }
+        println!(
+            "overload: round {round}: {optimized} optimized, {stale} served stale, \
+             {shed} shed of {burst}"
+        );
+        // Paused submissions make admission a pure function of
+        // submission order: exactly `cap` jobs are admitted and
+        // optimized; the overflow is answered from the stale shelf or
+        // shed, nothing else.
+        if optimized != queue_cap as u64 || stale + shed != (burst - queue_cap) as u64 {
+            return Err(format!(
+                "round {round}: expected exactly {queue_cap} admitted and \
+                 {} stale-or-shed, got {optimized}/{stale}/{shed}",
+                burst - queue_cap
+            ));
+        }
+        total_shed += shed;
+        total_stale += stale;
+    }
+    // Early rounds must shed (the shelf starts near-empty); late
+    // rounds may absorb the whole overflow as stale serves — but both
+    // modes have to show up somewhere in the battery.
+    if total_shed == 0 {
+        return Err("overload battery never shed a request".into());
+    }
+    if total_stale == 0 {
+        return Err("overload battery never served a stale plan".into());
+    }
+    Ok((served, digest))
+}
+
+fn replay(args: ReplayArgs) -> Result<(), String> {
+    if let Some(dir) = &args.dlq {
+        return drain_dlq(&args, dir);
+    }
+    let topology = topology_for(&args.shape, args.relations)?;
+    let catalog = if args.relations + 1 < 25 {
+        Catalog::paper()
+    } else {
+        Catalog::extended(args.relations * 2)
+    };
+    let generator = QueryGenerator::new(&catalog, topology, args.seed);
+    let queries: Vec<Query> = (0..args.distinct as u64)
+        .map(|k| {
+            if args.ordered {
+                generator.ordered_instance(k)
+            } else {
+                generator.instance(k)
+            }
+        })
+        .collect();
+    let sql: Vec<String> = queries
+        .iter()
+        .map(|q| sdp_sql::render_sql(&catalog, q))
+        .collect();
+
+    // Error reporting always flows through the trace stream; a
+    // capturing sink joins the tee only when `--trace` asks for a
+    // dump.
+    let capture = args
+        .trace
+        .as_ref()
+        .map(|_| Arc::new(MemorySink::unbounded()));
+    let errors = Arc::new(StderrErrorSink::default());
+    let mut sinks: Vec<Arc<dyn TraceSink>> = vec![Arc::clone(&errors) as Arc<dyn TraceSink>];
+    if let Some(capture) = &capture {
+        sinks.push(Arc::clone(capture) as Arc<dyn TraceSink>);
+    }
+    let tracer = Tracer::new(Arc::new(TeeSink::new(sinks)));
+
+    let config = ServiceConfig {
+        cache_capacity: args.capacity,
+        cache_shards: args.shards,
+        parallelism: args.threads,
+        enumerator: args.enumerator,
+        ..ServiceConfig::default()
+    };
+    let breaker_threshold = config.breaker_threshold;
+    let breaker_probe_every = config.breaker_probe_every;
+    #[allow(unused_mut)]
+    let mut service = OptimizerService::new(catalog.clone(), config).with_tracer(tracer);
+    #[cfg(feature = "testkit")]
+    if let Some(n) = args.crash_after_store_writes {
+        service =
+            service.with_store_faults(sdp_testkit::FaultPlan::new().crash_after_store_writes(n));
+    }
+    if let Some(dir) = &args.store_dir {
+        let dir = std::path::Path::new(dir);
+        service = service
+            .with_store(dir)
+            .map_err(|e| format!("opening --store-dir: {e}"))?
+            .with_dlq(dir)
+            .map_err(|e| format!("opening dead-letter queue: {e}"))?;
+        let snap = service.store_counters().snapshot();
+        println!(
+            "store: warm start from {} — {} plans filled, {} stale dropped, \
+             {} torn truncations, dlq depth {}",
+            dir.display(),
+            snap.warm_fills,
+            snap.stale_dropped,
+            snap.torn_truncations,
+            snap.dlq_depth,
+        );
+    }
+    let service = Arc::new(service);
+    let daemon = match args.queue_cap {
+        Some(cap) => Daemon::with_config(
+            Arc::clone(&service),
+            DaemonConfig::new(args.workers).with_queue_capacity(cap),
+        ),
+        None => Daemon::spawn(Arc::clone(&service), args.workers),
+    };
+
+    if let Some(rounds) = args.overload {
+        println!(
+            "overload: {rounds} burst rounds of {} submissions over queue cap {} \
+             ({} distinct {} queries, {} workers, seed {})",
+            4 * args.queue_cap.unwrap_or(0),
+            args.queue_cap.unwrap_or(0),
+            args.distinct,
+            args.shape,
+            args.workers,
+            args.seed,
+        );
+    } else {
+        println!(
+            "replaying {} requests over {} distinct {}{} queries ({} relations) \
+             with {} clients, {} workers, cache {} x{} shards, seed {}",
+            args.requests,
+            args.distinct,
+            if args.ordered { "ordered " } else { "" },
+            args.shape,
+            args.relations,
+            args.clients,
+            args.workers,
+            args.capacity,
+            args.shards,
+            args.seed,
+        );
+    }
+
+    let started = Instant::now();
+    let (served, failures, plan_digest) = if let Some(rounds) = args.overload {
+        let queue_cap = args.queue_cap.expect("validated at parse");
+        let (served, digest) = run_overload(
+            &daemon,
+            &queries,
+            &sql,
+            &args,
+            rounds,
+            queue_cap,
+            breaker_threshold,
+            breaker_probe_every,
+        )?;
+        (served, 0u64, digest)
+    } else {
+        let (failures, digest) = run_clients(&daemon, &queries, &sql, &args);
+        (args.requests as u64 - failures, failures, digest)
+    };
     let elapsed = started.elapsed();
 
     let snap = service.counters_snapshot();
-    let throughput = args.requests as f64 / elapsed.as_secs_f64();
+    let throughput = (served + failures) as f64 / elapsed.as_secs_f64();
     println!();
     println!(
         "served {} requests in {:.3} s — {:.0} req/s ({} failed)",
-        args.requests,
+        served,
         elapsed.as_secs_f64(),
         throughput,
         failures,
@@ -584,9 +822,19 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
             store.dlq_enqueued, store.dlq_depth
         );
     }
-    println!("plan digest: {plan_digest:016x} over {} served", {
-        args.requests as u64 - failures
-    });
+    if args.overload.is_some() {
+        let o = service.overload_counters().snapshot();
+        println!(
+            "overload: {} shed (queue-full), {} shed (deadline), {} served stale, \
+             queue depth hwm {}, inflight hwm {}",
+            o.shed_queue_full, o.shed_deadline, o.served_stale, o.queue_depth_hwm, o.inflight_hwm,
+        );
+        println!(
+            "breaker: {} trips, {} rejections, {} probes, {} recoveries",
+            o.breaker_trips, o.breaker_rejections, o.breaker_probes, o.breaker_recoveries,
+        );
+    }
+    println!("plan digest: {plan_digest:016x} over {served} served");
 
     daemon.shutdown();
 
@@ -611,10 +859,20 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
     }
     // Belt and braces for the exit status: any request_error routed to
     // stderr fails the run, even if no client saw the failure (e.g. a
-    // waiter that recovered by retrying after a leader error).
+    // waiter that recovered by retrying after a leader error). The
+    // overload battery *injects* exactly `breaker_threshold` poison
+    // failures to trip the breaker, so there the count must match
+    // exactly — more means collateral failures, fewer means the
+    // poison never ran.
     let routed = errors.errors();
-    if routed > 0 {
-        return Err(format!("{routed} request errors reported on stderr"));
+    let expected_routed = match args.overload {
+        Some(_) => u64::from(breaker_threshold),
+        None => 0,
+    };
+    if routed != expected_routed {
+        return Err(format!(
+            "{routed} request errors reported on stderr (expected {expected_routed})"
+        ));
     }
     Ok(())
 }

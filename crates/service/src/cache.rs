@@ -192,10 +192,14 @@ impl<V: Clone> ShardedLru<V> {
         evicted
     }
 
-    /// Evict every entry not optimized under `epoch`; returns the
-    /// number removed.
-    pub fn purge_stale(&self, epoch: u64) -> u64 {
-        let mut purged = 0;
+    /// Evict every entry not optimized under `epoch`, returning the
+    /// evicted `(key, value)` pairs so the caller can keep them around
+    /// — the service shelves them for stale-serve degraded mode
+    /// instead of letting the plans vanish at the epoch bump. The
+    /// order is deterministic (sorted by key) so downstream policies
+    /// that trim the harvest behave identically across runs.
+    pub fn purge_stale(&self, epoch: u64) -> Vec<(u128, V)> {
+        let mut purged = Vec::new();
         for shard in &self.shards {
             let mut shard = shard.lock().expect("cache shard poisoned");
             let stale: Vec<usize> = shard
@@ -204,11 +208,12 @@ impl<V: Clone> ShardedLru<V> {
                 .copied()
                 .filter(|&i| shard.slab[i].epoch != epoch)
                 .collect();
-            purged += stale.len() as u64;
             for i in stale {
+                purged.push((shard.slab[i].key, shard.slab[i].value.clone()));
                 shard.remove_slot(i);
             }
         }
+        purged.sort_by_key(|(key, _)| *key);
         purged
     }
 
@@ -275,7 +280,11 @@ mod tests {
         for k in 10..14u128 {
             cache.insert(k, k as u32, 1);
         }
-        assert_eq!(cache.purge_stale(1), 10);
+        let purged = cache.purge_stale(1);
+        assert_eq!(purged.len(), 10);
+        // The harvest carries the evicted values, sorted by key.
+        assert_eq!(purged[0], (0, 0));
+        assert_eq!(purged[9], (9, 9));
         assert_eq!(cache.len(), 4);
         assert_eq!(cache.get(12, 1), Lookup::Hit(12));
     }

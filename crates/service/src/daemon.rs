@@ -1,5 +1,5 @@
 //! The multi-threaded daemon front: a worker pool draining a request
-//! queue into the shared [`OptimizerService`].
+//! queue into the shared [`OptimizerService`], with overload control.
 //!
 //! Clients [`submit`](Daemon::submit) requests and hold a [`Ticket`]
 //! — a one-shot receiver for the response — or call
@@ -8,13 +8,40 @@
 //! queue is the only coordination point, and the expensive part
 //! (enumeration) is already deduplicated downstream by the service's
 //! single-flight layer, so a fancier queue would buy nothing.
+//!
+//! # Overload control
+//!
+//! [`DaemonConfig`] bounds the daemon against bursts:
+//!
+//! * **Bounded admission** — with a queue capacity set, a submission
+//!   that finds the queue full is answered immediately: from the
+//!   stale shelf when a previous-epoch plan exists for the query
+//!   ([`PlanSource::Stale`](crate::PlanSource::Stale)), else shed
+//!   with [`ServiceError::Shed`]`(QueueFull)`. Nothing blocks.
+//! * **Deadline-aware shedding** — queue-wait is charged against the
+//!   request's deadline when a worker picks it up; if what remains is
+//!   at or below the cheapest rung's floor
+//!   ([`sdp_core::CHEAPEST_RUNG_FLOOR`]), the run could only time
+//!   out, so the worker sheds it (stale-serve first, same as above)
+//!   instead of burning the optimizer on a lost cause.
+//!
+//! Admission decisions are deterministic in *submission order*: the
+//! queue-depth gauge is incremented at submit and released only after
+//! a dequeued job passes the [`pause`](Daemon::pause) gate, so a
+//! paused daemon's admit/shed sequence for a burst depends only on
+//! the order of `submit` calls — not on worker count or scheduling.
+//! The differential batteries lean on this to compare decision
+//! sequences across `SDP_THREADS` settings bit-for-bit.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crate::service::{OptimizerService, ServiceError, ServiceRequest, ServiceResponse};
+use sdp_core::CHEAPEST_RUNG_FLOOR;
+
+use crate::service::{OptimizerService, ServiceError, ServiceRequest, ServiceResponse, ShedReason};
 
 type Reply = Result<ServiceResponse, ServiceError>;
 struct Job {
@@ -23,6 +50,146 @@ struct Job {
     /// When the request entered the queue; queue-wait is charged
     /// against the request's deadline before the worker optimizes.
     submitted: Instant,
+    /// Arrival sequence number (counts every submission, shed or
+    /// admitted) — the logical clock chaos schedules key on.
+    seq: u64,
+}
+
+/// Tuning for one [`Daemon`]: worker count plus overload-control
+/// policy. [`Daemon::spawn`] uses [`DaemonConfig::new`] defaults —
+/// an unbounded queue, deadline shedding at the cheapest rung's
+/// floor, and stale-serve enabled.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    workers: usize,
+    queue_capacity: Option<usize>,
+    shed_floor: Option<Duration>,
+    stale_serve: bool,
+    #[cfg(feature = "testkit")]
+    chaos: Option<sdp_testkit::ChaosSchedule>,
+}
+
+impl DaemonConfig {
+    /// Config for `workers` threads (floored at 1) with default
+    /// overload policy: no queue bound, deadline shedding at
+    /// [`CHEAPEST_RUNG_FLOOR`], stale-serve on.
+    pub fn new(workers: usize) -> Self {
+        DaemonConfig {
+            workers: workers.max(1),
+            queue_capacity: None,
+            shed_floor: Some(CHEAPEST_RUNG_FLOOR),
+            stale_serve: true,
+            #[cfg(feature = "testkit")]
+            chaos: None,
+        }
+    }
+
+    /// Bound the admission queue at `capacity` jobs (floored at 1);
+    /// submissions beyond it are answered immediately (stale-serve or
+    /// shed) instead of queueing.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Shed dequeued jobs whose remaining deadline (after charged
+    /// queue-wait) is at or below `floor` instead of running them.
+    pub fn with_shed_floor(mut self, floor: Duration) -> Self {
+        self.shed_floor = Some(floor);
+        self
+    }
+
+    /// Never shed on deadline: dequeued jobs always run, however
+    /// little deadline remains (the governor still times them out).
+    pub fn without_deadline_shedding(mut self) -> Self {
+        self.shed_floor = None;
+        self
+    }
+
+    /// Shed outright under pressure instead of consulting the stale
+    /// shelf first.
+    pub fn without_stale_serve(mut self) -> Self {
+        self.stale_serve = false;
+        self
+    }
+
+    /// Install a deterministic chaos schedule: virtual queue-wait
+    /// overrides and scripted worker kills, keyed by arrival sequence
+    /// number. Test builds only.
+    #[cfg(feature = "testkit")]
+    pub fn with_chaos(mut self, chaos: sdp_testkit::ChaosSchedule) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+}
+
+/// Pause gate + shutdown mode shared by every worker.
+#[derive(Debug, Default)]
+struct Gate {
+    state: Mutex<GateState>,
+    cond: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    paused: bool,
+    draining: bool,
+}
+
+impl Gate {
+    /// Block while paused. Returns whether the daemon is draining
+    /// (shutdown_now): the caller then refuses its job instead of
+    /// running it.
+    fn wait_until_open(&self) -> bool {
+        let mut state = self.state.lock().expect("daemon gate poisoned");
+        while state.paused && !state.draining {
+            state = self.cond.wait(state).expect("daemon gate poisoned");
+        }
+        state.draining
+    }
+
+    fn pause(&self) {
+        self.state.lock().expect("daemon gate poisoned").paused = true;
+    }
+
+    fn resume(&self) {
+        self.state.lock().expect("daemon gate poisoned").paused = false;
+        self.cond.notify_all();
+    }
+
+    fn drain(&self) {
+        self.state.lock().expect("daemon gate poisoned").draining = true;
+        self.cond.notify_all();
+    }
+}
+
+/// Guarantees every dequeued job gets an answer: if the worker dies
+/// (panics) between dequeue and reply, the drop handler sends
+/// [`ServiceError::WorkerDied`] — an internal error, deliberately
+/// distinct from a clean [`ServiceError::Shutdown`] — and releases
+/// the in-flight gauge.
+struct ReplyGuard<'a> {
+    reply: Option<Sender<Reply>>,
+    overload: &'a sdp_metrics::OverloadCounters,
+}
+
+impl ReplyGuard<'_> {
+    fn complete(mut self, result: Reply) {
+        if let Some(reply) = self.reply.take() {
+            // A client that dropped its ticket just doesn't hear the
+            // answer.
+            let _ = reply.send(result);
+        }
+    }
+}
+
+impl Drop for ReplyGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(reply) = self.reply.take() {
+            let _ = reply.send(Err(ServiceError::WorkerDied));
+        }
+        self.overload.job_finished();
+    }
 }
 
 /// A running optimizer daemon: worker threads over a shared service.
@@ -30,6 +197,12 @@ pub struct Daemon {
     service: Arc<OptimizerService>,
     queue: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    gate: Arc<Gate>,
+    /// Arrival counter: every submission gets a sequence number,
+    /// admitted or not.
+    seq: AtomicU64,
+    queue_capacity: Option<usize>,
+    stale_serve: bool,
 }
 
 /// Claim on a submitted request's eventual response.
@@ -37,23 +210,39 @@ pub struct Daemon {
 pub struct Ticket(Receiver<Reply>);
 
 impl Ticket {
-    /// Block until the daemon answers. [`ServiceError::Shutdown`] if
-    /// the daemon stopped before serving the request.
+    /// Block until the daemon answers. Requests a clean shutdown
+    /// declined are answered [`ServiceError::Shutdown`] by the daemon
+    /// itself; a closed channel *without* an answer means the serving
+    /// worker died mid-request and surfaces as
+    /// [`ServiceError::WorkerDied`].
     pub fn wait(self) -> Reply {
-        self.0.recv().unwrap_or(Err(ServiceError::Shutdown))
+        self.0.recv().unwrap_or(Err(ServiceError::WorkerDied))
     }
 }
 
 impl Daemon {
-    /// Start `workers` threads (floored at 1) over the shared
-    /// service.
+    /// Start `workers` threads (floored at 1) over the shared service
+    /// with default overload policy (see [`DaemonConfig::new`]).
     pub fn spawn(service: Arc<OptimizerService>, workers: usize) -> Self {
+        Daemon::with_config(service, DaemonConfig::new(workers))
+    }
+
+    /// Start a daemon with explicit overload-control tuning.
+    pub fn with_config(service: Arc<OptimizerService>, config: DaemonConfig) -> Self {
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..workers.max(1))
+        let gate = Arc::new(Gate::default());
+        let shed_floor = config.shed_floor;
+        let stale_serve = config.stale_serve;
+        #[cfg(feature = "testkit")]
+        let chaos = config.chaos.clone();
+        let workers = (0..config.workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let service = Arc::clone(&service);
+                let gate = Arc::clone(&gate);
+                #[cfg(feature = "testkit")]
+                let chaos = chaos.clone();
                 std::thread::Builder::new()
                     .name(format!("sdp-service-worker-{i}"))
                     .spawn(move || loop {
@@ -64,17 +253,70 @@ impl Daemon {
                         let Ok(mut job) = job else {
                             return; // queue closed: daemon shut down
                         };
+                        // Hold dequeued work at the pause gate *before*
+                        // releasing its queue slot, so a paused
+                        // daemon's admission decisions depend only on
+                        // submission order (see module docs).
+                        let draining = gate.wait_until_open();
+                        let overload = service.overload_counters();
+                        overload.queue_left();
+                        if draining {
+                            let _ = job.reply.send(Err(ServiceError::Shutdown));
+                            continue;
+                        }
                         // The deadline is end-to-end: time spent
-                        // queued is time the optimizer doesn't get.
-                        let waited = job.submitted.elapsed();
+                        // queued is time the optimizer doesn't get. A
+                        // chaos schedule substitutes a virtual wait so
+                        // shed decisions replay deterministically.
+                        #[allow(unused_mut)]
+                        let mut waited = job.submitted.elapsed();
+                        #[cfg(feature = "testkit")]
+                        if let Some(w) = chaos.as_ref().and_then(|c| c.queue_wait(job.seq)) {
+                            waited = w;
+                        }
                         job.request.shrink_deadline(waited);
                         service.tracer().emit_with(|| {
                             sdp_trace::Event::new("queue_wait")
+                                .with("seq", job.seq)
                                 .with("wait_micros", waited.as_micros() as u64)
                         });
-                        // A client that dropped its ticket just
-                        // doesn't hear the answer.
-                        let _ = job.reply.send(service.get_plan(&job.request));
+                        // Deadline-aware shedding: at or below the
+                        // cheapest rung's floor, even GOO can't finish
+                        // — answer now instead of timing out later.
+                        let expired = match (shed_floor, job.request.deadline()) {
+                            (Some(floor), Some(remaining)) => remaining <= floor,
+                            _ => false,
+                        };
+                        if expired {
+                            if stale_serve {
+                                if let Some(resp) = service.serve_stale(&job.request) {
+                                    let _ = job.reply.send(Ok(resp));
+                                    continue;
+                                }
+                            }
+                            overload.record_shed_deadline();
+                            service.tracer().emit_with(|| {
+                                sdp_trace::Event::new("shed")
+                                    .with("seq", job.seq)
+                                    .with("reason", ShedReason::DeadlineExpired.label())
+                            });
+                            let _ = job
+                                .reply
+                                .send(Err(ServiceError::Shed(ShedReason::DeadlineExpired)));
+                            continue;
+                        }
+                        overload.job_started();
+                        let guard = ReplyGuard {
+                            reply: Some(job.reply),
+                            overload,
+                        };
+                        #[cfg(feature = "testkit")]
+                        if let Some(c) = &chaos {
+                            if c.take_worker_kill(job.seq) {
+                                panic!("injected worker kill (seq {})", job.seq);
+                            }
+                        }
+                        guard.complete(service.get_plan(&job.request));
                     })
                     .expect("spawning daemon worker")
             })
@@ -83,6 +325,10 @@ impl Daemon {
             service,
             queue: Some(tx),
             workers,
+            gate,
+            seq: AtomicU64::new(0),
+            queue_capacity: config.queue_capacity,
+            stale_serve: config.stale_serve,
         }
     }
 
@@ -96,14 +342,53 @@ impl Daemon {
         self.workers.len()
     }
 
+    /// Hold workers at the gate: dequeued jobs neither run nor
+    /// release their queue slot until [`resume`](Daemon::resume).
+    /// Lets tests and burst generators build a queue of known depth
+    /// so admission decisions are a pure function of submission
+    /// order.
+    pub fn pause(&self) {
+        self.gate.pause();
+    }
+
+    /// Reopen the gate; paused workers proceed.
+    pub fn resume(&self) {
+        self.gate.resume();
+    }
+
     /// Enqueue a request; the returned [`Ticket`] resolves to its
-    /// response.
+    /// response. With a bounded queue, a submission that finds it
+    /// full is answered immediately — from the stale shelf when
+    /// possible, else [`ServiceError::Shed`]`(QueueFull)` — and the
+    /// ticket resolves without ever queueing.
     pub fn submit(&self, request: ServiceRequest) -> Ticket {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let overload = self.service.overload_counters();
         let (reply, rx) = channel();
+        if let Some(cap) = self.queue_capacity {
+            if overload.queue_depth() >= cap as u64 {
+                if self.stale_serve {
+                    if let Some(resp) = self.service.serve_stale(&request) {
+                        let _ = reply.send(Ok(resp));
+                        return Ticket(rx);
+                    }
+                }
+                overload.record_shed_queue_full();
+                self.service.tracer().emit_with(|| {
+                    sdp_trace::Event::new("shed")
+                        .with("seq", seq)
+                        .with("reason", ShedReason::QueueFull.label())
+                });
+                let _ = reply.send(Err(ServiceError::Shed(ShedReason::QueueFull)));
+                return Ticket(rx);
+            }
+        }
+        overload.queue_entered();
         let job = Job {
             request,
             reply,
             submitted: Instant::now(),
+            seq,
         };
         self.queue
             .as_ref()
@@ -120,9 +405,25 @@ impl Daemon {
 
     /// Drain the queue, join every worker, and flush the durable
     /// store (if one is attached) so every served plan has reached the
-    /// segment log before the process exits.
+    /// segment log before the process exits. Queued jobs are *served*:
+    /// every outstanding [`Ticket`] resolves to a real answer. A
+    /// paused daemon is resumed first.
     pub fn shutdown(mut self) {
+        self.gate.resume();
         self.queue = None; // close the channel; workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.service.flush_store();
+    }
+
+    /// Immediate shutdown: jobs already being optimized finish, but
+    /// queued-but-unserved jobs are answered
+    /// [`ServiceError::Shutdown`] without running. Every outstanding
+    /// [`Ticket`] still resolves.
+    pub fn shutdown_now(mut self) {
+        self.gate.drain();
+        self.queue = None;
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -132,6 +433,7 @@ impl Daemon {
 
 impl Drop for Daemon {
     fn drop(&mut self) {
+        self.gate.resume();
         self.queue = None;
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -190,5 +492,97 @@ mod tests {
         let service = Arc::new(OptimizerService::with_defaults(Catalog::paper()));
         let daemon = Daemon::spawn(service, 2);
         daemon.shutdown(); // must not hang
+    }
+
+    #[test]
+    fn bounded_queue_sheds_deterministically_when_paused() {
+        let catalog = Catalog::paper();
+        let service = Arc::new(OptimizerService::with_defaults(catalog.clone()));
+        let daemon = Daemon::with_config(
+            Arc::clone(&service),
+            DaemonConfig::new(1)
+                .with_queue_capacity(2)
+                .without_stale_serve(),
+        );
+        daemon.pause();
+        let gen = QueryGenerator::new(&catalog, Topology::Chain(4), 5);
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|k| daemon.submit(ServiceRequest::query(gen.instance(k))))
+            .collect();
+        daemon.resume();
+        let replies: Vec<Reply> = tickets.into_iter().map(Ticket::wait).collect();
+        // Exactly the first `capacity` submissions were admitted; the
+        // rest shed at submit, whatever the worker was doing.
+        for reply in &replies[..2] {
+            assert!(reply.is_ok(), "{reply:?}");
+        }
+        for reply in &replies[2..] {
+            assert_eq!(
+                reply.as_ref().unwrap_err(),
+                &ServiceError::Shed(ShedReason::QueueFull)
+            );
+        }
+        let snap = service.overload_counters().snapshot();
+        assert_eq!(snap.shed_queue_full, 6);
+        assert_eq!(snap.queue_depth_hwm, 2);
+        assert_eq!(snap.queue_depth, 0, "drained");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_not_optimized() {
+        let catalog = Catalog::paper();
+        let service = Arc::new(OptimizerService::with_defaults(catalog.clone()));
+        let daemon = Daemon::spawn(Arc::clone(&service), 1);
+        let q = QueryGenerator::new(&catalog, Topology::Chain(4), 5).instance(0);
+        // A zero deadline is below the cheapest rung's floor by the
+        // time any worker sees it: deterministic shed.
+        let err = daemon
+            .execute(ServiceRequest::query(q).with_deadline(Duration::ZERO))
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Shed(ShedReason::DeadlineExpired));
+        let snap = service.overload_counters().snapshot();
+        assert_eq!(snap.shed_deadline, 1);
+        assert_eq!(
+            service.governor_snapshot().timeouts,
+            0,
+            "the optimizer never ran"
+        );
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_serves_queued_work() {
+        let catalog = Catalog::paper();
+        let service = Arc::new(OptimizerService::with_defaults(catalog.clone()));
+        let daemon = Daemon::spawn(service, 1);
+        daemon.pause();
+        let gen = QueryGenerator::new(&catalog, Topology::Chain(4), 5);
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|k| daemon.submit(ServiceRequest::query(gen.instance(k % 2))))
+            .collect();
+        daemon.shutdown(); // resumes, drains, joins
+        for t in tickets {
+            let reply = t.wait();
+            assert!(reply.is_ok(), "{reply:?}");
+        }
+    }
+
+    #[test]
+    fn shutdown_now_answers_queued_work_with_shutdown() {
+        let catalog = Catalog::paper();
+        let service = Arc::new(OptimizerService::with_defaults(catalog.clone()));
+        let daemon = Daemon::spawn(Arc::clone(&service), 2);
+        daemon.pause();
+        let gen = QueryGenerator::new(&catalog, Topology::Chain(4), 5);
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|k| daemon.submit(ServiceRequest::query(gen.instance(k))))
+            .collect();
+        daemon.shutdown_now();
+        for t in tickets {
+            assert_eq!(t.wait().unwrap_err(), ServiceError::Shutdown);
+        }
+        // The queue gauge is released even for refused jobs.
+        assert_eq!(service.overload_counters().snapshot().queue_depth, 0);
     }
 }

@@ -27,6 +27,18 @@
 //! * [`daemon`] — a worker-pool front ([`Daemon`]) that serves
 //!   requests from plain threads, charging queue-wait time against
 //!   each request's deadline. Shutdown flushes the durable store;
+//! * **overload control** — [`DaemonConfig`] bounds the admission
+//!   queue (full queue → immediate [`ServiceError::Shed`]) and sheds
+//!   dequeued jobs whose remaining deadline can't cover even the
+//!   cheapest rung; under pressure, fingerprints with an
+//!   epoch-evicted plan on the *stale shelf* are served that plan
+//!   (tagged [`PlanSource::Stale`]) instead of being shed. A
+//!   per-fingerprint circuit breaker opens after
+//!   `breaker_threshold` consecutive ladder exhaustions: arrivals
+//!   fail fast into the DLQ ([`ServiceError::BreakerOpen`]) and
+//!   every `breaker_probe_every`-th arrival probes for recovery —
+//!   all decisions are counted, never wall-clock, so they replay
+//!   bit-identically across thread counts;
 //! * **durability** — attach an `sdp-store` plan store with
 //!   [`OptimizerService::with_store`]: fresh plans are persisted from
 //!   a write-behind thread, and on the next startup the segment log is
@@ -75,10 +87,10 @@ pub mod service;
 pub mod singleflight;
 
 pub use cache::{Lookup, ShardedLru};
-pub use daemon::{Daemon, Ticket};
+pub use daemon::{Daemon, DaemonConfig, Ticket};
 pub use fingerprint::{fingerprint_query, Fingerprint};
 pub use service::{
     CachedPlan, OptimizerService, PlanSource, ServiceConfig, ServiceError, ServiceRequest,
-    ServiceResponse,
+    ServiceResponse, ShedReason,
 };
 pub use singleflight::{Flight, LeaderToken, SingleFlight};

@@ -17,7 +17,9 @@
 //! 5. record hit/miss/coalesced/evicted counters and per-strategy
 //!    latency into `sdp-metrics`.
 
+use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -27,8 +29,8 @@ use sdp_core::{
     Optimizer, PlanNode, Rung,
 };
 use sdp_metrics::{
-    CountersSnapshot, GovernorCounters, GovernorSnapshot, MetricsReport, RungLatencies,
-    ServiceCounters, StoreCounters, StrategyLatencies,
+    CountersSnapshot, GovernorCounters, GovernorSnapshot, MetricsReport, OverloadCounters,
+    RungLatencies, ServiceCounters, StoreCounters, StrategyLatencies,
 };
 use sdp_query::canon::stable_hash;
 use sdp_query::Query;
@@ -58,6 +60,14 @@ pub struct ServiceConfig {
     /// Pair-enumeration strategy override; `None` inherits the
     /// optimizer default (`SDP_ENUMERATOR` env or `LevelScan`).
     pub enumerator: Option<sdp_core::EnumeratorKind>,
+    /// Consecutive ladder-exhaustion / leader-panic failures on one
+    /// fingerprint before its circuit breaker opens (0 disables the
+    /// breaker entirely).
+    pub breaker_threshold: u32,
+    /// While a breaker is open, every Nth arrival is admitted as a
+    /// half-open recovery probe (counted, never wall-clock; floored
+    /// at 1, where every arrival probes).
+    pub breaker_probe_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -67,6 +77,8 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             parallelism: None,
             enumerator: None,
+            breaker_threshold: 3,
+            breaker_probe_every: 4,
         }
     }
 }
@@ -80,6 +92,10 @@ pub enum PlanSource {
     Cache,
     /// Coalesced onto another request's in-flight enumeration.
     Coalesced,
+    /// Served from the stale shelf under admission pressure: a plan
+    /// optimized under an older statistics epoch, handed back as a
+    /// degraded answer instead of shedding the request outright.
+    Stale,
 }
 
 /// A plan as stored in (and served from) the cache.
@@ -209,6 +225,26 @@ pub struct ServiceResponse {
     pub plans_costed: u64,
 }
 
+/// Why admission control shed a request before optimization ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The daemon's bounded admission queue was full at submit.
+    QueueFull,
+    /// The deadline remaining after charged queue-wait was below the
+    /// cheapest rung's floor — the run could only have timed out.
+    DeadlineExpired,
+}
+
+impl ShedReason {
+    /// Short display label (used in trace events).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::DeadlineExpired => "deadline-expired",
+        }
+    }
+}
+
 /// Request-path errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {
@@ -221,6 +257,19 @@ pub enum ServiceError {
     /// message is preserved). The flight is abandoned, so waiters
     /// retry rather than hang.
     LeaderPanicked(String),
+    /// Admission control shed the request without optimizing —
+    /// deterministic load shedding, not a fault.
+    Shed(ShedReason),
+    /// The fingerprint's circuit breaker was open and this arrival was
+    /// not a scheduled half-open probe; the rejection is serialized to
+    /// the dead-letter queue.
+    BreakerOpen {
+        /// Consecutive failures recorded when the breaker opened.
+        failures: u32,
+    },
+    /// A daemon worker died before replying — an internal error,
+    /// distinct from a clean [`ServiceError::Shutdown`].
+    WorkerDied,
     /// The daemon shut down before answering.
     Shutdown,
 }
@@ -231,12 +280,141 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Sql(e) => write!(f, "sql: {e}"),
             ServiceError::Opt(e) => write!(f, "optimizer: {e}"),
             ServiceError::LeaderPanicked(msg) => write!(f, "leader panicked: {msg}"),
+            ServiceError::Shed(reason) => write!(f, "shed: {}", reason.label()),
+            ServiceError::BreakerOpen { failures } => {
+                write!(f, "circuit breaker open ({failures} consecutive failures)")
+            }
+            ServiceError::WorkerDied => write!(f, "daemon worker died before replying"),
             ServiceError::Shutdown => write!(f, "service shut down"),
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
+
+/// Per-fingerprint circuit-breaker state. Keyed by the *raw*
+/// fingerprint rather than the plan key: a query that poisons the
+/// ladder does so regardless of the pinned strategy or enumerator, so
+/// every variant trips — and recovers — together.
+#[derive(Debug)]
+struct Breaker {
+    entries: Mutex<HashMap<u128, BreakerEntry>>,
+    /// Number of fingerprints with tracked failure state; lets the
+    /// request hot path skip the lock while everything is healthy.
+    tracked: AtomicU64,
+    threshold: u32,
+    probe_every: u64,
+}
+
+#[derive(Debug, Default)]
+struct BreakerEntry {
+    consecutive_failures: u32,
+    open: bool,
+    arrivals_while_open: u64,
+}
+
+/// Admission decision for one arrival.
+enum BreakerVerdict {
+    /// Closed (or untracked): proceed normally.
+    Proceed,
+    /// Open, but this arrival is the scheduled half-open probe.
+    Probe,
+    /// Open: fail fast without optimizing.
+    Reject {
+        /// Consecutive failures recorded when the breaker opened.
+        failures: u32,
+    },
+}
+
+/// What a recorded success meant for the fingerprint's breaker.
+enum BreakerSuccess {
+    /// No state was tracked (the common healthy path).
+    Untracked,
+    /// A closed entry's failure streak was reset.
+    Reset,
+    /// An *open* breaker closed — the half-open probe succeeded.
+    Recovered,
+}
+
+impl Breaker {
+    fn new(threshold: u32, probe_every: u64) -> Self {
+        Breaker {
+            entries: Mutex::new(HashMap::new()),
+            tracked: AtomicU64::new(0),
+            threshold,
+            probe_every: probe_every.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u128, BreakerEntry>> {
+        self.entries.lock().expect("breaker lock poisoned")
+    }
+
+    /// Gate one arrival. Open breakers count arrivals and admit every
+    /// `probe_every`-th one as a half-open probe — a logical clock, so
+    /// the decision sequence is identical across thread counts.
+    fn admit(&self, fp: u128) -> BreakerVerdict {
+        if self.tracked.load(Ordering::Relaxed) == 0 {
+            return BreakerVerdict::Proceed;
+        }
+        let mut entries = self.lock();
+        match entries.get_mut(&fp) {
+            Some(entry) if entry.open => {
+                entry.arrivals_while_open += 1;
+                if entry.arrivals_while_open % self.probe_every == 0 {
+                    BreakerVerdict::Probe
+                } else {
+                    BreakerVerdict::Reject {
+                        failures: entry.consecutive_failures,
+                    }
+                }
+            }
+            _ => BreakerVerdict::Proceed,
+        }
+    }
+
+    /// Record a ladder-exhaustion / leader-panic failure. Returns the
+    /// consecutive-failure count when *this* failure tripped the
+    /// breaker open (exactly at the threshold), `None` otherwise.
+    fn record_failure(&self, fp: u128) -> Option<u32> {
+        if self.threshold == 0 {
+            return None;
+        }
+        let mut entries = self.lock();
+        let entry = entries.entry(fp).or_insert_with(|| {
+            self.tracked.fetch_add(1, Ordering::Relaxed);
+            BreakerEntry::default()
+        });
+        entry.consecutive_failures += 1;
+        if !entry.open && entry.consecutive_failures >= self.threshold {
+            entry.open = true;
+            entry.arrivals_while_open = 0;
+            Some(entry.consecutive_failures)
+        } else {
+            None
+        }
+    }
+
+    /// Record a served plan for the fingerprint, clearing any tracked
+    /// failure streak.
+    fn record_success(&self, fp: u128) -> BreakerSuccess {
+        if self.tracked.load(Ordering::Relaxed) == 0 {
+            return BreakerSuccess::Untracked;
+        }
+        let mut entries = self.lock();
+        match entries.remove(&fp) {
+            Some(entry) => {
+                self.tracked.fetch_sub(1, Ordering::Relaxed);
+                if entry.open {
+                    BreakerSuccess::Recovered
+                } else {
+                    BreakerSuccess::Reset
+                }
+            }
+            None => BreakerSuccess::Untracked,
+        }
+    }
+}
 
 impl From<SqlError> for ServiceError {
     fn from(e: SqlError) -> Self {
@@ -269,6 +447,13 @@ pub struct OptimizerService {
     /// construction (config override or `SDP_ENUMERATOR`): part of the
     /// plan-cache key, so it must not drift between requests.
     enumerator: EnumeratorKind,
+    /// Overload-control counters: sheds, stale serves, breaker
+    /// transitions, queue/in-flight gauges.
+    overload: OverloadCounters,
+    /// Epoch-evicted plans parked for stale-serve degraded mode,
+    /// keyed like the cache and bounded at the cache capacity.
+    stale_shelf: Mutex<HashMap<u128, CachedPlan>>,
+    breaker: Breaker,
     config: ServiceConfig,
     #[cfg(feature = "testkit")]
     store_faults: Option<sdp_testkit::FaultPlan>,
@@ -325,6 +510,7 @@ impl OptimizerService {
     /// Service over an initial catalog with the given tuning.
     pub fn new(catalog: Catalog, config: ServiceConfig) -> Self {
         let enumerator = config.enumerator.unwrap_or_else(EnumeratorKind::from_env);
+        let breaker = Breaker::new(config.breaker_threshold, config.breaker_probe_every);
         OptimizerService {
             catalog: RwLock::new(Arc::new(catalog)),
             cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
@@ -338,6 +524,9 @@ impl OptimizerService {
             dlq: None,
             tracer: Tracer::disabled(),
             enumerator,
+            overload: OverloadCounters::new(),
+            stale_shelf: Mutex::new(HashMap::new()),
+            breaker,
             config,
             #[cfg(feature = "testkit")]
             store_faults: None,
@@ -473,8 +662,16 @@ impl OptimizerService {
             rungs: self.rung_latencies.snapshot(),
             alloc: sdp_metrics::alloc::snapshot(),
             store: self.store_counters.snapshot(),
+            overload: self.overload.snapshot(),
             cached_plans: self.cache.len() as u64,
         }
+    }
+
+    /// Overload-control counters (sheds, stale serves, breaker
+    /// transitions, queue gauges) — live handle; the daemon records
+    /// its admission decisions here.
+    pub fn overload_counters(&self) -> &OverloadCounters {
+        &self.overload
     }
 
     /// The current catalog snapshot.
@@ -569,6 +766,69 @@ impl OptimizerService {
         }
     }
 
+    /// Park an epoch-evicted plan on the stale shelf (bounded at the
+    /// cache capacity) so stale-serve degraded mode can hand it back
+    /// under admission pressure.
+    fn shelve(&self, key: u128, plan: CachedPlan) {
+        let mut shelf = self.stale_shelf.lock().expect("stale shelf poisoned");
+        if shelf.len() < self.config.cache_capacity || shelf.contains_key(&key) {
+            shelf.insert(key, plan);
+        }
+    }
+
+    fn note_breaker_failure(&self, fingerprint: Fingerprint) {
+        if let Some(failures) = self.breaker.record_failure(fingerprint.0) {
+            self.overload.record_breaker_trip();
+            self.tracer.emit_with(|| {
+                Event::new("breaker_open")
+                    .with("fingerprint", fp_hex(fingerprint))
+                    .with("failures", u64::from(failures))
+            });
+        }
+    }
+
+    fn note_breaker_success(&self, fingerprint: Fingerprint) {
+        if let BreakerSuccess::Recovered = self.breaker.record_success(fingerprint.0) {
+            self.overload.record_breaker_recovery();
+            self.tracer
+                .emit_with(|| Event::new("breaker_close").with("fingerprint", fp_hex(fingerprint)));
+        }
+    }
+
+    /// Degraded-mode lookup: serve the request from the stale shelf —
+    /// a plan optimized under an older statistics epoch — without
+    /// enumerating. Returns `None` when the request can't be bound or
+    /// nothing is shelved for its key; the daemon tries this before
+    /// shedding under admission pressure.
+    pub fn serve_stale(&self, request: &ServiceRequest) -> Option<ServiceResponse> {
+        let catalog = self.catalog();
+        let query = match &request.spec {
+            QuerySpec::Sql(text) => sdp_sql::parse_query(&catalog, text).ok()?,
+            QuerySpec::Query(q) => q.clone(),
+        };
+        let algorithm = request.algorithm.unwrap_or_else(|| select::choose(&query));
+        let fingerprint = fingerprint_query(&catalog, &query);
+        let key = plan_key(fingerprint, algorithm, self.enumerator);
+        let plan = self
+            .stale_shelf
+            .lock()
+            .expect("stale shelf poisoned")
+            .get(&key)
+            .cloned()?;
+        self.overload.record_served_stale();
+        self.tracer.emit_with(|| {
+            Event::new("served_stale")
+                .with("fingerprint", fp_hex(fingerprint))
+                .with("rung", plan.strategy.clone())
+                .with("stats_epoch", plan.stats_epoch)
+        });
+        Some(ServiceResponse {
+            plan,
+            source: PlanSource::Stale,
+            plans_costed: 0,
+        })
+    }
+
     /// Serve one request: bind, fingerprint, probe the cache, and
     /// enumerate (or coalesce) on a miss.
     pub fn get_plan(&self, request: &ServiceRequest) -> Result<ServiceResponse, ServiceError> {
@@ -582,10 +842,44 @@ impl OptimizerService {
         let key = plan_key(fingerprint, algorithm, self.enumerator);
         let epoch = catalog.stats_epoch();
 
+        // Circuit-breaker gate: a fingerprint that exhausted the
+        // ladder `breaker_threshold` times in a row fails fast here
+        // (straight into the DLQ) instead of burning another full
+        // ladder walk. Every `breaker_probe_every`-th arrival is
+        // admitted as the half-open recovery probe.
+        match self.breaker.admit(fingerprint.0) {
+            BreakerVerdict::Proceed => {}
+            BreakerVerdict::Probe => {
+                self.overload.record_breaker_probe();
+                self.tracer.emit_with(|| {
+                    Event::new("breaker_probe").with("fingerprint", fp_hex(fingerprint))
+                });
+            }
+            BreakerVerdict::Reject { failures } => {
+                self.overload.record_breaker_rejection();
+                self.tracer.emit_with(|| {
+                    Event::new("breaker_reject")
+                        .with("fingerprint", fp_hex(fingerprint))
+                        .with("failures", u64::from(failures))
+                });
+                self.enqueue_dead_letter(
+                    &catalog,
+                    &query,
+                    fingerprint,
+                    request,
+                    DlqErrorKind::BreakerOpen,
+                    format!("circuit breaker open ({failures} consecutive failures)"),
+                    &[],
+                );
+                return Err(ServiceError::BreakerOpen { failures });
+            }
+        }
+
         loop {
             match self.cache.get(key, epoch) {
                 Lookup::Hit(plan) => {
                     self.counters.record_hit();
+                    self.note_breaker_success(fingerprint);
                     if plan.warm {
                         self.store_counters.record_warm_hit();
                     }
@@ -602,12 +896,13 @@ impl OptimizerService {
                         plans_costed: 0,
                     });
                 }
-                // The evicted value is dropped here; `CachedPlan::rung`
-                // records which ladder rung produced it, so smarter
-                // policies (e.g. re-optimizing stale GOO plans first)
-                // can inspect it before letting go.
-                Lookup::Stale(_stale) => {
+                // The evicted value is parked on the stale shelf: under
+                // admission pressure the daemon hands it back (tagged
+                // [`PlanSource::Stale`]) rather than shedding the
+                // request outright.
+                Lookup::Stale(stale) => {
                     self.counters.add_stale_evicted(1);
+                    self.shelve(key, stale);
                     self.tracer.emit_with(|| {
                         Event::new("cache_stale")
                             .with("fingerprint", fp_hex(fingerprint))
@@ -699,6 +994,10 @@ impl OptimizerService {
                                         format!("{e}"),
                                         &degradations,
                                     );
+                                    // Only replayable exhaustion feeds
+                                    // the breaker — a semantic error
+                                    // is not a poison signal.
+                                    self.note_breaker_failure(fingerprint);
                                 }
                                 return Err(e.into());
                             }
@@ -737,6 +1036,7 @@ impl OptimizerService {
                                             message.clone(),
                                             &[],
                                         );
+                                        self.note_breaker_failure(fingerprint);
                                         return Err(ServiceError::LeaderPanicked(message));
                                     }
                                 }
@@ -779,6 +1079,13 @@ impl OptimizerService {
                     );
                     let evicted = self.cache.insert(key, plan.clone(), epoch);
                     self.counters.add_evicted(evicted);
+                    // A current-epoch plan supersedes any shelved
+                    // stale one for the key.
+                    self.stale_shelf
+                        .lock()
+                        .expect("stale shelf poisoned")
+                        .remove(&key);
+                    self.note_breaker_success(fingerprint);
                     if let Some(store) = &self.store {
                         // Write-behind: the request returns without
                         // waiting on storage. The record carries the
@@ -864,8 +1171,14 @@ impl OptimizerService {
             *guard = Arc::new(next);
             epoch
         };
+        // Harvest the purge onto the stale shelf: the outgoing plans
+        // are exactly what stale-serve degraded mode wants to hand
+        // back under admission pressure.
         let purged = self.cache.purge_stale(epoch);
-        self.counters.add_stale_evicted(purged);
+        self.counters.add_stale_evicted(purged.len() as u64);
+        for (key, plan) in purged {
+            self.shelve(key, plan);
+        }
         epoch
     }
 }
@@ -1302,6 +1615,121 @@ mod tests {
         assert_eq!(record.memory_bytes, Some(0));
         assert!(record.sql.contains("SELECT"), "{}", record.sql);
         assert_eq!(record.query.graph.relations(), q.graph.relations());
+    }
+
+    #[test]
+    fn breaker_trips_after_exact_threshold_and_recovers_via_probe() {
+        let dir = temp_dir("breaker");
+        let catalog = Catalog::paper();
+        let service = OptimizerService::new(catalog.clone(), ServiceConfig::default())
+            .with_dlq(&dir)
+            .unwrap();
+        let q = QueryGenerator::new(&catalog, Topology::Star(9), 7).instance(0);
+        // A zero-byte memory budget exhausts every rung: poison.
+        let poison = ServiceRequest::query(q.clone())
+            .with_algorithm(Algorithm::Dp)
+            .with_memory_budget(0);
+
+        // K-1 failures leave the breaker closed; arrivals still run.
+        for _ in 0..2 {
+            let err = service.get_plan(&poison).unwrap_err();
+            assert!(matches!(err, ServiceError::Opt(_)), "{err}");
+        }
+        assert_eq!(service.overload_counters().snapshot().breaker_trips, 0);
+        // The Kth consecutive failure trips it.
+        service.get_plan(&poison).unwrap_err();
+        assert_eq!(service.overload_counters().snapshot().breaker_trips, 1);
+
+        // While open, arrivals for the same *fingerprint* — even a
+        // plain request without the poison pin — fail fast into the
+        // DLQ without optimizing.
+        for i in 1..4u64 {
+            let err = service
+                .get_plan(&ServiceRequest::query(q.clone()))
+                .unwrap_err();
+            assert_eq!(
+                err,
+                ServiceError::BreakerOpen { failures: 3 },
+                "arrival {i}"
+            );
+        }
+        let snap = service.overload_counters().snapshot();
+        assert_eq!(snap.breaker_rejections, 3);
+        // 3 ladder exhaustions + 3 breaker rejections, all captured.
+        assert_eq!(service.dlq_depth(), 6);
+
+        // The 4th open arrival is the half-open probe: it runs, the
+        // plain request succeeds, and the breaker closes.
+        let resp = service.get_plan(&ServiceRequest::query(q.clone())).unwrap();
+        assert_eq!(resp.source, PlanSource::Fresh);
+        let snap = service.overload_counters().snapshot();
+        assert_eq!(snap.breaker_probes, 1);
+        assert_eq!(snap.breaker_recoveries, 1);
+
+        // Closed again: the next arrival serves from cache, and no
+        // further rejections accrue.
+        let resp = service.get_plan(&ServiceRequest::query(q)).unwrap();
+        assert_eq!(resp.source, PlanSource::Cache);
+        assert_eq!(service.overload_counters().snapshot().breaker_rejections, 3);
+    }
+
+    #[test]
+    fn failed_probe_keeps_the_breaker_open() {
+        let catalog = Catalog::paper();
+        let service = OptimizerService::with_defaults(catalog.clone());
+        let q = QueryGenerator::new(&catalog, Topology::Star(9), 2).instance(0);
+        let poison = ServiceRequest::query(q.clone())
+            .with_algorithm(Algorithm::Dp)
+            .with_memory_budget(0);
+        for _ in 0..3 {
+            service.get_plan(&poison).unwrap_err();
+        }
+        // Walk to the probe slot (arrivals 1-3 rejected, 4th probes);
+        // the probe re-runs the poison and fails again.
+        for _ in 0..3 {
+            service.get_plan(&poison).unwrap_err();
+        }
+        let err = service.get_plan(&poison).unwrap_err();
+        assert!(matches!(err, ServiceError::Opt(_)), "probe ran: {err}");
+        let snap = service.overload_counters().snapshot();
+        assert_eq!(snap.breaker_probes, 1);
+        assert_eq!(snap.breaker_recoveries, 0, "failed probe stays open");
+        // Next arrival is rejected again: still open.
+        let err = service.get_plan(&poison).unwrap_err();
+        assert!(matches!(err, ServiceError::BreakerOpen { .. }), "{err}");
+    }
+
+    #[test]
+    fn epoch_evicted_plans_are_shelved_and_served_stale() {
+        let catalog = Catalog::paper();
+        let service = OptimizerService::with_defaults(catalog.clone());
+        let q = QueryGenerator::new(&catalog, Topology::Chain(5), 3).instance(0);
+        let request = ServiceRequest::query(q);
+        assert!(
+            service.serve_stale(&request).is_none(),
+            "nothing shelved yet"
+        );
+
+        let fresh = service.get_plan(&request).unwrap();
+        let old_epoch = fresh.plan.stats_epoch;
+        service.bump_stats_epoch();
+
+        // The eager purge harvested the entry onto the shelf.
+        let stale = service.serve_stale(&request).expect("shelved plan");
+        assert_eq!(stale.source, PlanSource::Stale);
+        assert_eq!(stale.plan.stats_epoch, old_epoch);
+        assert_eq!(
+            stale.plan.root.structural_digest(),
+            fresh.plan.root.structural_digest()
+        );
+        assert_eq!(stale.plans_costed, 0);
+        assert_eq!(service.overload_counters().snapshot().served_stale, 1);
+
+        // A fresh re-optimization under the new epoch unshelves the
+        // key: stale-serve must never shadow a current plan.
+        let reopt = service.get_plan(&request).unwrap();
+        assert_eq!(reopt.source, PlanSource::Fresh);
+        assert!(service.serve_stale(&request).is_none());
     }
 
     #[test]

@@ -16,6 +16,7 @@ fn small_config() -> ServiceConfig {
         cache_shards: 4,
         parallelism: None,
         enumerator: None,
+        ..ServiceConfig::default()
     }
 }
 
@@ -228,6 +229,7 @@ fn capacity_pressure_evicts_lru_entries() {
             cache_shards: 1,
             parallelism: None,
             enumerator: None,
+            ..ServiceConfig::default()
         },
     );
     let gen = QueryGenerator::new(&catalog, Topology::Chain(4), 17);

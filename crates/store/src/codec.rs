@@ -95,6 +95,9 @@ pub enum DlqErrorKind {
     LeaderPanicked,
     /// Any other terminal error.
     Other,
+    /// The fingerprint's circuit breaker was open: the request was
+    /// rejected fast without entering enumeration.
+    BreakerOpen,
 }
 
 impl DlqErrorKind {
@@ -105,6 +108,7 @@ impl DlqErrorKind {
             DlqErrorKind::Cancelled => 3,
             DlqErrorKind::LeaderPanicked => 4,
             DlqErrorKind::Other => 5,
+            DlqErrorKind::BreakerOpen => 6,
         }
     }
 
@@ -115,6 +119,7 @@ impl DlqErrorKind {
             3 => Some(DlqErrorKind::Cancelled),
             4 => Some(DlqErrorKind::LeaderPanicked),
             5 => Some(DlqErrorKind::Other),
+            6 => Some(DlqErrorKind::BreakerOpen),
             _ => None,
         }
     }
@@ -127,6 +132,7 @@ impl DlqErrorKind {
             DlqErrorKind::Cancelled => "cancelled",
             DlqErrorKind::LeaderPanicked => "leader-panicked",
             DlqErrorKind::Other => "other",
+            DlqErrorKind::BreakerOpen => "breaker-open",
         }
     }
 }

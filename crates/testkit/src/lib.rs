@@ -192,6 +192,137 @@ impl FaultPlan {
     }
 }
 
+#[derive(Debug, Default)]
+struct ChaosInner {
+    /// Arrival sequence number → virtual queue wait charged against
+    /// that request's deadline (replaces the measured wall-clock wait).
+    queue_waits: BTreeMap<u64, Duration>,
+    /// Arrival sequence numbers the harness should turn into poison
+    /// requests (e.g. a zero memory budget that exhausts the ladder).
+    poison: std::collections::BTreeSet<u64>,
+    /// Arrival sequence numbers whose worker dies mid-reply (consumed
+    /// one at a time, like leader panics).
+    worker_kills: std::collections::BTreeSet<u64>,
+    /// Burst arrival pattern: sizes of consecutive submission bursts.
+    /// The harness submits each burst with the daemon paused, so
+    /// admission decisions depend only on arrival order.
+    bursts: Vec<usize>,
+}
+
+/// A deterministic chaos schedule for the service daemon's overload
+/// layer, keyed on **arrival sequence numbers** — the daemon counts
+/// every submission (admitted or shed) with a monotonic counter, so a
+/// schedule trips at the same logical arrival regardless of worker
+/// count, `SDP_THREADS`, or wall-clock timing. Cloning is cheap and
+/// clones share state, mirroring [`FaultPlan`].
+///
+/// What it can script:
+/// * **virtual queue waits** ([`with_queue_wait`](Self::with_queue_wait))
+///   — the wait charged against a request's deadline before the worker
+///   optimizes, replacing the measured wall-clock wait so
+///   deadline-shedding decisions are reproducible;
+/// * **poison arrivals** ([`with_poison`](Self::with_poison)) — which
+///   arrivals the test harness should submit with a poisoned budget,
+///   for circuit-breaker scripts;
+/// * **worker kills** ([`with_worker_kill`](Self::with_worker_kill)) —
+///   which arrivals' worker panics mid-reply, for `Ticket::wait`
+///   disconnect-vs-shutdown tests;
+/// * **burst patterns** ([`with_bursts`](Self::with_bursts)) — how the
+///   harness groups submissions into paused bursts.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosSchedule {
+    inner: Arc<Mutex<ChaosInner>>,
+}
+
+impl ChaosSchedule {
+    /// An empty schedule (injects nothing).
+    pub fn new() -> Self {
+        ChaosSchedule::default()
+    }
+
+    /// Charge arrival `seq` (counted from 0) a virtual queue wait of
+    /// `wait` instead of its measured wall-clock wait.
+    pub fn with_queue_wait(self, seq: u64, wait: Duration) -> Self {
+        self.inner
+            .lock()
+            .expect("chaos schedule poisoned")
+            .queue_waits
+            .insert(seq, wait);
+        self
+    }
+
+    /// Mark arrival `seq` as a poison request (the harness submits it
+    /// with a budget that exhausts the ladder).
+    pub fn with_poison(self, seq: u64) -> Self {
+        self.inner
+            .lock()
+            .expect("chaos schedule poisoned")
+            .poison
+            .insert(seq);
+        self
+    }
+
+    /// Kill the worker serving arrival `seq` mid-reply (it panics
+    /// after dequeuing, before answering). Consumed when taken.
+    pub fn with_worker_kill(self, seq: u64) -> Self {
+        self.inner
+            .lock()
+            .expect("chaos schedule poisoned")
+            .worker_kills
+            .insert(seq);
+        self
+    }
+
+    /// Group submissions into paused bursts of the given sizes.
+    pub fn with_bursts(self, sizes: &[usize]) -> Self {
+        self.inner
+            .lock()
+            .expect("chaos schedule poisoned")
+            .bursts
+            .extend_from_slice(sizes);
+        self
+    }
+
+    /// The virtual queue wait scheduled for arrival `seq`, if any.
+    pub fn queue_wait(&self, seq: u64) -> Option<Duration> {
+        self.inner
+            .lock()
+            .expect("chaos schedule poisoned")
+            .queue_waits
+            .get(&seq)
+            .copied()
+    }
+
+    /// Whether arrival `seq` is scripted as poison.
+    pub fn is_poison(&self, seq: u64) -> bool {
+        self.inner
+            .lock()
+            .expect("chaos schedule poisoned")
+            .poison
+            .contains(&seq)
+    }
+
+    /// Consume the worker-kill scheduled for arrival `seq`. Returns
+    /// `true` when one was armed (the worker should now panic).
+    pub fn take_worker_kill(&self, seq: u64) -> bool {
+        self.inner
+            .lock()
+            .expect("chaos schedule poisoned")
+            .worker_kills
+            .remove(&seq)
+    }
+
+    /// The scripted burst sizes (empty = submit everything in one
+    /// burst).
+    pub fn bursts(&self) -> Vec<usize> {
+        self.inner
+            .lock()
+            .expect("chaos schedule poisoned")
+            .bursts
+            .clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +375,30 @@ mod tests {
         assert!(plan.take_leader_panic("GOO"));
         assert_eq!(view.fired_panics("GOO"), 1);
         assert!(!view.take_leader_panic("GOO"));
+    }
+
+    #[test]
+    fn chaos_schedule_is_keyed_on_arrival_sequence() {
+        let chaos = ChaosSchedule::new()
+            .with_queue_wait(2, Duration::from_millis(40))
+            .with_poison(3)
+            .with_bursts(&[4, 8]);
+        assert_eq!(chaos.queue_wait(1), None);
+        assert_eq!(chaos.queue_wait(2), Some(Duration::from_millis(40)));
+        assert!(!chaos.is_poison(2));
+        assert!(chaos.is_poison(3));
+        assert_eq!(chaos.bursts(), vec![4, 8]);
+        // Waits and poison marks are pure reads, consultable repeatedly.
+        assert_eq!(chaos.queue_wait(2), Some(Duration::from_millis(40)));
+        assert!(chaos.is_poison(3));
+    }
+
+    #[test]
+    fn chaos_worker_kills_are_consumed_and_shared_across_clones() {
+        let chaos = ChaosSchedule::new().with_worker_kill(5);
+        let view = chaos.clone();
+        assert!(!chaos.take_worker_kill(4));
+        assert!(chaos.take_worker_kill(5));
+        assert!(!view.take_worker_kill(5), "kill fires exactly once");
     }
 }

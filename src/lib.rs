@@ -73,7 +73,8 @@ pub mod prelude {
         ColRef, JoinEdge, JoinGraph, PredOp, Predicate, Query, QueryGenerator, RelSet, Topology,
     };
     pub use sdp_service::{
-        Daemon, Fingerprint, OptimizerService, PlanSource, ServiceConfig, ServiceRequest,
+        Daemon, DaemonConfig, Fingerprint, OptimizerService, PlanSource, ServiceConfig,
+        ServiceError, ServiceRequest, ShedReason,
     };
     pub use sdp_sql::{parse_query, render_sql};
 }
