@@ -1,0 +1,146 @@
+//! Observability overhead guard: the flight recorder and the Q-error
+//! instrumentation must each cost < 2 % on the paths that pay for
+//! them when enabled, and nothing on the paths that don't.
+//!
+//! Three comparisons, each a baseline/instrumented pair on the same
+//! workload:
+//!
+//! * `request_path` / `fresh_path`: requests through the service with
+//!   a `NullSink` tracer vs a `FlightRecorder` sink (ring only, no
+//!   durable log — the log write is I/O, measured by the smoke, not a
+//!   CPU overhead question). Both columns pay span construction, so
+//!   the delta isolates the recorder. The warm hit is the worst case
+//!   (one projected event against microseconds of work); the fresh
+//!   path is what the 2 % budget is judged on.
+//! * `execute_path`: `execute()` vs `execute_observed()` on a
+//!   materialized star-chain join — the observed variant pays one
+//!   post-order `NodeObservation` push (two `String` clones and a
+//!   detail render) per plan node.
+//! * `aggregation`: folding a realistic observation batch into the
+//!   `QErrorObservatory` — not a baseline pair, just a ceiling check
+//!   that aggregation stays far below execution cost.
+//!
+//! The plain-`execute` column doubles as the `--no-default-features`
+//! discipline check: observation is threaded as an `Option` that the
+//! un-observed path never constructs, so the baseline column here IS
+//! the uninstrumented cost. Recorded results live in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdp_bench::paper_query;
+use sdp_catalog::Catalog;
+use sdp_core::{Algorithm, Optimizer};
+use sdp_engine::{execute, execute_observed, scaled_catalog, Database};
+use sdp_obs::{FlightRecorder, Observation, QErrorObservatory, DEFAULT_FLIGHT_CAPACITY};
+use sdp_query::{QueryGenerator, Topology};
+use sdp_service::{OptimizerService, ServiceConfig, ServiceRequest};
+use sdp_trace::{NullSink, TraceSink, Tracer};
+use std::sync::Arc;
+
+/// Both columns attach a tracer so both pay span construction — that
+/// cost belongs to the tracing guard (EXPERIMENTS.md, PR 5), not this
+/// one. The baseline drops events in a `NullSink`; the instrumented
+/// column projects them through the `FlightRecorder`, so the delta is
+/// exactly the recorder's filter + projection + ring push.
+fn service(catalog: &Catalog, recorder: Option<Arc<FlightRecorder>>) -> OptimizerService {
+    let config = ServiceConfig {
+        cache_capacity: 64,
+        cache_shards: 4,
+        parallelism: Some(1),
+        enumerator: None,
+        ..ServiceConfig::default()
+    };
+    let sink: Arc<dyn TraceSink> = match recorder {
+        Some(recorder) => recorder,
+        None => Arc::new(NullSink),
+    };
+    OptimizerService::new(catalog.clone(), config).with_tracer(Tracer::new(sink))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(10);
+
+    // Warm-hit request path: one fingerprint pass + one shard probe,
+    // with and without a flight-recorder sink projecting the event.
+    let catalog = Catalog::paper();
+    let query = paper_query(&catalog, Topology::star_chain(9), 11, 0);
+    for (label, recorder) in [
+        ("baseline", None),
+        (
+            "flight_recorder",
+            Some(Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY))),
+        ),
+    ] {
+        let svc = service(&catalog, recorder);
+        let request = ServiceRequest::query(query.clone()).with_algorithm(Algorithm::Dp);
+        svc.get_plan(&request).expect("warm fill");
+        g.bench_with_input(
+            BenchmarkId::new("request_path", label),
+            &request,
+            |b, req| b.iter(|| svc.get_plan(req).expect("warm hit")),
+        );
+    }
+
+    // Fresh-optimization path: the realistic per-request cost the
+    // 2 % budget is measured against — a full enumeration with the
+    // recorder projecting its request event vs without.
+    for (label, recorder) in [
+        ("baseline", None),
+        (
+            "flight_recorder",
+            Some(Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY))),
+        ),
+    ] {
+        let svc = service(&catalog, recorder);
+        let request = ServiceRequest::query(query.clone()).with_algorithm(Algorithm::Dp);
+        g.bench_with_input(BenchmarkId::new("fresh_path", label), &request, |b, req| {
+            b.iter(|| {
+                svc.bump_stats_epoch();
+                svc.get_plan(req).expect("fresh optimization").plan.cost
+            })
+        });
+    }
+
+    // Execution path: the same plan over the same materialized data,
+    // plain vs observed.
+    let exec_catalog = scaled_catalog(8, 200, 11);
+    let db = Database::generate(&exec_catalog, 11);
+    let exec_query = QueryGenerator::new(&exec_catalog, Topology::star_chain(6), 11).instance(0);
+    let plan = Optimizer::new(&exec_catalog)
+        .optimize(&exec_query, Algorithm::Dp)
+        .expect("feasible");
+    g.bench_function(BenchmarkId::new("execute_path", "baseline"), |b| {
+        b.iter(|| execute(&plan.root, &exec_query, &exec_catalog, &db).expect("executes"))
+    });
+    g.bench_function(BenchmarkId::new("execute_path", "observed"), |b| {
+        b.iter(|| execute_observed(&plan.root, &exec_query, &exec_catalog, &db).expect("executes"))
+    });
+
+    // Aggregation ceiling: folding one executed plan's worth of
+    // observations (11 nodes) into a warm observatory.
+    let (_, nodes) =
+        execute_observed(&plan.root, &exec_query, &exec_catalog, &db).expect("executes");
+    let batch: Vec<Observation> = nodes
+        .iter()
+        .map(|n| Observation {
+            fingerprint: 0x5eed,
+            path: n.path.clone(),
+            kind: n.kind.clone(),
+            detail: n.detail.clone(),
+            estimated: n.estimated,
+            actual: n.actual,
+        })
+        .collect();
+    g.bench_function(BenchmarkId::new("aggregation", "observe_plan"), |b| {
+        let mut observatory = QErrorObservatory::new();
+        b.iter(|| {
+            observatory.observe_all(&batch);
+            observatory.observed()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

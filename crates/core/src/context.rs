@@ -118,6 +118,12 @@ pub struct LevelStats {
     pub memo_groups: u64,
     /// Modeled memory in bytes after the barrier.
     pub model_bytes: u64,
+    /// Atom-graph contractions in force while the level ran: compound
+    /// atoms (more than one base relation) the enumerator was asked to
+    /// treat as single vertices. Zero for a plain bottom-up run; IDP
+    /// re-invocations over already-joined subtrees report how much of
+    /// the graph arrived pre-contracted.
+    pub contractions: u64,
 }
 
 /// One worker's private slice of a level's enumeration results: new
@@ -162,6 +168,10 @@ pub struct EnumContext<'a> {
     pub sort_enforcers: u64,
     /// Set by the greedy completion fallback.
     pub completed_greedily: bool,
+    /// Compound atoms (contracted subtrees) in the current
+    /// enumeration, stamped onto every level row — see
+    /// [`LevelStats::contractions`].
+    contractions: u64,
     /// Per-level profile rows, one per completed level barrier.
     profile: Vec<LevelStats>,
     /// Strategy label stamped on profile rows (set by the dispatcher).
@@ -199,6 +209,7 @@ impl<'a> EnumContext<'a> {
             jcrs_pruned: 0,
             sort_enforcers: 0,
             completed_greedily: false,
+            contractions: 0,
             profile: Vec::new(),
             phase: "",
             #[cfg(feature = "trace")]
@@ -278,6 +289,18 @@ impl<'a> EnumContext<'a> {
     /// entry, including governed re-entries down the ladder.
     pub fn set_phase(&mut self, label: &'static str) {
         self.phase = label;
+    }
+
+    /// Record how many compound atoms (contracted subtrees) the
+    /// current enumeration runs over. Set per `run_levels_with`
+    /// invocation, right after the enumerator prepares its atom list.
+    pub fn set_contractions(&mut self, n: u64) {
+        self.contractions = n;
+    }
+
+    /// Compound atoms in force for the current enumeration.
+    pub fn contractions(&self) -> u64 {
+        self.contractions
     }
 
     /// The strategy label currently stamped on profile rows.

@@ -251,6 +251,7 @@ fn run_one_level<'p>(
         sort_enforcers: ctx.sort_enforcers - enforcers_before,
         memo_groups: ctx.memo.len() as u64,
         model_bytes: ctx.memory.used_bytes(),
+        contractions: ctx.contractions(),
     };
     ctx.record_level(stats);
     #[cfg(feature = "trace")]
@@ -277,6 +278,7 @@ fn level_event(stats: &LevelStats) -> sdp_trace::Event {
         .with("sort_enforcers", stats.sort_enforcers)
         .with("memo", stats.memo_groups)
         .with("model_bytes", stats.model_bytes)
+        .with("contractions", stats.contractions)
 }
 
 /// Run bottom-up DP over `atoms` (each must already have a memo
@@ -307,6 +309,11 @@ pub fn run_levels_with(
 ) -> Result<LevelTable, OptError> {
     debug_assert!(up_to >= 1 && up_to <= atoms.len());
     enumerator.prepare(ctx, atoms, up_to);
+    // Compound atoms are contracted subtrees the enumerator treats as
+    // single vertices (IDP re-runs over already-joined blocks); the
+    // count is part of the level profile so `explain_analyze` shows
+    // how much of the graph each pass saw pre-contracted.
+    ctx.set_contractions(atoms.iter().filter(|a| a.len() > 1).count() as u64);
     let mut table = LevelTable::default();
     table.levels.push(
         atoms

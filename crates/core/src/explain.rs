@@ -134,7 +134,7 @@ pub fn explain_analyze(governed: &GovernedPlan) -> String {
                 out,
                 "  [{}] level {}: enumerator={} pairs={} costed={} created={} pruned={} retained={} \
                  skyline_partitions={} skyline_survivors={} order_rescued={} sort_enforcers={} \
-                 memo={} model_bytes={}",
+                 memo={} model_bytes={} contractions={}",
                 row.phase,
                 row.level,
                 row.enumerator,
@@ -148,7 +148,8 @@ pub fn explain_analyze(governed: &GovernedPlan) -> String {
                 row.order_rescued,
                 row.sort_enforcers,
                 row.memo_groups,
-                row.model_bytes
+                row.model_bytes,
+                row.contractions
             );
         }
     }
@@ -207,12 +208,85 @@ mod analyze_tests {
         assert!(text.contains("[rung="));
         assert!(text.contains("levels:"));
         assert!(text.contains("skyline_partitions="));
+        assert!(text.contains("contractions="));
         assert!(text.contains("self="));
         // One tree line per plan node, all tagged with the rung.
         assert_eq!(
             text.matches("[rung=").count(),
             governed.plan.root.node_count()
         );
+    }
+}
+
+/// Render a "worst estimates" section: the top-`k` entries by Q-error
+/// from caller-supplied `(label, estimated_rows, actual_rows)` tuples
+/// — typically one per executed plan node, labelled with its tree
+/// path and operator. The Q-error is the symmetric ratio
+/// `max(est/actual, actual/est)` with both sides floored at one row,
+/// so empty results stay finite. Ties break on the label, keeping the
+/// listing deterministic. Returns an empty string when `nodes` is
+/// empty or `k` is zero.
+pub fn worst_estimates(nodes: &[(String, f64, u64)], k: usize) -> String {
+    if nodes.is_empty() || k == 0 {
+        return String::new();
+    }
+    let q_of = |est: f64, actual: u64| -> f64 {
+        let e = est.max(1.0);
+        let a = (actual as f64).max(1.0);
+        (e / a).max(a / e)
+    };
+    let mut ranked: Vec<(f64, &(String, f64, u64))> =
+        nodes.iter().map(|n| (q_of(n.1, n.2), n)).collect();
+    ranked.sort_by(|a, b| {
+        b.0.total_cmp(&a.0)
+            .then_with(|| a.1 .0.cmp(&b.1 .0))
+            .then_with(|| a.1 .1.total_cmp(&b.1 .1))
+            .then_with(|| a.1 .2.cmp(&b.1 .2))
+    });
+    let mut out = String::from("worst estimates:\n");
+    for (q, (label, est, actual)) in ranked.into_iter().take(k) {
+        let _ = writeln!(out, "  q={q:.2}  est={est:.0}  actual={actual}  {label}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod worst_tests {
+    use super::*;
+
+    #[test]
+    fn worst_estimates_ranks_by_q_error() {
+        let nodes = vec![
+            ("r SeqScan".to_string(), 100.0, 100),
+            ("r.0 HashJoin".to_string(), 10.0, 500),
+            ("r.1 SeqScan".to_string(), 40.0, 10),
+        ];
+        let text = worst_estimates(&nodes, 2);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "worst estimates:");
+        assert!(lines[1].contains("q=50.00") && lines[1].contains("r.0 HashJoin"));
+        assert!(lines[2].contains("q=4.00") && lines[2].contains("r.1 SeqScan"));
+        assert_eq!(lines.len(), 3, "k=2 caps the listing");
+    }
+
+    #[test]
+    fn worst_estimates_is_defined_for_zero_rows() {
+        // est=0 and actual=0 both floor at one row: finite, symmetric.
+        let nodes = vec![
+            ("a".to_string(), 0.0, 10),
+            ("b".to_string(), 10.0, 0),
+            ("c".to_string(), 0.0, 0),
+        ];
+        let text = worst_estimates(&nodes, 10);
+        assert_eq!(text.matches("q=10.00").count(), 2);
+        assert!(text.contains("q=1.00"));
+        assert!(text.lines().count() == 4);
+    }
+
+    #[test]
+    fn worst_estimates_empty_inputs_render_nothing() {
+        assert_eq!(worst_estimates(&[], 5), "");
+        assert_eq!(worst_estimates(&[("a".to_string(), 1.0, 1)], 0), "");
     }
 }
 

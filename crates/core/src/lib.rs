@@ -85,7 +85,7 @@ fn _assert_service_types_are_send_sync() {
 pub use context::{default_parallelism, EnumContext, LevelStats, RunStats};
 pub use dp::{LevelPruner, PruneStats};
 pub use enumerate::{DpConv, Dpccp, EnumeratorKind, LevelScan, PairEnumerator};
-pub use explain::{explain, explain_analyze};
+pub use explain::{explain, explain_analyze, worst_estimates};
 pub use memo::{Group, Memo};
 pub use optimizer::{Algorithm, OptimizedPlan, Optimizer};
 pub use plan::{NodeCounter, PlanNode, PlanOp};

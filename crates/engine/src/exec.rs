@@ -52,6 +52,39 @@ struct Chunk {
     rows: Vec<Vec<i64>>,
 }
 
+/// One executed plan node's cardinality outcome: the optimizer's
+/// estimate next to the row count the operator actually produced.
+/// This is the raw feed for the Q-error observatory — the executor
+/// stays ignorant of histograms and only reports what it saw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeObservation {
+    /// Position in the plan tree: `r` for the root, then child
+    /// indices joined by dots (`r.0.1` = root's first child's second
+    /// child). Stable across runs for a fixed plan shape.
+    pub path: String,
+    /// Operator kind label (`SeqScan`, `IndexScan`, `Sort`, or a join
+    /// method label such as `HashJoin`).
+    pub kind: String,
+    /// The predicate the node evaluates, rendered canonically: the
+    /// conjunction of base filters for scans, the crossing equi-join
+    /// condition for joins, the sort class for sorts. Empty when the
+    /// node filters nothing.
+    pub detail: String,
+    /// The optimizer's estimated output rows for this node.
+    pub estimated: f64,
+    /// Rows the operator actually produced.
+    pub actual: u64,
+}
+
+fn path_string(path: &[usize]) -> String {
+    let mut s = String::from("r");
+    for p in path {
+        s.push('.');
+        s.push_str(&p.to_string());
+    }
+    s
+}
+
 /// Execute `plan` for `query` against `db`, returning the result rows
 /// in canonical column order (base relations ascending by node index,
 /// each contributing its full column list).
@@ -84,6 +117,43 @@ pub fn execute(
     };
     let chunk = ctx.run(plan)?;
     Ok(ctx.canonicalize(chunk))
+}
+
+/// Execute `plan` like [`execute`], additionally collecting one
+/// [`NodeObservation`] per plan node (post-order: children before
+/// parents). The plain [`execute`] path pays nothing for this — the
+/// collector is threaded as an `Option` and skipped entirely when
+/// absent.
+pub fn execute_observed(
+    plan: &PlanNode,
+    query: &Query,
+    catalog: &Catalog,
+    db: &Database,
+) -> Result<(Vec<Vec<i64>>, Vec<NodeObservation>), ExecError> {
+    let ctx = ExecCtx {
+        query,
+        db,
+        ncols: (0..query.graph.len())
+            .map(|n| {
+                catalog
+                    .relation(query.graph.relation(n))
+                    .expect("valid binding")
+                    .columns
+                    .len()
+            })
+            .collect(),
+        indexed_col: (0..query.graph.len())
+            .map(|n| {
+                catalog
+                    .relation(query.graph.relation(n))
+                    .ok()
+                    .map(|r| r.indexed_column.0 as usize)
+            })
+            .collect(),
+    };
+    let mut observations = Vec::new();
+    let chunk = ctx.run_observed(plan, &mut Vec::new(), &mut Some(&mut observations))?;
+    Ok((ctx.canonicalize(chunk), observations))
 }
 
 struct ExecCtx<'a> {
@@ -231,11 +301,81 @@ impl ExecCtx<'_> {
     }
 
     fn run(&self, plan: &PlanNode) -> Result<Chunk, ExecError> {
+        self.run_observed(plan, &mut Vec::new(), &mut None)
+    }
+
+    /// Render the predicate a plan node evaluates — the canonical
+    /// `detail` string of its [`NodeObservation`].
+    fn node_detail(&self, plan: &PlanNode) -> String {
+        match &plan.op {
+            PlanOp::SeqScan { node, .. } | PlanOp::IndexScan { node, .. } => {
+                let parts: Vec<String> = self
+                    .query
+                    .graph
+                    .filters_on(*node)
+                    .map(|f| f.to_string())
+                    .collect();
+                parts.join(" AND ")
+            }
+            PlanOp::Sort { class } => format!("class {class}"),
+            PlanOp::Join { .. } => {
+                let (lset, rset) = (plan.children[0].set, plan.children[1].set);
+                let parts: Vec<String> = self
+                    .query
+                    .graph
+                    .crossing_edges(lset, rset)
+                    .map(|e| {
+                        let (a, b) = if lset.contains(e.left.node) {
+                            (e.left, e.right)
+                        } else {
+                            (e.right, e.left)
+                        };
+                        format!("n{}.{} = n{}.{}", a.node, a.col, b.node, b.col)
+                    })
+                    .collect();
+                parts.join(" AND ")
+            }
+        }
+    }
+
+    fn run_observed(
+        &self,
+        plan: &PlanNode,
+        path: &mut Vec<usize>,
+        obs: &mut Option<&mut Vec<NodeObservation>>,
+    ) -> Result<Chunk, ExecError> {
+        let chunk = self.run_node(plan, path, obs)?;
+        if let Some(out) = obs.as_deref_mut() {
+            let kind = match &plan.op {
+                PlanOp::SeqScan { .. } => "SeqScan".to_string(),
+                PlanOp::IndexScan { .. } => "IndexScan".to_string(),
+                PlanOp::Sort { .. } => "Sort".to_string(),
+                PlanOp::Join { method } => method.label().to_string(),
+            };
+            out.push(NodeObservation {
+                path: path_string(path),
+                kind,
+                detail: self.node_detail(plan),
+                estimated: plan.rows,
+                actual: chunk.rows.len() as u64,
+            });
+        }
+        Ok(chunk)
+    }
+
+    fn run_node(
+        &self,
+        plan: &PlanNode,
+        path: &mut Vec<usize>,
+        obs: &mut Option<&mut Vec<NodeObservation>>,
+    ) -> Result<Chunk, ExecError> {
         match &plan.op {
             PlanOp::SeqScan { node, .. } => Ok(self.scan(*node, None)),
             PlanOp::IndexScan { node, col, .. } => Ok(self.scan(*node, Some(col.0 as usize))),
             PlanOp::Sort { class } => {
-                let child = self.run(&plan.children[0])?;
+                path.push(0);
+                let child = self.run_observed(&plan.children[0], path, obs)?;
+                path.pop();
                 // Sort by any member column of the class inside the set.
                 let classes = self.query.equiv_classes();
                 let member = classes
@@ -253,8 +393,12 @@ impl ExecCtx<'_> {
                 })
             }
             PlanOp::Join { method } => {
-                let left = self.run(&plan.children[0])?;
-                let right = self.run(&plan.children[1])?;
+                path.push(0);
+                let left = self.run_observed(&plan.children[0], path, obs)?;
+                path.pop();
+                path.push(1);
+                let right = self.run_observed(&plan.children[1], path, obs)?;
+                path.pop();
                 let (lset, rset) = (plan.children[0].set, plan.children[1].set);
                 let (lk, rk) = self.join_keys(&left, &right, lset, rset)?;
                 let rows = match method {
@@ -522,6 +666,56 @@ mod tests {
             }
         }
         assert_eq!(got, sorted(expected));
+    }
+
+    #[test]
+    fn observed_execution_matches_plain_and_covers_every_node() {
+        let cat = scaled_catalog(8, 300, 11);
+        let db = Database::generate(&cat, 17);
+        let q = QueryGenerator::new(&cat, Topology::star_chain(6), 3).instance(0);
+        let opt = Optimizer::new(&cat);
+        let plan = opt
+            .optimize(&q, Algorithm::Sdp(SdpConfig::paper()))
+            .unwrap();
+
+        let plain = execute(&plan.root, &q, &cat, &db).unwrap();
+        let (observed, obs) = execute_observed(&plan.root, &q, &cat, &db).unwrap();
+        assert_eq!(plain, observed, "observation must not perturb results");
+
+        // One observation per plan node, with unique paths and a root.
+        assert_eq!(obs.len(), plan.root.node_count());
+        let mut paths: Vec<&str> = obs.iter().map(|o| o.path.as_str()).collect();
+        paths.sort_unstable();
+        paths.dedup();
+        assert_eq!(paths.len(), obs.len(), "paths must be unique");
+        let root = obs.iter().find(|o| o.path == "r").expect("root observed");
+        assert_eq!(root.actual as usize, plain.len());
+        assert_eq!(root.estimated, plan.root.rows);
+        // Joins carry their equi-join condition as detail.
+        assert!(obs
+            .iter()
+            .filter(|o| o.kind.contains("Join") || o.kind.contains("Loop"))
+            .all(|o| o.detail.contains(" = ")));
+    }
+
+    #[test]
+    fn observed_paths_follow_tree_structure() {
+        let cat = scaled_catalog(6, 200, 7);
+        let db = Database::generate(&cat, 13);
+        let q = QueryGenerator::new(&cat, Topology::Chain(3), 2).instance(0);
+        let opt = Optimizer::new(&cat);
+        let plan = opt.optimize(&q, Algorithm::Dp).unwrap();
+        let (_, obs) = execute_observed(&plan.root, &q, &cat, &db).unwrap();
+        // Every non-root path's parent prefix must itself be observed.
+        for o in &obs {
+            if let Some((parent, _)) = o.path.rsplit_once('.') {
+                assert!(
+                    obs.iter().any(|p| p.path == parent),
+                    "dangling path {}",
+                    o.path
+                );
+            }
+        }
     }
 
     #[test]

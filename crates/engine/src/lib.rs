@@ -30,5 +30,5 @@ mod validate;
 pub use analyze::{analyze_database, DEFAULT_SAMPLE};
 pub use btree::BTreeIndex;
 pub use datagen::{scaled_catalog, Database, Table};
-pub use exec::{execute, ExecError};
+pub use exec::{execute, execute_observed, ExecError, NodeObservation};
 pub use validate::{actual_vs_estimated, q_error};

@@ -16,10 +16,19 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use crate::alloc::AllocSnapshot;
+use crate::histogram::QErrorHistogram;
 use crate::service::{
     CountersSnapshot, GovernorSnapshot, LatencyHistogram, LatencyStats, OverloadSnapshot,
 };
 use crate::store::StoreSnapshot;
+
+/// Version stamped into [`MetricsReport::to_json`] as the leading
+/// `"schema"` field. Bumped whenever the document shape changes so
+/// inspect tooling and replay smoke scripts can reject incompatible
+/// documents instead of mis-parsing them. Version 1 was the implicit,
+/// unstamped PR 5 shape; version 2 added the stamp itself and the
+/// `qerror` family.
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
 
 /// Point-in-time bundle of every metric family the service exposes.
 #[derive(Debug, Clone, Default)]
@@ -42,6 +51,11 @@ pub struct MetricsReport {
     /// Overload-control counters and occupancy gauges (sheds, stale
     /// serves, circuit breaker, queue depth, in-flight).
     pub overload: OverloadSnapshot,
+    /// Cardinality-accuracy (Q-error) histograms keyed by series label
+    /// (`node:<kind>` for per-node-kind aggregates, `pred:<display>`
+    /// for per-predicate aggregates). Empty unless an instrumented
+    /// execution pass ran.
+    pub qerror: BTreeMap<String, QErrorHistogram>,
     /// Plans currently resident in the cache.
     pub cached_plans: u64,
 }
@@ -315,6 +329,31 @@ impl MetricsReport {
                 );
             }
         }
+
+        if !self.qerror.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP sdp_qerror Cardinality Q-error by plan-node series."
+            );
+            let _ = writeln!(out, "# TYPE sdp_qerror histogram");
+            for (label, h) in &self.qerror {
+                let mut cumulative = 0u64;
+                for (upper, n) in h.nonzero_buckets() {
+                    cumulative += n;
+                    let _ = writeln!(
+                        out,
+                        "sdp_qerror_bucket{{series=\"{label}\",le=\"{upper:.6}\"}} {cumulative}"
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "sdp_qerror_bucket{{series=\"{label}\",le=\"+Inf\"}} {}",
+                    h.count
+                );
+                let _ = writeln!(out, "sdp_qerror_sum{{series=\"{label}\"}} {:.6}", h.total);
+                let _ = writeln!(out, "sdp_qerror_count{{series=\"{label}\"}} {}", h.count);
+            }
+        }
         out
     }
 
@@ -326,6 +365,7 @@ impl MetricsReport {
         let mut out = String::new();
         let c = &self.counters;
         out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {METRICS_SCHEMA_VERSION},");
         let _ = writeln!(out, "  \"counters\": {{");
         let _ = writeln!(out, "    \"hits\": {},", c.hits);
         let _ = writeln!(out, "    \"misses\": {},", c.misses);
@@ -385,6 +425,26 @@ impl MetricsReport {
                 .nonzero_buckets()
                 .iter()
                 .map(|(upper, count)| format!("[{}, {count}]", upper.as_micros()))
+                .collect();
+            let _ = writeln!(out, "      \"buckets\": [{}]", buckets.join(", "));
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"qerror\": {{");
+        let n = self.qerror.len();
+        for (i, (label, h)) in self.qerror.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(out, "    \"{label}\": {{");
+            let _ = writeln!(out, "      \"count\": {},", h.count);
+            let _ = writeln!(out, "      \"mean\": {:.4},", h.mean());
+            let _ = writeln!(out, "      \"p50\": {:.4},", h.p50());
+            let _ = writeln!(out, "      \"p95\": {:.4},", h.p95());
+            let _ = writeln!(out, "      \"p99\": {:.4},", h.p99());
+            let _ = writeln!(out, "      \"max\": {:.4},", h.max);
+            let buckets: Vec<String> = h
+                .nonzero_buckets()
+                .iter()
+                .map(|(upper, count)| format!("[{upper:.4}, {count}]"))
                 .collect();
             let _ = writeln!(out, "      \"buckets\": [{}]", buckets.join(", "));
             let _ = writeln!(out, "    }}{comma}");
@@ -484,6 +544,11 @@ mod tests {
         h.record(Duration::from_micros(800));
         h.record(Duration::from_millis(5));
         report.rungs.insert("SDP".to_string(), h);
+        let mut q = QErrorHistogram::default();
+        q.record(1.0);
+        q.record(1.5);
+        q.record(12.0);
+        report.qerror.insert("node:Join(Hash)".to_string(), q);
         report
     }
 
@@ -507,6 +572,9 @@ mod tests {
         assert!(text.contains("sdp_inflight_high_water 4"));
         assert!(text.contains("sdp_strategy_latency_seconds_count{strategy=\"SDP\"} 2"));
         assert!(text.contains("sdp_rung_latency_seconds_bucket{rung=\"SDP\",le=\"+Inf\"} 3"));
+        assert!(text.contains("# TYPE sdp_qerror histogram"));
+        assert!(text.contains("sdp_qerror_bucket{series=\"node:Join(Hash)\",le=\"+Inf\"} 3"));
+        assert!(text.contains("sdp_qerror_count{series=\"node:Join(Hash)\"} 3"));
         // Cumulative buckets: the 2 sub-millisecond samples precede
         // the 5 ms one.
         assert!(text.contains("le=\"0.001023\"} 2"));
@@ -519,6 +587,8 @@ mod tests {
     #[test]
     fn json_report_is_parseable_shape() {
         let json = sample_report().to_json();
+        assert!(json.starts_with("{\n  \"schema\": 2,\n"));
+        assert!(json.contains("\"node:Join(Hash)\""));
         assert!(json.contains("\"hits\": 5"));
         assert!(json.contains("\"requests\": 8"));
         assert!(json.contains("\"memory_degradations\": 1"));
@@ -548,7 +618,9 @@ mod tests {
         assert!(text.contains("sdp_cache_hits_total 0"));
         assert!(!text.contains("sdp_rung_latency_seconds"));
         let json = report.to_json();
+        assert!(json.contains("\"schema\": 2"));
         assert!(json.contains("\"strategies\": {"));
+        assert!(json.contains("\"qerror\": {"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -21,13 +21,15 @@
 
 pub mod alloc;
 pub mod expo;
+pub mod histogram;
 pub mod overhead;
 pub mod quality;
 pub mod service;
 pub mod store;
 
 pub use alloc::AllocSnapshot;
-pub use expo::MetricsReport;
+pub use expo::{MetricsReport, METRICS_SCHEMA_VERSION};
+pub use histogram::{Histogram, HistogramSample, QErrorHistogram};
 pub use overhead::{OverheadSample, OverheadSummary};
 pub use quality::{geometric_mean_ratio, QualityClass, QualitySummary};
 pub use service::{

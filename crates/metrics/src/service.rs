@@ -402,125 +402,7 @@ impl OverloadSnapshot {
     }
 }
 
-/// Number of log2 buckets in a [`LatencyHistogram`] — bucket 31 tops
-/// out above half an hour, far past any optimization deadline.
-pub const HISTOGRAM_BUCKETS: usize = 32;
-
-/// A log2 latency histogram: bucket `i` counts samples whose
-/// microsecond value has `floor(log2(µs)) == i` (sub-microsecond
-/// samples land in bucket 0; everything past the last bucket clamps
-/// into it).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    /// Per-bucket sample counts.
-    pub buckets: [u64; HISTOGRAM_BUCKETS],
-    /// Total samples.
-    pub count: u64,
-    /// Sum of all samples.
-    pub total: Duration,
-    /// Largest sample.
-    pub max: Duration,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: [0; HISTOGRAM_BUCKETS],
-            count: 0,
-            total: Duration::ZERO,
-            max: Duration::ZERO,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// The bucket index a sample falls into.
-    pub fn bucket_for(sample: Duration) -> usize {
-        let micros = sample.as_micros().max(1) as u64;
-        ((63 - micros.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
-    }
-
-    /// Inclusive upper bound of bucket `i` (`2^(i+1) − 1` µs).
-    pub fn bucket_upper_bound(i: usize) -> Duration {
-        Duration::from_micros((1u64 << (i + 1)) - 1)
-    }
-
-    /// Fold in one sample.
-    pub fn record(&mut self, sample: Duration) {
-        self.buckets[Self::bucket_for(sample)] += 1;
-        self.count += 1;
-        self.total += sample;
-        self.max = self.max.max(sample);
-    }
-
-    /// Mean latency (zero when empty).
-    pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            self.total / self.count as u32
-        }
-    }
-
-    /// The latency at quantile `q` in `[0, 1]`: the upper bound of the
-    /// bucket containing the `ceil(q·count)`-th smallest sample,
-    /// clamped to the observed maximum so a sparse top bucket cannot
-    /// inflate the estimate past anything actually seen. Zero when
-    /// empty.
-    pub fn quantile(&self, q: f64) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return Self::bucket_upper_bound(i).min(self.max);
-            }
-        }
-        self.max
-    }
-
-    /// Median latency estimate.
-    pub fn p50(&self) -> Duration {
-        self.quantile(0.50)
-    }
-
-    /// 95th-percentile latency estimate.
-    pub fn p95(&self) -> Duration {
-        self.quantile(0.95)
-    }
-
-    /// 99th-percentile latency estimate.
-    pub fn p99(&self) -> Duration {
-        self.quantile(0.99)
-    }
-
-    /// Fold another histogram into this one (bucket-wise sum; `max`
-    /// and `total` combine exactly). Merging is associative and
-    /// commutative, so per-shard histograms can be combined in any
-    /// order.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *b += o;
-        }
-        self.count += other.count;
-        self.total += other.total;
-        self.max = self.max.max(other.max);
-    }
-
-    /// The populated buckets, as `(upper_bound, count)` pairs in
-    /// ascending latency order — what `sdp-service replay` prints.
-    pub fn nonzero_buckets(&self) -> Vec<(Duration, u64)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|&(_, &n)| n > 0)
-            .map(|(i, &n)| (Self::bucket_upper_bound(i), n))
-            .collect()
-    }
-}
+pub use crate::histogram::{LatencyHistogram, HISTOGRAM_BUCKETS};
 
 /// Per-rung latency histograms, keyed by the producing strategy's
 /// display label (e.g. `"SDP"`, `"GOO"`) — unlike

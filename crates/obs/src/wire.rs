@@ -1,0 +1,108 @@
+//! Minimal deterministic binary writer/reader for the flight and
+//! calibration codecs — the same hand-rolled little-endian idiom as
+//! `sdp-store`'s plan codec (whose writer is private to that crate),
+//! kept deliberately tiny: fixed-width integers, IEEE-754 bit
+//! patterns for floats, and `u16`-length-prefixed UTF-8 strings.
+
+use sdp_store::StoreError;
+
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+
+    pub(crate) fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub(crate) fn put_str(&mut self, s: &str) {
+        let len = u16::try_from(s.len()).expect("string over 64 KiB in obs record");
+        self.put_u16(len);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub(crate) fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.pos + n > self.buf.len() {
+            return Err(StoreError::Codec(format!(
+                "record truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u128(&mut self) -> Result<u128, StoreError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, StoreError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Codec("record string is not UTF-8".to_string()))
+    }
+
+    pub(crate) fn finish(self) -> Result<(), StoreError> {
+        if self.pos != self.buf.len() {
+            return Err(StoreError::Codec(format!(
+                "{} trailing bytes after record",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}

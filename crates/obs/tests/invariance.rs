@@ -1,0 +1,103 @@
+//! Satellite: Q-error aggregation must be order- and
+//! parallelism-invariant — any interleaving of the same observation
+//! multiset (a shuffle, or a partition into per-thread shards merged
+//! in any order) yields bit-identical histograms and an identical
+//! worst-nodes table.
+
+use proptest::prelude::*;
+use sdp_obs::{Observation, QErrorObservatory};
+
+fn arb_observation() -> impl Strategy<Value = Observation> {
+    let kind = prop_oneof![
+        Just("SeqScan"),
+        Just("IndexScan"),
+        Just("Sort"),
+        Just("Join(Hash)"),
+        Just("Join(NL)"),
+    ];
+    let detail = prop_oneof![
+        Just(""),
+        Just("n0.c0 = 5"),
+        Just("n1.c2 < 9"),
+        Just("n0.c0 = n1.c0"),
+    ];
+    (
+        (0u64..64, kind),
+        (detail, 0.0f64..1e9),
+        (0u64..1_000_000, 0u8..4),
+    )
+        .prop_map(
+            |((fingerprint, kind), (detail, estimated), (actual, depth))| Observation {
+                fingerprint: u128::from(fingerprint),
+                path: (0..depth)
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .join("."),
+                kind: kind.to_string(),
+                detail: detail.to_string(),
+                estimated,
+                actual,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn shuffled_ingestion_is_invariant(
+        all in prop::collection::vec(arb_observation(), 1..80),
+        seed in 0u64..=u64::MAX,
+    ) {
+        let mut sequential = QErrorObservatory::new();
+        sequential.observe_all(&all);
+
+        // Deterministic pseudo-shuffle driven by the proptest-chosen
+        // seed: a Fisher–Yates over a splitmix64 stream.
+        let mut perm: Vec<usize> = (0..all.len()).collect();
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for i in (1..perm.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        let mut shuffled = QErrorObservatory::new();
+        for &i in &perm {
+            shuffled.observe(&all[i]);
+        }
+        prop_assert_eq!(&shuffled, &sequential);
+    }
+
+    #[test]
+    fn sharded_merge_is_invariant(
+        all in prop::collection::vec(arb_observation(), 1..60),
+        nshards in 1usize..5,
+        merge_reversed in any::<bool>(),
+    ) {
+        let mut sequential = QErrorObservatory::new();
+        sequential.observe_all(&all);
+
+        // Partition round-robin into "threads", aggregate each shard
+        // independently, then merge in either direction — the model of
+        // a parallel executor feeding per-thread observatories.
+        let mut shards = vec![QErrorObservatory::new(); nshards];
+        for (i, obs) in all.iter().enumerate() {
+            shards[i % nshards].observe(obs);
+        }
+        let mut merged = QErrorObservatory::new();
+        if merge_reversed {
+            for shard in shards.iter().rev() {
+                merged.merge(shard);
+            }
+        } else {
+            for shard in &shards {
+                merged.merge(shard);
+            }
+        }
+        prop_assert_eq!(&merged, &sequential);
+    }
+}

@@ -56,6 +56,30 @@
 //! exercise bounded admission and stale-serve; the report gains
 //! `overload:` and `breaker:` counter lines, and any deviation from
 //! the deterministic expectations fails the run.
+//!
+//! `--flight-dir DIR` attaches the flight recorder: every
+//! decision-bearing trace event (request outcome, stale serve, shed,
+//! breaker transition, …) is projected into a bounded in-memory ring
+//! and written through to DIR's CRC-framed flight log, so `sdp-service
+//! inspect --flight DIR` can reconstruct the last decisions even after
+//! a crash. The report gains a `flight:` line with the ring depth and
+//! the order-independent record digest.
+//!
+//! `--qerror` appends the cardinality-accuracy battery: the distinct
+//! workload is re-optimized against a scaled-down materialized copy of
+//! the schema and executed through the instrumented executor, feeding
+//! per-plan-node (estimated, actual) row counts into the Q-error
+//! observatory. The run prints an `EXPLAIN ANALYZE` with the top-K
+//! worst-estimated nodes, per-kind/per-predicate Q-error summaries,
+//! and merges the `qerror` histogram family into `--metrics-json` /
+//! `--metrics-prom` output. With `--flight-dir` the battery also
+//! appends `(fingerprint, node-path, est, actual)` calibration records
+//! to DIR's telemetry log.
+//!
+//! `sdp-service inspect --flight DIR [--last N]` recovers the flight
+//! log (torn tails truncated, digests re-verified) and prints the last
+//! N records in canonical content order plus their multiset digest —
+//! byte-identical across `SDP_THREADS` for the same workload.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,7 +87,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sdp_catalog::Catalog;
+use sdp_core::{Algorithm, Governor, Optimizer};
+use sdp_engine::{execute_observed, scaled_catalog, Database};
 use sdp_metrics::alloc::CountingAllocator;
+use sdp_obs::{
+    canonical_sort, fold_digest, multiset_digest, CalibrationLog, FlightLog, FlightRecorder,
+    Observation, QErrorObservatory, DEFAULT_FLIGHT_CAPACITY,
+};
 use sdp_query::canon::stable_hash;
 use sdp_query::{Query, QueryGenerator, Topology};
 use sdp_service::{
@@ -98,6 +128,9 @@ struct ReplayArgs {
     dlq: Option<String>,
     queue_cap: Option<usize>,
     overload: Option<usize>,
+    flight_dir: Option<String>,
+    qerror: bool,
+    metrics_prom: Option<String>,
     // Parsed unconditionally (so the flag errors helpfully on non-test
     // builds) but only read under the testkit feature.
     #[cfg_attr(not(feature = "testkit"), allow(dead_code))]
@@ -127,6 +160,9 @@ impl Default for ReplayArgs {
             dlq: None,
             queue_cap: None,
             overload: None,
+            flight_dir: None,
+            qerror: false,
+            metrics_prom: None,
             crash_after_store_writes: None,
         }
     }
@@ -138,7 +174,9 @@ fn usage() -> &'static str {
      [--workers N] [--capacity N] [--shards N] [--threads N] \
      [--enumerator levelscan|dpccp|dpconv] [--ordered] [--seed N] \
      [--deadline-ms N] [--memory-mb N] [--trace PATH] [--metrics-json PATH] \
-     [--store-dir DIR] [--dlq DIR] [--queue-cap N] [--overload ROUNDS]"
+     [--metrics-prom PATH] [--store-dir DIR] [--dlq DIR] [--queue-cap N] \
+     [--overload ROUNDS] [--flight-dir DIR] [--qerror]\n\
+     \x20      sdp-service inspect --flight DIR [--last N]"
 }
 
 fn parse_replay(args: &[String]) -> Result<ReplayArgs, String> {
@@ -235,8 +273,11 @@ fn parse_replay(args: &[String]) -> Result<ReplayArgs, String> {
             }
             "--trace" => out.trace = Some(value("--trace")?.clone()),
             "--metrics-json" => out.metrics_json = Some(value("--metrics-json")?.clone()),
+            "--metrics-prom" => out.metrics_prom = Some(value("--metrics-prom")?.clone()),
             "--store-dir" => out.store_dir = Some(value("--store-dir")?.clone()),
             "--dlq" => out.dlq = Some(value("--dlq")?.clone()),
+            "--flight-dir" => out.flight_dir = Some(value("--flight-dir")?.clone()),
+            "--qerror" => out.qerror = true,
             "--crash-after-store-writes" => {
                 out.crash_after_store_writes = Some(
                     value("--crash-after-store-writes")?
@@ -313,14 +354,11 @@ impl TraceSink for StderrErrorSink {
     }
 }
 
-/// Order-independent fold of served-plan digests: each response
-/// contributes its root's structural digest, combined with a
-/// commutative operation, so the line is deterministic under any
-/// client/worker interleaving. Two runs served plan-for-plan
-/// bit-identical multisets of plans iff their folds match.
-fn fold_digest(acc: u64, plan_digest: u64) -> u64 {
-    acc.wrapping_add(plan_digest.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15)
-}
+// The order-independent served-plan digest fold is `sdp_obs::
+// fold_digest`, shared with the flight recorder's multiset digest:
+// one commutative combining rule for both surfaces, so the "plan
+// digest" line stays deterministic under any client/worker
+// interleaving.
 
 /// Drain mode (`replay --dlq DIR`): re-optimize every dead-letter
 /// record without resource limits and rewrite the queue with only the
@@ -652,6 +690,33 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
     if let Some(capture) = &capture {
         sinks.push(Arc::clone(capture) as Arc<dyn TraceSink>);
     }
+    // The flight recorder joins the tee like any other sink: it
+    // projects decision events into the ring and writes them through
+    // to the CRC-framed log, so a crashed run still leaves its last
+    // decisions inspectable.
+    let flight = match &args.flight_dir {
+        Some(dir) => {
+            let (log, recovered, stats) = FlightLog::open(std::path::Path::new(dir))
+                .map_err(|e| format!("opening --flight-dir {dir}: {e}"))?;
+            println!(
+                "flight: {} prior records recovered from {dir}{}",
+                recovered.len(),
+                if stats.truncated {
+                    " (torn tail truncated)"
+                } else {
+                    ""
+                },
+            );
+            Some(Arc::new(FlightRecorder::with_log(
+                DEFAULT_FLIGHT_CAPACITY,
+                log,
+            )))
+        }
+        None => None,
+    };
+    if let Some(recorder) = &flight {
+        sinks.push(Arc::clone(recorder) as Arc<dyn TraceSink>);
+    }
     let tracer = Tracer::new(Arc::new(TeeSink::new(sinks)));
 
     let config = ServiceConfig {
@@ -838,6 +903,23 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
 
     daemon.shutdown();
 
+    if let Some(recorder) = &flight {
+        println!(
+            "flight: {} records in ring ({} evicted to log only, {} write errors), \
+             digest {:016x}",
+            recorder.len(),
+            recorder.dropped(),
+            recorder.io_errors(),
+            recorder.digest(),
+        );
+    }
+
+    let observatory = if args.qerror {
+        Some(run_qerror(&args)?)
+    } else {
+        None
+    };
+
     if let (Some(path), Some(capture)) = (&args.trace, &capture) {
         let events = capture.snapshot();
         std::fs::write(path, chrome_trace(&events))
@@ -848,10 +930,21 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
             capture.dropped(),
         );
     }
-    if let Some(path) = &args.metrics_json {
-        std::fs::write(path, service.metrics_report().to_json())
-            .map_err(|e| format!("writing --metrics-json {path}: {e}"))?;
-        println!("metrics: report written to {path}");
+    if args.metrics_json.is_some() || args.metrics_prom.is_some() {
+        let mut report = service.metrics_report();
+        if let Some(observatory) = &observatory {
+            report.qerror = observatory.series();
+        }
+        if let Some(path) = &args.metrics_json {
+            std::fs::write(path, report.to_json())
+                .map_err(|e| format!("writing --metrics-json {path}: {e}"))?;
+            println!("metrics: report written to {path}");
+        }
+        if let Some(path) = &args.metrics_prom {
+            std::fs::write(path, report.prometheus_text())
+                .map_err(|e| format!("writing --metrics-prom {path}: {e}"))?;
+            println!("metrics: prometheus exposition written to {path}");
+        }
     }
 
     if failures > 0 {
@@ -877,10 +970,203 @@ fn replay(args: ReplayArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// The cardinality-accuracy battery (`replay --qerror`): re-optimize
+/// the distinct workload against a scaled-down *materialized* copy of
+/// the schema, execute each plan through the instrumented executor,
+/// and aggregate per-plan-node (estimated, actual) row counts into
+/// the Q-error observatory. Prints an `EXPLAIN ANALYZE` with the
+/// worst-estimated nodes for the first plan and per-series summaries
+/// for the rest; with `--flight-dir` every observation is also
+/// appended to the calibration telemetry log.
+fn run_qerror(args: &ReplayArgs) -> Result<QErrorObservatory, String> {
+    // Execution validates estimates; it does not need production
+    // cardinalities. Cap the join size so the battery stays a
+    // seconds-scale tail on the replay.
+    let relations = args.relations.clamp(3, 7);
+    let catalog = scaled_catalog(relations + 2, 200, args.seed);
+    let db = Database::generate(&catalog, args.seed ^ 0x0b5e);
+    let topology = topology_for(&args.shape, relations)?;
+    let generator = QueryGenerator::new(&catalog, topology, args.seed);
+    let mut optimizer = Optimizer::new(&catalog);
+    if let Some(kind) = args.enumerator {
+        optimizer = optimizer.with_enumerator(kind);
+    }
+    if let Some(threads) = args.threads {
+        optimizer = optimizer.with_parallelism(threads);
+    }
+    let governor = Governor::new();
+    let mut calibration = match &args.flight_dir {
+        Some(dir) => Some(
+            CalibrationLog::open(std::path::Path::new(dir))
+                .map_err(|e| format!("opening calibration log in {dir}: {e}"))?
+                .0,
+        ),
+        None => None,
+    };
+
+    let plans = args.distinct.min(6) as u64;
+    println!();
+    println!(
+        "qerror: executing {plans} {} plans over a scaled schema \
+         ({relations} relations, materialized)",
+        args.shape,
+    );
+    let mut observatory = QErrorObservatory::new();
+    let mut calibration_records = 0u64;
+    for k in 0..plans {
+        let query = generator.instance(k);
+        let fingerprint = fingerprint_query(&catalog, &query).0;
+        let governed = optimizer
+            .optimize_governed(&query, Algorithm::Dp, &governor)
+            .map_err(|e| format!("qerror: optimizing instance {k}: {e}"))?;
+        let (_rows, nodes) = execute_observed(&governed.plan.root, &query, &catalog, &db)
+            .map_err(|e| format!("qerror: executing instance {k}: {e}"))?;
+        let observations: Vec<Observation> = nodes
+            .iter()
+            .map(|n| Observation {
+                fingerprint,
+                path: n.path.clone(),
+                kind: n.kind.clone(),
+                detail: n.detail.clone(),
+                estimated: n.estimated,
+                actual: n.actual,
+            })
+            .collect();
+        if let Some(log) = calibration.as_mut() {
+            for obs in &observations {
+                log.append(&obs.calibration())
+                    .map_err(|e| format!("qerror: appending calibration record: {e}"))?;
+                calibration_records += 1;
+            }
+        }
+        observatory.observe_all(&observations);
+        if k == 0 {
+            // The first plan gets the full EXPLAIN ANALYZE treatment,
+            // worst-estimated nodes appended.
+            println!();
+            print!("{}", sdp_core::explain_analyze(&governed));
+            let labelled: Vec<(String, f64, u64)> = nodes
+                .iter()
+                .map(|n| {
+                    let label = if n.detail.is_empty() {
+                        format!("{} {}", n.path, n.kind)
+                    } else {
+                        format!("{} {} [{}]", n.path, n.kind, n.detail)
+                    };
+                    (label, n.estimated, n.actual)
+                })
+                .collect();
+            println!();
+            print!("{}", sdp_core::worst_estimates(&labelled, 5));
+        }
+    }
+
+    println!();
+    println!(
+        "qerror: {} node observations across {} series",
+        observatory.observed(),
+        observatory.series().len(),
+    );
+    for (label, h) in observatory.series() {
+        println!(
+            "  {label:<44} count {:>4}  mean {:>9.3}  p95 {:>9.3}  max {:>9.3}",
+            h.count,
+            h.mean(),
+            h.p95(),
+            h.max,
+        );
+    }
+    let worst: Vec<(String, f64, u64)> = observatory
+        .worst(8)
+        .iter()
+        .map(|o| {
+            let fp = format!("{:032x}", o.fingerprint);
+            (
+                format!("[{}] {} {}", &fp[..8], o.path, o.kind),
+                o.estimated,
+                o.actual,
+            )
+        })
+        .collect();
+    print!("{}", sdp_core::worst_estimates(&worst, 8));
+    if calibration.is_some() {
+        println!("qerror: {calibration_records} calibration records appended");
+    }
+    Ok(observatory)
+}
+
+struct InspectArgs {
+    flight: String,
+    last: Option<usize>,
+}
+
+fn parse_inspect(args: &[String]) -> Result<InspectArgs, String> {
+    let mut flight = None;
+    let mut last = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--flight" => flight = Some(value("--flight")?.clone()),
+            "--last" => {
+                last = Some(
+                    value("--last")?
+                        .parse()
+                        .map_err(|e| format!("--last: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(InspectArgs {
+        flight: flight.ok_or_else(|| format!("inspect needs --flight DIR\n{}", usage()))?,
+        last,
+    })
+}
+
+/// Post-mortem flight reconstruction (`inspect --flight DIR`): recover
+/// the flight log (torn tails truncated, per-record digests
+/// re-verified), keep the last N records by write order, and print
+/// them in canonical content order with their multiset digest — the
+/// byte-identical-across-`SDP_THREADS` surface the obs smoke diffs.
+fn inspect(args: InspectArgs) -> Result<(), String> {
+    let dir = std::path::Path::new(&args.flight);
+    if !FlightLog::path_in(dir).exists() {
+        return Err(format!(
+            "no flight log at {}",
+            FlightLog::path_in(dir).display()
+        ));
+    }
+    let (_log, records, stats) =
+        FlightLog::open(dir).map_err(|e| format!("opening --flight {}: {e}", args.flight))?;
+    println!(
+        "flight: {} records recovered from {}{}",
+        records.len(),
+        args.flight,
+        if stats.truncated {
+            " (torn tail truncated)"
+        } else {
+            ""
+        },
+    );
+    let keep = args.last.unwrap_or(records.len()).min(records.len());
+    let mut window: Vec<_> = records[records.len() - keep..].to_vec();
+    let digest = multiset_digest(&window);
+    canonical_sort(&mut window);
+    for record in &window {
+        println!("{}", record.canonical());
+    }
+    println!("flight digest: {digest:016x} over {keep} records");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("replay") => parse_replay(&args[1..]).and_then(replay),
+        Some("inspect") => parse_inspect(&args[1..]).and_then(inspect),
         Some("--help") | Some("-h") | None => {
             println!("{}", usage());
             Ok(())

@@ -664,6 +664,10 @@ impl OptimizerService {
             store: self.store_counters.snapshot(),
             overload: self.overload.snapshot(),
             cached_plans: self.cache.len() as u64,
+            // The service itself never executes plans; Q-error series
+            // are merged in by callers that run an observed-execution
+            // pass (`sdp-service replay --qerror`).
+            qerror: std::collections::BTreeMap::new(),
         }
     }
 
@@ -889,6 +893,20 @@ impl OptimizerService {
                             .with("outcome", "hit")
                             .with("warm", u64::from(plan.warm))
                             .with("rung", plan.strategy.clone())
+                            .with("enumerator", self.enumerator.label())
+                            .with("digest", format!("{:016x}", plan.root.structural_digest()))
+                            // Deadline attainment by *presence*, never
+                            // remaining time: a served request with a
+                            // deadline met it. Wall-clock margins would
+                            // break cross-thread-count trace diffs.
+                            .with(
+                                "deadline",
+                                if request.deadline().is_some() {
+                                    "met"
+                                } else {
+                                    "none"
+                                },
+                            )
                     });
                     return Ok(ServiceResponse {
                         plan,
@@ -1117,6 +1135,16 @@ impl OptimizerService {
                             .with("rung", plan.strategy.clone())
                             .with("plans_costed", plans_costed)
                             .with("degradations", plan.degradations)
+                            .with("enumerator", self.enumerator.label())
+                            .with("digest", format!("{:016x}", plan.root.structural_digest()))
+                            .with(
+                                "deadline",
+                                if request.deadline().is_some() {
+                                    "met"
+                                } else {
+                                    "none"
+                                },
+                            )
                     });
                     token.publish(plan.clone());
                     return Ok(ServiceResponse {
@@ -1132,6 +1160,16 @@ impl OptimizerService {
                             .with("fingerprint", fp_hex(fingerprint))
                             .with("outcome", "coalesced")
                             .with("rung", plan.strategy.clone())
+                            .with("enumerator", self.enumerator.label())
+                            .with("digest", format!("{:016x}", plan.root.structural_digest()))
+                            .with(
+                                "deadline",
+                                if request.deadline().is_some() {
+                                    "met"
+                                } else {
+                                    "none"
+                                },
+                            )
                     });
                     return Ok(ServiceResponse {
                         plan,

@@ -66,6 +66,24 @@ impl fmt::Display for Value {
     }
 }
 
+impl Value {
+    /// The value as an unsigned integer, when it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is text.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v.as_str()),
+            _ => None,
+        }
+    }
+}
+
 impl From<u64> for Value {
     fn from(v: u64) -> Self {
         Value::U64(v)
@@ -148,6 +166,13 @@ impl Event {
     pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Event {
         self.fields.push((key, value.into()));
         self
+    }
+
+    /// The first value recorded under `key`, if any — the lookup sink
+    /// adapters (e.g. the flight recorder) use to project events into
+    /// typed records without scanning `fields` by hand.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
     }
 
     /// Deterministic one-line rendering: `name key=value key=value`.
@@ -556,6 +581,20 @@ mod tests {
         b.wall_micros = 99;
         assert_eq!(a.canonical(), b.canonical());
         assert_eq!(a.canonical(), "level n=3 cost=1.5");
+    }
+
+    #[test]
+    fn field_lookup_and_value_accessors() {
+        let ev = Event::new("request")
+            .with("fingerprint", "ab12")
+            .with("plans_costed", 7u64);
+        assert_eq!(
+            ev.field("fingerprint").and_then(Value::as_str),
+            Some("ab12")
+        );
+        assert_eq!(ev.field("plans_costed").and_then(Value::as_u64), Some(7));
+        assert_eq!(ev.field("plans_costed").and_then(Value::as_str), None);
+        assert!(ev.field("missing").is_none());
     }
 
     #[test]
